@@ -1,0 +1,275 @@
+//! Per-production reachability matrices — the `I`, `O`, `Z` functions of
+//! §4.3, computed from a full dependency assignment λ\*.
+//!
+//! For a production `pₖ = M →f W` and positions `i`, `j` of `W` (0-based):
+//!
+//! * `I(k,i)[x][y]` — input `y` of instance `i` is reachable from `M`'s
+//!   input `x` (i.e. from the initial input `f(x)` of `W`) in `W^λ*`;
+//! * `O(k,i)[x][y]` — `M`'s output `x` (the final output `f(x)`) is
+//!   reachable **from** output `y` of instance `i` (the paper's "reversed"
+//!   orientation);
+//! * `Z(k,i,j)[x][y]` — input `y` of instance `j` is reachable from output
+//!   `x` of instance `i`; empty whenever `i ≥ j` (topological order).
+//!
+//! A single port-graph traversal per source port yields all three families
+//! for one production.
+
+use wf_boolmat::BoolMat;
+use wf_model::{DepAssignment, Grammar, InPortRef, NodeIx, OutPortRef, PortGraph, ProdId};
+
+/// All `I`/`O`/`Z` matrices of one production.
+#[derive(Clone, Debug)]
+pub struct ProductionMatrices {
+    /// `i_mats[i]` = `I(k, i)`.
+    pub i_mats: Vec<BoolMat>,
+    /// `o_mats[i]` = `O(k, i)`.
+    pub o_mats: Vec<BoolMat>,
+    /// `z_mats[i][j]` = `Z(k, i, j)`; all-false when `i ≥ j`.
+    pub z_mats: Vec<Vec<BoolMat>>,
+}
+
+impl ProductionMatrices {
+    /// Total payload bits (for the Figure 19 space accounting).
+    pub fn payload_bits(&self) -> usize {
+        self.i_mats.iter().map(BoolMat::payload_bits).sum::<usize>()
+            + self.o_mats.iter().map(BoolMat::payload_bits).sum::<usize>()
+            + self
+                .z_mats
+                .iter()
+                .flat_map(|row| row.iter().map(BoolMat::payload_bits))
+                .sum::<usize>()
+    }
+}
+
+/// Computes the matrices of production `k` under `lambda` (λ\* — it must
+/// cover every module instantiated by the production's RHS).
+#[allow(clippy::needless_range_loop)]
+pub fn production_matrices(
+    grammar: &Grammar,
+    k: ProdId,
+    lambda: &DepAssignment,
+) -> ProductionMatrices {
+    let p = grammar.production(k);
+    let w = &p.rhs;
+    let pg = PortGraph::build(w, lambda);
+    let n = w.node_count();
+    let sig = |i: usize| grammar.sig(w.nodes()[i]);
+    let lhs_sig = grammar.sig(p.lhs);
+
+    let mut i_mats: Vec<BoolMat> =
+        (0..n).map(|i| BoolMat::zeros(lhs_sig.inputs(), sig(i).inputs())).collect();
+    let mut o_mats: Vec<BoolMat> =
+        (0..n).map(|i| BoolMat::zeros(lhs_sig.outputs(), sig(i).outputs())).collect();
+    let mut z_mats: Vec<Vec<BoolMat>> = (0..n)
+        .map(|i| (0..n).map(|j| BoolMat::zeros(sig(i).outputs(), sig(j).inputs())).collect())
+        .collect();
+
+    // One traversal per LHS input fills row x of every I(k, i).
+    for (x, &ip) in p.input_map.iter().enumerate() {
+        let reach = pg.reachable_from(pg.in_ix(ip));
+        for i in 0..n {
+            for y in 0..sig(i).inputs() {
+                let port = InPortRef { node: NodeIx(i as u32), port: y as u8 };
+                if reach.contains(pg.in_ix(port) as usize) {
+                    i_mats[i].set(x, y, true);
+                }
+            }
+        }
+    }
+
+    // One traversal per instance output fills O columns and Z rows.
+    for i in 0..n {
+        for y in 0..sig(i).outputs() {
+            let port = OutPortRef { node: NodeIx(i as u32), port: y as u8 };
+            let reach = pg.reachable_from(pg.out_ix(port));
+            for (x, &op) in p.output_map.iter().enumerate() {
+                if reach.contains(pg.out_ix(op) as usize) {
+                    o_mats[i].set(x, y, true);
+                }
+            }
+            for j in i + 1..n {
+                for z in 0..sig(j).inputs() {
+                    let jp = InPortRef { node: NodeIx(j as u32), port: z as u8 };
+                    if reach.contains(pg.in_ix(jp) as usize) {
+                        z_mats[i][j].set(y, z, true);
+                    }
+                }
+            }
+        }
+    }
+
+    ProductionMatrices { i_mats, o_mats, z_mats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::safety::full_assignment_default;
+    use wf_model::fixtures::paper_example;
+
+    /// Example 16's function shapes on the running example (values are
+    /// specific to this transcription's wiring; the *shapes* and the
+    /// trivially-checkable entries are asserted).
+    #[test]
+    fn running_example_matrices() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let lambda = full_assignment_default(&ex.spec).unwrap();
+        let m = production_matrices(g, ex.prods[0], &lambda);
+
+        // I(1,5) of the paper = i_mats[4] here (production p1, module c):
+        // rows = inputs of S (2), cols = inputs of c (3).
+        assert_eq!(m.i_mats[4].rows(), 2);
+        assert_eq!(m.i_mats[4].cols(), 3);
+        // S.in0 reaches c.in0 (through A); S.in1 does not reach c.in0.
+        assert!(m.i_mats[4].get(0, 0));
+        assert!(!m.i_mats[4].get(1, 0));
+
+        // O(1,2) = o_mats[1] (module b): rows = outputs of S (3), cols = 2.
+        assert_eq!(m.o_mats[1].rows(), 3);
+        assert_eq!(m.o_mats[1].cols(), 2);
+        // S's first output (c.out1) is reachable from both b outputs; the d
+        // outputs are not.
+        assert!(m.o_mats[1].get(0, 0));
+        assert!(m.o_mats[1].get(0, 1));
+        assert!(!m.o_mats[1].get(1, 0));
+        assert!(!m.o_mats[1].get(2, 1));
+
+        // Z(1,2,5) = z_mats[1][4] (b -> c): 2x3; b reaches c's inputs 1 and
+        // 2 through C, but not c.in0 (fed only by A).
+        assert_eq!(m.z_mats[1][4].rows(), 2);
+        assert_eq!(m.z_mats[1][4].cols(), 3);
+        assert!(!m.z_mats[1][4].get(0, 0));
+        assert!(m.z_mats[1][4].get(0, 1));
+        assert!(m.z_mats[1][4].get(0, 2));
+
+        // Z is empty for i >= j.
+        assert!(m.z_mats[4][1].is_empty());
+        assert!(m.z_mats[2][2].is_empty());
+    }
+
+    /// Identity sanity: I(k, i) for a node whose inputs *are* initial inputs
+    /// contains the identity-like mapping.
+    #[test]
+    fn initial_input_positions_are_reflexively_reachable() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let lambda = full_assignment_default(&ex.spec).unwrap();
+        // p3 = A -> (e, C): A.in0 ↦ e.in0, A.in1 ↦ C.in1.
+        let m = production_matrices(g, ex.prods[2], &lambda);
+        assert!(m.i_mats[0].get(0, 0)); // A.in0 reaches e.in0 (it *is* it)
+        assert!(m.i_mats[1].get(1, 1)); // A.in1 reaches C.in1
+        assert!(!m.i_mats[0].get(1, 0)); // A.in1 does not reach e.in0
+    }
+
+    /// The composed matrices agree with λ*: multiplying I up to a node and
+    /// its λ* and O back down can never produce a dependency λ*(M) lacks.
+    #[test]
+    fn ioz_consistent_with_full_assignment() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let lambda = full_assignment_default(&ex.spec).unwrap();
+        for (k, p) in g.productions() {
+            let m = production_matrices(g, k, &lambda);
+            let lhs = lambda.get(p.lhs).unwrap();
+            for (i, &child) in p.rhs.nodes().iter().enumerate() {
+                let child_mat = lambda.get(child).unwrap();
+                // I(k,i) ; λ*(child) ; O(k,i)ᵀ ⊆ λ*(lhs)
+                let through = m.i_mats[i].matmul(child_mat).matmul(&m.o_mats[i].transpose());
+                assert!(
+                    through.is_subset_of(lhs),
+                    "production {k}: path through child {i} exceeds λ*"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// On-demand single matrices (Space-Efficient FVL computes these by graph
+// search at query time instead of materializing them, §4.3) and the
+// structural instance-level closure used by Matrix-Free FVL / DRL (§6.4).
+// ---------------------------------------------------------------------
+
+/// Computes `I(k, i)` alone.
+pub fn i_matrix(grammar: &Grammar, k: ProdId, i: usize, lambda: &DepAssignment) -> BoolMat {
+    let p = grammar.production(k);
+    let pg = PortGraph::build(&p.rhs, lambda);
+    let lhs_sig = grammar.sig(p.lhs);
+    let child_sig = grammar.sig(p.rhs.nodes()[i]);
+    let mut mat = BoolMat::zeros(lhs_sig.inputs(), child_sig.inputs());
+    for (x, &ip) in p.input_map.iter().enumerate() {
+        let reach = pg.reachable_from(pg.in_ix(ip));
+        for y in 0..child_sig.inputs() {
+            let port = InPortRef { node: NodeIx(i as u32), port: y as u8 };
+            if reach.contains(pg.in_ix(port) as usize) {
+                mat.set(x, y, true);
+            }
+        }
+    }
+    mat
+}
+
+/// Computes `O(k, i)` alone (reversed orientation, see module docs).
+pub fn o_matrix(grammar: &Grammar, k: ProdId, i: usize, lambda: &DepAssignment) -> BoolMat {
+    let p = grammar.production(k);
+    let pg = PortGraph::build(&p.rhs, lambda);
+    let lhs_sig = grammar.sig(p.lhs);
+    let child_sig = grammar.sig(p.rhs.nodes()[i]);
+    let mut mat = BoolMat::zeros(lhs_sig.outputs(), child_sig.outputs());
+    for y in 0..child_sig.outputs() {
+        let port = OutPortRef { node: NodeIx(i as u32), port: y as u8 };
+        let reach = pg.reachable_from(pg.out_ix(port));
+        for (x, &op) in p.output_map.iter().enumerate() {
+            if reach.contains(pg.out_ix(op) as usize) {
+                mat.set(x, y, true);
+            }
+        }
+    }
+    mat
+}
+
+/// Computes `Z(k, i, j)` alone.
+pub fn z_matrix(grammar: &Grammar, k: ProdId, i: usize, j: usize, lambda: &DepAssignment) -> BoolMat {
+    let p = grammar.production(k);
+    let pg = PortGraph::build(&p.rhs, lambda);
+    let si = grammar.sig(p.rhs.nodes()[i]);
+    let sj = grammar.sig(p.rhs.nodes()[j]);
+    let mut mat = BoolMat::zeros(si.outputs(), sj.inputs());
+    if i >= j {
+        return mat; // topological order: always empty
+    }
+    for y in 0..si.outputs() {
+        let port = OutPortRef { node: NodeIx(i as u32), port: y as u8 };
+        let reach = pg.reachable_from(pg.out_ix(port));
+        for z in 0..sj.inputs() {
+            let jp = InPortRef { node: NodeIx(j as u32), port: z as u8 };
+            if reach.contains(pg.in_ix(jp) as usize) {
+                mat.set(y, z, true);
+            }
+        }
+    }
+    mat
+}
+
+/// Reflexive-transitive *instance-level* closure of a production's RHS:
+/// `closure[i][j]` iff node `j` is reachable from node `i` through data
+/// edges. Depends only on the grammar (not on any λ); this is the entire
+/// "index" the black-box structural decode needs.
+pub fn rhs_closure(grammar: &Grammar, k: ProdId) -> BoolMat {
+    let w = &grammar.production(k).rhs;
+    let n = w.node_count();
+    let mut mat = BoolMat::identity(n);
+    // Nodes are listed topologically: processing sources of edges in
+    // reverse topological order, one sweep computes the closure.
+    for i in (0..n).rev() {
+        let mut acc = mat.row_bits(i);
+        for e in w.edges() {
+            if e.from.node.index() == i {
+                acc |= mat.row_bits(e.to.node.index());
+            }
+        }
+        mat.set_row_bits(i, acc);
+    }
+    mat
+}

@@ -1,0 +1,255 @@
+//! Recursion classification (Definitions 14 and 16, Lemma 3, Theorem 7).
+
+use crate::prodgraph::ProdGraph;
+use wf_model::Grammar;
+
+/// Where a grammar sits in the paper's recursion hierarchy.
+///
+/// `NonRecursive ⊂ StrictlyLinear ⊂ Linear ⊂ all grammars`; compact dynamic
+/// labeling of fine-grained workflows is feasible exactly up to
+/// `StrictlyLinear` (Theorems 6 and 8), while black-box workflows admit it
+/// up to `Linear` (Theorem 4, from [5]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecursionClass {
+    /// The production graph is acyclic: runs have bounded depth.
+    NonRecursive,
+    /// Recursive, and all production-graph cycles are vertex-disjoint
+    /// (Definition 16).
+    StrictlyLinear,
+    /// Linear-recursive (Definition 14) but with overlapping cycles —
+    /// Figure 10's class, where fine-grained labels must be linear-size.
+    Linear,
+    /// Some derivation duplicates a composite module (e.g. binary
+    /// recursion); even black-box labels must be linear-size (Theorem 3).
+    NonLinear,
+}
+
+impl RecursionClass {
+    pub fn is_linear(self) -> bool {
+        !matches!(self, RecursionClass::NonLinear)
+    }
+
+    pub fn is_strictly_linear(self) -> bool {
+        matches!(self, RecursionClass::NonRecursive | RecursionClass::StrictlyLinear)
+    }
+}
+
+/// Lemma 3: `G` is linear-recursive iff for every production `M → W`, `M` is
+/// reachable in `P(G)` from at most one module instance of `W` (counting
+/// multiplicity).
+pub fn is_linear_recursive(grammar: &Grammar, pg: &ProdGraph) -> bool {
+    for (_, p) in grammar.productions() {
+        let mut count = 0;
+        for &child in p.rhs.nodes() {
+            if pg.reaches(child, p.lhs) {
+                count += 1;
+                if count >= 2 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Definition 16 via the vertex-disjoint-cycle analysis of the production
+/// graph (equivalent to, and cross-validated against, Theorem 7's
+/// BFS-with-edge-removal procedure).
+pub fn is_strictly_linear_recursive(pg: &ProdGraph) -> bool {
+    pg.cycles().is_ok()
+}
+
+/// Full classification of a grammar.
+pub fn classify(grammar: &Grammar) -> RecursionClass {
+    let pg = ProdGraph::new(grammar);
+    classify_with(grammar, &pg)
+}
+
+/// Classification reusing an existing production graph.
+pub fn classify_with(grammar: &Grammar, pg: &ProdGraph) -> RecursionClass {
+    if is_strictly_linear_recursive(pg) {
+        if pg.cycle_count() == 0 {
+            RecursionClass::NonRecursive
+        } else {
+            RecursionClass::StrictlyLinear
+        }
+    } else if is_linear_recursive(grammar, pg) {
+        RecursionClass::Linear
+    } else {
+        RecursionClass::NonLinear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::fixtures::{nonstrict_example, paper_example};
+    use wf_model::GrammarBuilder;
+
+    #[test]
+    fn paper_example_is_strictly_linear() {
+        let ex = paper_example();
+        let pg = ProdGraph::new(&ex.spec.grammar);
+        assert!(is_linear_recursive(&ex.spec.grammar, &pg));
+        assert!(is_strictly_linear_recursive(&pg));
+        assert_eq!(classify(&ex.spec.grammar), RecursionClass::StrictlyLinear);
+        assert!(classify(&ex.spec.grammar).is_strictly_linear());
+    }
+
+    /// Figure 10 / Example 11: linear but not strictly linear (two
+    /// self-loops share S).
+    #[test]
+    fn figure10_is_linear_not_strict() {
+        let spec = nonstrict_example();
+        let pg = ProdGraph::new(&spec.grammar);
+        assert!(is_linear_recursive(&spec.grammar, &pg));
+        assert!(!is_strictly_linear_recursive(&pg));
+        assert_eq!(classify(&spec.grammar), RecursionClass::Linear);
+        assert!(classify(&spec.grammar).is_linear());
+        assert!(!classify(&spec.grammar).is_strictly_linear());
+    }
+
+    /// Binary recursion S -> (split, S, S, merge) is not linear-recursive.
+    #[test]
+    fn binary_recursion_is_nonlinear() {
+        let mut b = GrammarBuilder::new();
+        let s = b.composite("S", 1, 1);
+        let split = b.atomic("split", 1, 2);
+        let merge = b.atomic("merge", 2, 1);
+        let a = b.atomic("a", 1, 1);
+        b.start(s);
+        b.production(
+            s,
+            vec![split, s, s, merge],
+            vec![
+                ((0, 0), (1, 0)),
+                ((0, 1), (2, 0)),
+                ((1, 0), (3, 0)),
+                ((2, 0), (3, 1)),
+            ],
+        );
+        b.production(s, vec![a], vec![]);
+        let g = b.finish().unwrap();
+        g.check_proper(&g.full_expand()).unwrap();
+        assert_eq!(classify(&g), RecursionClass::NonLinear);
+        assert!(!classify(&g).is_linear());
+    }
+
+    /// Indirect duplication: S -> (A → A) chain where A ⇒ S again. Both A
+    /// instances of S's production reach S in P(G), so Lemma 3 fails.
+    #[test]
+    fn indirect_duplication_is_nonlinear() {
+        let mut b = GrammarBuilder::new();
+        let s = b.composite("S", 1, 1);
+        let a_mod = b.composite("A", 1, 1);
+        let y = b.atomic("y", 1, 1);
+        b.start(s);
+        b.production(s, vec![a_mod, a_mod], vec![((0, 0), (1, 0))]);
+        b.production(a_mod, vec![s], vec![]); // unit production, not a cycle
+        b.production(a_mod, vec![y], vec![]);
+        let g = b.finish().unwrap();
+        g.check_proper(&g.full_expand()).unwrap();
+        let pg = ProdGraph::new(&g);
+        assert!(!is_linear_recursive(&g, &pg));
+        assert_eq!(classify(&g), RecursionClass::NonLinear);
+    }
+
+    #[test]
+    fn acyclic_grammar_is_nonrecursive() {
+        let mut b = GrammarBuilder::new();
+        let s = b.composite("S", 1, 1);
+        let a = b.atomic("a", 1, 1);
+        b.start(s);
+        b.production(s, vec![a], vec![]);
+        let g = b.finish().unwrap();
+        assert_eq!(classify(&g), RecursionClass::NonRecursive);
+        assert!(classify(&g).is_strictly_linear());
+        assert!(classify(&g).is_linear());
+    }
+
+    /// Cross-validate the SCC-based strictness test against brute-force
+    /// simple-cycle enumeration on small random multigraphs.
+    #[test]
+    fn strictness_matches_bruteforce_on_random_graphs() {
+        use wf_digraph::{DiGraph, NodeId};
+
+        // Brute force: enumerate all simple cycles via DFS, check pairwise
+        // vertex-disjointness.
+        fn brute_force_disjoint(g: &DiGraph) -> bool {
+            let n = g.node_count();
+            let mut cycles: Vec<Vec<u32>> = Vec::new();
+            // Enumerate simple cycles rooted at their minimum vertex.
+            fn dfs(
+                g: &DiGraph,
+                root: u32,
+                v: u32,
+                path: &mut Vec<u32>,
+                on_path: &mut Vec<bool>,
+                cycles: &mut Vec<Vec<u32>>,
+            ) {
+                for &(_, w) in g.out_edges(NodeId(v)) {
+                    let w = w.0;
+                    if w == root {
+                        cycles.push(path.clone());
+                    } else if w > root && !on_path[w as usize] {
+                        on_path[w as usize] = true;
+                        path.push(w);
+                        dfs(g, root, w, path, on_path, cycles);
+                        path.pop();
+                        on_path[w as usize] = false;
+                    }
+                }
+            }
+            for root in 0..n as u32 {
+                let mut on_path = vec![false; n];
+                on_path[root as usize] = true;
+                let mut path = vec![root];
+                dfs(g, root, root, &mut path, &mut on_path, &mut cycles);
+            }
+            // Count multiplicity: parallel edges produce identical vertex
+            // sequences but distinct cycles; handle by also checking edge
+            // multiplicity per consecutive pair.
+            for i in 0..cycles.len() {
+                for j in i + 1..cycles.len() {
+                    let (a, b) = (&cycles[i], &cycles[j]);
+                    if a.iter().any(|v| b.contains(v)) {
+                        return false;
+                    }
+                }
+            }
+            // Parallel-edge double cycles: for each consecutive pair in a
+            // cycle, multiple parallel edges mean multiple cycles on the
+            // same vertices.
+            for c in &cycles {
+                for (ix, &v) in c.iter().enumerate() {
+                    let w = c[(ix + 1) % c.len()];
+                    let mult =
+                        g.out_edges(NodeId(v)).iter().filter(|&&(_, t)| t.0 == w).count();
+                    if mult > 1 {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+
+        let mut seed = 0xDEADBEEFu64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for _trial in 0..300 {
+            let n = 2 + (rng() % 5) as usize;
+            let e = (rng() % 8) as usize;
+            let mut g = DiGraph::with_nodes(n);
+            for _ in 0..e {
+                let u = NodeId(rng() % n as u32);
+                let v = NodeId(rng() % n as u32);
+                g.add_edge(u, v);
+            }
+            let fast = wf_digraph::vertex_disjoint_cycles(&g).is_ok();
+            let slow = brute_force_disjoint(&g);
+            assert_eq!(fast, slow, "disagreement on {g:?}");
+        }
+    }
+}

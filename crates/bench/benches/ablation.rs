@@ -1,0 +1,71 @@
+//! Ablations called out in DESIGN.md: prefix factoring of data labels, and
+//! the recursion-chain evaluation strategies (power cache vs divide &
+//! conquer vs naive products).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wf_bench::Bench;
+use wf_boolmat::{pow, BoolMat, PowerCache};
+use wf_core::Fvl;
+
+fn bench_prefix_factoring(c: &mut Criterion) {
+    let bench = Bench::fine(1);
+    let fvl = Fvl::new(&bench.workload.spec).unwrap();
+    let run = bench.run_of(42, 8_000);
+    let labeler = fvl.labeler(&run);
+    let labels = labeler.labels();
+    // Space ablation, reported once as bench metadata.
+    let factored: usize = labels.iter().map(|l| fvl.codec().encoded_bits(l)).sum();
+    let plain: usize = labels.iter().map(|l| fvl.codec().encoded_bits_unfactored(l)).sum();
+    eprintln!(
+        "prefix factoring: {:.1} vs {:.1} avg bits/item ({:.0}% saved)",
+        factored as f64 / labels.len() as f64,
+        plain as f64 / labels.len() as f64,
+        100.0 * (1.0 - factored as f64 / plain as f64)
+    );
+    let mut g = c.benchmark_group("encoding");
+    let mut i = 0usize;
+    g.bench_function("factored", |b| {
+        b.iter(|| {
+            i += 1;
+            fvl.codec().encoded_bits(&labels[i % labels.len()])
+        })
+    });
+    let mut i = 0usize;
+    g.bench_function("unfactored", |b| {
+        b.iter(|| {
+            i += 1;
+            fvl.codec().encoded_bits_unfactored(&labels[i % labels.len()])
+        })
+    });
+    g.finish();
+}
+
+fn bench_chain_strategies(c: &mut Criterion) {
+    // A representative 6x6 reachability step matrix.
+    let x = BoolMat::from_pairs(
+        6,
+        6,
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 1), (2, 4)],
+    );
+    let cache = PowerCache::new(x.clone());
+    let mut g = c.benchmark_group("chain_power");
+    for e in [16u64, 1024, 1 << 20] {
+        g.bench_function(format!("cache/{e}"), |b| b.iter(|| cache.power(e).clone()));
+        g.bench_function(format!("divide_conquer/{e}"), |b| b.iter(|| pow(&x, e)));
+        if e <= 1024 {
+            g.bench_function(format!("naive/{e}"), |b| {
+                b.iter(|| {
+                    let mut acc = BoolMat::identity(6);
+                    for _ in 0..e {
+                        acc = acc.matmul(&x);
+                    }
+                    acc
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_prefix_factoring, bench_chain_strategies);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion micro-bench: dynamic label construction (Figures 17/18's time
+//! axis). FVL labels once per run; DRL once per (run, view).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wf_bench::Bench;
+use wf_core::Fvl;
+use wf_drl::Drl;
+
+fn bench_construction(c: &mut Criterion) {
+    let bench = Bench::coarse(1);
+    let fvl = Fvl::new(&bench.workload.spec).unwrap();
+    let view = bench.workload.spec.default_view();
+    let drl = Drl::new(&bench.workload.spec, &view).unwrap();
+    let mut g = c.benchmark_group("label_construction");
+    g.sample_size(10);
+    for n in [1_000usize, 8_000] {
+        let run = bench.run_of(42, n);
+        g.bench_with_input(BenchmarkId::new("fvl", n), &run, |b, run| {
+            b.iter(|| fvl.labeler(run))
+        });
+        g.bench_with_input(BenchmarkId::new("drl", n), &run, |b, run| {
+            b.iter(|| drl.label_run(run))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

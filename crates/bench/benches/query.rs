@@ -1,0 +1,65 @@
+//! Criterion micro-bench: the constant-time query path (Figures 20/23).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wf_bench::Bench;
+use wf_core::{Fvl, VariantKind};
+use wf_drl::Drl;
+
+fn bench_query(c: &mut Criterion) {
+    let bench = Bench::fine(1);
+    let fvl = Fvl::new(&bench.workload.spec).unwrap();
+    let run = bench.run_of(42, 8_000);
+    let labeler = fvl.labeler(&run);
+    let labels = labeler.labels();
+    let view = bench.safe_view(7, 8);
+    let pairs = bench.queries(&run, 9, 4096);
+
+    let mut g = c.benchmark_group("query");
+    for kind in [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient] {
+        let vl = fvl.label_view(&view, kind).unwrap();
+        let mut i = 0usize;
+        g.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| {
+                let (a, d) = pairs[i % pairs.len()];
+                i += 1;
+                fvl.query_unchecked(&vl, &labels[a.0 as usize], &labels[d.0 as usize])
+            })
+        });
+    }
+    // Coarse comparison: matrix-free and DRL.
+    let coarse = Bench::coarse(1);
+    let cfvl = Fvl::new(&coarse.workload.spec).unwrap();
+    let crun = coarse.run_of(42, 8_000);
+    let clab = cfvl.labeler(&crun);
+    let cview = coarse.black_view(7, 8);
+    let idx = cfvl.structural_index(&cview);
+    let drl = Drl::new(&coarse.workload.spec, &cview).unwrap();
+    let dl = drl.label_run(&crun);
+    // Pair up visible items directly (a sampled filter can come up empty
+    // for restrictive views).
+    let visible: Vec<_> = dl.iter().map(|(d, _)| d).collect();
+    assert!(visible.len() >= 2, "black-box view keeps boundary items visible");
+    let cpairs: Vec<_> = (0..4096)
+        .map(|i| (visible[(i * 7919) % visible.len()], visible[(i * 104729) % visible.len()]))
+        .collect();
+    let mut i = 0usize;
+    g.bench_function("MatrixFreeFvl", |b| {
+        b.iter(|| {
+            let (a, d) = cpairs[i % cpairs.len()];
+            i += 1;
+            cfvl.query_structural(&idx, clab.label(a), clab.label(d))
+        })
+    });
+    let mut i = 0usize;
+    g.bench_function("Drl", |b| {
+        b.iter(|| {
+            let (a, d) = cpairs[i % cpairs.len()];
+            i += 1;
+            drl.query(dl.label(a).unwrap(), dl.label(d).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,400 @@
+//! Reproduces every table and figure of the paper's evaluation (§6).
+//!
+//! Usage: `experiments [fig17|fig18|fig19|fig20|fig21|fig22|fig23|fig24|fig25|tab1|all]`
+//!
+//! Each figure prints the same series the paper plots; absolute numbers
+//! differ from the 2012 Java/PC setup (see DESIGN.md S4) but the *shapes*
+//! — growth curves, orderings, crossovers — are the reproduction targets
+//! recorded in EXPERIMENTS.md.
+
+use wf_bench::{label_bits_stats, ms, query_ns, Bench};
+use wf_core::{Fvl, VariantKind};
+use wf_drl::Drl;
+use wf_model::ViewSpec;
+use wf_workloads::{synthetic, SynthParams};
+
+const RUN_SIZES: [usize; 6] = [1_000, 2_000, 4_000, 8_000, 16_000, 32_000];
+const RUNS_PER_POINT: usize = 5;
+const QUERIES: usize = 100_000;
+const QUERIES_SLOW: usize = 5_000;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match arg.as_str() {
+        "fig17" => fig17(),
+        "fig18" => fig18(),
+        "fig19" => fig19(),
+        "fig20" => fig20(),
+        "fig21" => fig21(),
+        "fig22" => fig22(),
+        "fig23" => fig23(),
+        "fig24" => fig24(),
+        "fig25" => fig25(),
+        "tab1" => tab1(),
+        "ablation" => ablation_tree(),
+        "all" => {
+            fig17();
+            fig18();
+            fig19();
+            fig20();
+            fig21();
+            fig22();
+            fig23();
+            fig24();
+            fig25();
+            tab1();
+            ablation_tree();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Figure 17: data label length (avg & max, bits) vs run size, FVL vs DRL.
+/// Both schemes label the default view of the coarse BioAID-like workload
+/// (DRL is black-box-only); FVL's data labels are structure-only, so the
+/// fine-grained variant yields identical sizes.
+fn fig17() {
+    println!("\n== Figure 17: data label length (bits) vs run size ==");
+    println!("{:>8} {:>9} {:>9} {:>9} {:>9}", "items", "FVL-avg", "FVL-max", "DRL-avg", "DRL-max");
+    let bench = Bench::coarse(1);
+    let fvl = Fvl::new(&bench.workload.spec).unwrap();
+    let view = bench.workload.spec.default_view();
+    let drl = Drl::new(&bench.workload.spec, &view).unwrap();
+    for &n in &RUN_SIZES {
+        let (mut fa, mut fm, mut da, mut dm) = (0.0, 0usize, 0.0, 0usize);
+        for r in 0..RUNS_PER_POINT {
+            let run = bench.run_of(100 + r as u64, n);
+            let labeler = fvl.labeler(&run);
+            let (avg, max) = label_bits_stats(&fvl, labeler.labels());
+            fa += avg;
+            fm = fm.max(max);
+            let dl = drl.label_run(&run);
+            let (mut tot, mut cnt, mut mx) = (0usize, 0usize, 0usize);
+            for (_, l) in dl.iter() {
+                let b = drl.label_bits(l);
+                tot += b;
+                cnt += 1;
+                mx = mx.max(b);
+            }
+            da += tot as f64 / cnt as f64;
+            dm = dm.max(mx);
+        }
+        let k = RUNS_PER_POINT as f64;
+        println!("{:>8} {:>9.1} {:>9} {:>9.1} {:>9}", n, fa / k, fm, da / k, dm);
+    }
+}
+
+/// Figure 18: total data-label construction time (ms) vs run size.
+fn fig18() {
+    println!("\n== Figure 18: data label construction time (ms) vs run size ==");
+    println!("{:>8} {:>10} {:>10}", "items", "FVL", "DRL");
+    let bench = Bench::coarse(1);
+    let fvl = Fvl::new(&bench.workload.spec).unwrap();
+    let view = bench.workload.spec.default_view();
+    let drl = Drl::new(&bench.workload.spec, &view).unwrap();
+    for &n in &RUN_SIZES {
+        let (mut tf, mut td) = (0.0, 0.0);
+        for r in 0..RUNS_PER_POINT {
+            let run = bench.run_of(200 + r as u64, n);
+            tf += ms(|| {
+                std::hint::black_box(fvl.labeler(&run));
+            });
+            td += ms(|| {
+                std::hint::black_box(drl.label_run(&run));
+            });
+        }
+        let k = RUNS_PER_POINT as f64;
+        println!("{:>8} {:>10.3} {:>10.3}", n, tf / k, td / k);
+    }
+}
+
+/// Figure 19: view label length (KB) for small/medium/large views under the
+/// three FVL variants.
+fn fig19() {
+    println!("\n== Figure 19: view label length (KB) ==");
+    println!("{:>8} {:>6} {:>14} {:>10} {:>15}", "view", "|Δ'|", "SpaceEfficient", "Default", "QueryEfficient");
+    let bench = Bench::fine(1);
+    let fvl = Fvl::new(&bench.workload.spec).unwrap();
+    for (name, size, seed) in [("small", 2usize, 51u64), ("medium", 8, 52), ("large", 16, 53)] {
+        let view = bench.safe_view(seed, size);
+        let mut row = Vec::new();
+        for kind in [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient] {
+            let vl = fvl.label_view(&view, kind).unwrap();
+            row.push(vl.size_bits() as f64 / 8.0 / 1024.0);
+        }
+        println!(
+            "{:>8} {:>6} {:>14.4} {:>10.4} {:>15.4}",
+            name, view.size(), row[0], row[1], row[2]
+        );
+    }
+}
+
+/// Figure 20: query time (ns) vs run size for the three FVL variants;
+/// queries mix the three views of Figure 19.
+fn fig20() {
+    println!("\n== Figure 20: query time (ns) vs run size ==");
+    println!("{:>8} {:>14} {:>10} {:>15}", "items", "SpaceEfficient", "Default", "QueryEfficient");
+    let bench = Bench::fine(1);
+    let fvl = Fvl::new(&bench.workload.spec).unwrap();
+    let views: Vec<_> = [(2usize, 51u64), (8, 52), (16, 53)]
+        .iter()
+        .map(|&(s, seed)| bench.safe_view(seed, s))
+        .collect();
+    for &n in &RUN_SIZES {
+        let run = bench.run_of(300, n);
+        let labeler = fvl.labeler(&run);
+        let labels = labeler.labels();
+        let mut row = Vec::new();
+        for kind in [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient] {
+            let vls: Vec<_> = views.iter().map(|v| fvl.label_view(v, kind).unwrap()).collect();
+            let q = if kind == VariantKind::SpaceEfficient { QUERIES_SLOW } else { QUERIES };
+            let pairs = bench.queries(&run, 400, q);
+            // Round-robin across the three views, like the paper's random
+            // view selection.
+            let t = wf_bench::ns_per(pairs.len(), |i| {
+                let (a, b) = pairs[i];
+                let vl = &vls[i % 3];
+                fvl.query_unchecked(vl, &labels[a.0 as usize], &labels[b.0 as usize])
+            });
+            row.push(t);
+        }
+        println!("{:>8} {:>14.0} {:>10.0} {:>15.0}", n, row[0], row[1], row[2]);
+    }
+}
+
+/// Figures 21: total data-label bits per item vs number of views (1..10).
+/// FVL is view-adaptive (flat); DRL re-labels per view (linear).
+fn fig21() {
+    println!("\n== Figure 21: total label bits per item vs #views (8K runs) ==");
+    println!("{:>7} {:>9} {:>9}", "views", "FVL", "DRL");
+    let bench = Bench::coarse(1);
+    let fvl = Fvl::new(&bench.workload.spec).unwrap();
+    let run = bench.run_of(500, 8_000);
+    let labeler = fvl.labeler(&run);
+    let (fvl_avg, _) = label_bits_stats(&fvl, labeler.labels());
+    let views: Vec<_> = (0..10).map(|i| bench.black_view(600 + i, 8)).collect();
+    let mut drl_total = 0.0;
+    for (i, view) in views.iter().enumerate() {
+        let drl = Drl::new(&bench.workload.spec, view).unwrap();
+        let dl = drl.label_run(&run);
+        let (mut tot, mut cnt) = (0usize, 0usize);
+        for (_, l) in dl.iter() {
+            tot += drl.label_bits(l);
+            cnt += 1;
+        }
+        drl_total += tot as f64 / cnt as f64;
+        println!("{:>7} {:>9.1} {:>9.1}", i + 1, fvl_avg, drl_total);
+    }
+}
+
+/// Figure 22: total label construction time vs number of views.
+fn fig22() {
+    println!("\n== Figure 22: total label construction time (ms) vs #views (8K runs) ==");
+    println!("{:>7} {:>9} {:>9}", "views", "FVL", "DRL");
+    let bench = Bench::coarse(1);
+    let fvl = Fvl::new(&bench.workload.spec).unwrap();
+    let run = bench.run_of(500, 8_000);
+    let fvl_time = ms(|| {
+        std::hint::black_box(fvl.labeler(&run));
+    });
+    let views: Vec<_> = (0..10).map(|i| bench.black_view(600 + i, 8)).collect();
+    let mut drl_total = 0.0;
+    for (i, view) in views.iter().enumerate() {
+        let drl = Drl::new(&bench.workload.spec, view).unwrap();
+        drl_total += ms(|| {
+            std::hint::black_box(drl.label_run(&run));
+        });
+        println!("{:>7} {:>9.3} {:>9.3}", i + 1, fvl_time, drl_total);
+    }
+}
+
+/// Figure 23: query time over three coarse-grained views: FVL,
+/// Matrix-Free FVL, DRL.
+fn fig23() {
+    println!("\n== Figure 23: query time (ns) on coarse views ==");
+    println!("{:>8} {:>6} {:>9} {:>12} {:>9}", "view", "|Δ'|", "FVL", "MatrixFree", "DRL");
+    let bench = Bench::coarse(1);
+    let fvl = Fvl::new(&bench.workload.spec).unwrap();
+    let run = bench.run_of(700, 8_000);
+    let labeler = fvl.labeler(&run);
+    let labels = labeler.labels();
+    for (name, size, seed) in [("small", 3usize, 71u64), ("medium", 8, 72), ("large", 14, 73)] {
+        let view = bench.black_view(seed, size);
+        let vl = fvl.label_view(&view, VariantKind::QueryEfficient).unwrap();
+        let idx = fvl.structural_index(&view);
+        let drl = Drl::new(&bench.workload.spec, &view).unwrap();
+        let dl = drl.label_run(&run);
+        // Restrict to view-visible pairs so all three answer.
+        let pairs: Vec<_> = bench
+            .queries(&run, 800, QUERIES * 2)
+            .into_iter()
+            .filter(|&(a, b)| dl.label(a).is_some() && dl.label(b).is_some())
+            .take(QUERIES)
+            .collect();
+        let t_full = query_ns(&fvl, &vl, labels, &pairs);
+        let t_mf = wf_bench::ns_per(pairs.len(), |i| {
+            let (a, b) = pairs[i];
+            fvl.query_structural(&idx, &labels[a.0 as usize], &labels[b.0 as usize])
+        });
+        let t_drl = wf_bench::ns_per(pairs.len(), |i| {
+            let (a, b) = pairs[i];
+            drl.query(dl.label(a).unwrap(), dl.label(b).unwrap())
+        });
+        println!("{:>8} {:>6} {:>9.0} {:>12.0} {:>9.0}", name, view.size(), t_full, t_mf, t_drl);
+    }
+}
+
+fn synth(depth: usize, degree: u8, size: usize, rec: usize) -> SynthParams {
+    SynthParams {
+        workflow_size: size,
+        module_degree: degree,
+        nesting_depth: depth,
+        recursion_length: rec,
+        coarse: false,
+        seed: 0xFACE,
+    }
+}
+
+/// Figure 24: average data label bits vs nesting depth (synthetic family).
+fn fig24() {
+    println!("\n== Figure 24: data label length (bits) vs nesting depth (8K runs) ==");
+    println!("{:>7} {:>9} {:>9}", "depth", "avg", "max");
+    for depth in [2usize, 4, 6, 8, 10] {
+        let w = synthetic(&synth(depth, 4, 10, 2));
+        let pg = wf_analysis::ProdGraph::new(&w.spec.grammar);
+        let fvl = Fvl::new(&w.spec).unwrap();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+        let (_, run) = wf_workloads::sample::sample_run(&w, &pg, &mut rng, 8_000);
+        let labeler = fvl.labeler(&run);
+        let (avg, max) = label_bits_stats(&fvl, labeler.labels());
+        println!("{:>7} {:>9.1} {:>9}", depth, avg, max);
+    }
+}
+
+/// Figure 25: query time vs module degree (synthetic family).
+fn fig25() {
+    println!("\n== Figure 25: query time (ns) vs module degree (8K runs) ==");
+    println!("{:>7} {:>9}", "degree", "QE-FVL");
+    for degree in [2u8, 4, 6, 8, 10] {
+        let w = synthetic(&synth(4, degree, 10, 2));
+        let pg = wf_analysis::ProdGraph::new(&w.spec.grammar);
+        let fvl = Fvl::new(&w.spec).unwrap();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(13);
+        let (_, run) = wf_workloads::sample::sample_run(&w, &pg, &mut rng, 8_000);
+        let labeler = fvl.labeler(&run);
+        let view = {
+            let mut vr = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(14);
+            wf_workloads::views::random_safe_view(&w, &mut vr, 4)
+        };
+        let vl = fvl.label_view(&view, VariantKind::QueryEfficient).unwrap();
+        let pairs = {
+            let mut qr = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(15);
+            wf_workloads::sample::sample_query_pairs(&run, &mut qr, QUERIES)
+        };
+        let t = query_ns(&fvl, &vl, labeler.labels(), &pairs);
+        println!("{:>7} {:>9.0}", degree, t);
+    }
+}
+
+/// Table 1: impact of the four synthetic parameters on five metrics.
+fn tab1() {
+    println!("\n== Table 1: parameter impact on view-adaptive labeling ==");
+    println!(
+        "{:>16} {:>6} | {:>9} {:>10} {:>10} {:>10} {:>9}",
+        "parameter", "value", "lbl bits", "lbl ms", "view KB", "view ms", "query ns"
+    );
+    let sweeps: [(&str, Vec<SynthParams>); 4] = [
+        ("workflow size", vec![synth(4, 4, 10, 2), synth(4, 4, 25, 2), synth(4, 4, 40, 2)]),
+        ("module degree", vec![synth(4, 2, 10, 2), synth(4, 6, 10, 2), synth(4, 10, 10, 2)]),
+        ("nesting depth", vec![synth(2, 4, 10, 2), synth(6, 4, 10, 2), synth(10, 4, 10, 2)]),
+        ("recursion len", vec![synth(4, 4, 10, 1), synth(4, 4, 10, 3), synth(4, 4, 10, 5)]),
+    ];
+    for (name, params) in sweeps {
+        for sp in params {
+            let w = synthetic(&sp);
+            let pg = wf_analysis::ProdGraph::new(&w.spec.grammar);
+            let fvl = Fvl::new(&w.spec).unwrap();
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(21);
+            let (_, run) = wf_workloads::sample::sample_run(&w, &pg, &mut rng, 8_000);
+            let lbl_ms = ms(|| {
+                std::hint::black_box(fvl.labeler(&run));
+            });
+            let labeler = fvl.labeler(&run);
+            let (bits, _) = label_bits_stats(&fvl, labeler.labels());
+            let view = w.spec.default_view();
+            let mut vl_opt = None;
+            let view_ms = ms(|| {
+                vl_opt = Some(fvl.label_view(&view, VariantKind::QueryEfficient).unwrap());
+            });
+            let vl = vl_opt.unwrap();
+            let view_kb = vl.size_bits() as f64 / 8.0 / 1024.0;
+            let pairs = {
+                let mut qr = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(22);
+                wf_workloads::sample::sample_query_pairs(&run, &mut qr, 20_000)
+            };
+            let q = query_ns(&fvl, &vl, labeler.labels(), &pairs);
+            let value = match name {
+                "workflow size" => sp.workflow_size,
+                "module degree" => sp.module_degree as usize,
+                "nesting depth" => sp.nesting_depth,
+                _ => sp.recursion_length,
+            };
+            println!(
+                "{:>16} {:>6} | {:>9.1} {:>10.3} {:>10.3} {:>10.3} {:>9.0}",
+                name, value, bits, lbl_ms, view_kb, view_ms, q
+            );
+        }
+        // Verify the ViewSpec import stays used even if sweeps change.
+        let _ = ViewSpec::new;
+    }
+}
+
+/// Ablation (DESIGN.md): compressed vs *basic* parse-tree labels. The basic
+/// tree nests one node per production application, so recursion makes label
+/// paths — and therefore label bits — grow linearly with run size; the
+/// compressed tree (Definition 18) is what restores O(log n).
+fn ablation_tree() {
+    println!("\n== Ablation: compressed vs basic parse-tree label bits ==");
+    println!("{:>8} {:>12} {:>12} {:>10} {:>10}", "items", "compressed", "basic", "cmp-max", "basic-max");
+    let bench = Bench::fine(1);
+    let fvl = Fvl::new(&bench.workload.spec).unwrap();
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let run = bench.run_of(900, n);
+        let labeler = fvl.labeler(&run);
+        let (c_avg, c_max) = wf_bench::label_bits_stats(&fvl, labeler.labels());
+        // Build the exact basic-tree labels: one Plain edge per ancestor
+        // production application.
+        let basic_path = |inst: wf_run::InstanceId| {
+            let mut path = Vec::new();
+            let mut cur = inst;
+            while let Some(o) = run.instance(cur).origin {
+                path.push(wf_run::EdgeLabel::Plain {
+                    k: run.step(o.step).prod,
+                    i: o.pos,
+                });
+                cur = o.parent;
+            }
+            path.reverse();
+            path
+        };
+        let (mut tot, mut mx) = (0usize, 0usize);
+        for d in run.items() {
+            let item = run.item(d);
+            let out = item.producer.map(|(i, p)| {
+                wf_core::label::PortLabel::new(basic_path(i), p)
+            });
+            let inp = item.consumer.map(|(i, p)| {
+                wf_core::label::PortLabel::new(basic_path(i), p)
+            });
+            let l = wf_core::DataLabel { out, inp };
+            let bits = fvl.codec().encoded_bits(&l);
+            tot += bits;
+            mx = mx.max(bits);
+        }
+        let b_avg = tot as f64 / run.item_count() as f64;
+        println!("{:>8} {:>12.1} {:>12.1} {:>10} {:>10}", n, c_avg, b_avg, c_max, mx);
+    }
+}

@@ -1,0 +1,92 @@
+//! Shared helpers for the experiment harness (see `src/bin/experiments.rs`)
+//! and the Criterion micro-benches.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use wf_analysis::ProdGraph;
+use wf_core::{DataLabel, Fvl, ViewLabel};
+use wf_model::View;
+use wf_run::{DataId, Run};
+use wf_workloads::{sample, views, Workload};
+
+/// Milliseconds with fractional precision.
+pub fn ms(f: impl FnOnce()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Mean nanoseconds per iteration of `f` over `iters` calls.
+pub fn ns_per<T>(iters: usize, mut f: impl FnMut(usize) -> T) -> f64 {
+    let t = Instant::now();
+    for i in 0..iters {
+        std::hint::black_box(f(i));
+    }
+    t.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+/// Average and maximum encoded data-label size, in bits.
+pub fn label_bits_stats(fvl: &Fvl<'_>, labels: &[DataLabel]) -> (f64, usize) {
+    let mut total = 0usize;
+    let mut max = 0usize;
+    for l in labels {
+        let bits = fvl.codec().encoded_bits(l);
+        total += bits;
+        max = max.max(bits);
+    }
+    (total as f64 / labels.len() as f64, max)
+}
+
+/// One prepared experiment context: workload + runs + views.
+pub struct Bench {
+    pub workload: Workload,
+    pub pg: ProdGraph,
+}
+
+impl Bench {
+    pub fn fine(seed: u64) -> Self {
+        let workload = wf_workloads::bioaid(seed);
+        let pg = ProdGraph::new(&workload.spec.grammar);
+        Self { workload, pg }
+    }
+
+    pub fn coarse(seed: u64) -> Self {
+        let workload = wf_workloads::bioaid_coarse(seed);
+        let pg = ProdGraph::new(&workload.spec.grammar);
+        Self { workload, pg }
+    }
+
+    pub fn run_of(&self, seed: u64, items: usize) -> Run {
+        let mut rng = StdRng::seed_from_u64(seed);
+        sample::sample_run(&self.workload, &self.pg, &mut rng, items).1
+    }
+
+    pub fn safe_view(&self, seed: u64, size: usize) -> View {
+        let mut rng = StdRng::seed_from_u64(seed);
+        views::random_safe_view(&self.workload, &mut rng, size)
+    }
+
+    pub fn black_view(&self, seed: u64, size: usize) -> View {
+        let mut rng = StdRng::seed_from_u64(seed);
+        views::black_box_view(&self.workload, &mut rng, size)
+    }
+
+    pub fn queries(&self, run: &Run, seed: u64, count: usize) -> Vec<(DataId, DataId)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        sample::sample_query_pairs(run, &mut rng, count)
+    }
+}
+
+/// Times π over prepared pairs with one view label.
+pub fn query_ns(
+    fvl: &Fvl<'_>,
+    vl: &ViewLabel,
+    labels: &[DataLabel],
+    pairs: &[(DataId, DataId)],
+) -> f64 {
+    ns_per(pairs.len(), |i| {
+        let (a, b) = pairs[i % pairs.len()];
+        fvl.query_unchecked(vl, &labels[a.0 as usize], &labels[b.0 as usize])
+    })
+}

@@ -1,0 +1,151 @@
+//! A compact, immutable sequence of bits with exact length.
+
+/// An immutable bit string produced by a [`crate::BitWriter`].
+///
+/// Bits are stored LSB-first inside `u64` words: bit `n` of the stream lives
+/// at `storage[n / 64] >> (n % 64) & 1`. Equality and hashing respect the
+/// logical length, not the storage capacity.
+#[derive(Clone, Default)]
+pub struct BitVec {
+    storage: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an empty bit string.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn from_raw(storage: Vec<u64>, len: usize) -> Self {
+        debug_assert!(storage.len() * 64 >= len);
+        Self { storage, len }
+    }
+
+    /// Length in bits. This is the number the paper's space figures report.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bit string contains no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `idx`, or `None` past the end.
+    #[inline]
+    pub fn get(&self, idx: usize) -> Option<bool> {
+        (idx < self.len).then(|| (self.storage[idx / 64] >> (idx % 64)) & 1 == 1)
+    }
+
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.storage
+    }
+
+    /// Iterates over the bits from first to last.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i).unwrap())
+    }
+}
+
+impl PartialEq for BitVec {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        let full = self.len / 64;
+        if self.storage[..full] != other.storage[..full] {
+            return false;
+        }
+        let rem = self.len % 64;
+        if rem == 0 {
+            return true;
+        }
+        let mask = (1u64 << rem) - 1;
+        (self.storage[full] & mask) == (other.storage[full] & mask)
+    }
+}
+
+impl Eq for BitVec {}
+
+impl std::hash::Hash for BitVec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.len.hash(state);
+        let full = self.len / 64;
+        self.storage[..full].hash(state);
+        let rem = self.len % 64;
+        if rem != 0 {
+            (self.storage[full] & ((1u64 << rem) - 1)).hash(state);
+        }
+    }
+}
+
+impl std::fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        for b in self.iter() {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitWriter;
+
+    #[test]
+    fn empty_bitvec() {
+        let v = BitVec::new();
+        assert_eq!(v.len(), 0);
+        assert!(v.is_empty());
+        assert_eq!(v.get(0), None);
+    }
+
+    #[test]
+    fn equality_ignores_trailing_garbage() {
+        // Two vectors with the same logical bits must compare equal even if
+        // built through different writer call sequences.
+        let mut w1 = BitWriter::new();
+        w1.write_bits(0b101, 3);
+        let a = w1.finish();
+
+        let mut w2 = BitWriter::new();
+        w2.push_bit(true);
+        w2.push_bit(false);
+        w2.push_bit(true);
+        let b = w2.finish();
+
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn hash_matches_eq() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        let mut w = BitWriter::new();
+        w.write_bits(0xABCD, 16);
+        set.insert(w.finish());
+        let mut w = BitWriter::new();
+        w.write_bits(0xABCD, 16);
+        assert!(set.contains(&w.finish()));
+    }
+
+    #[test]
+    fn word_boundary_crossing() {
+        let mut w = BitWriter::new();
+        for i in 0..130 {
+            w.push_bit(i % 3 == 0);
+        }
+        let v = w.finish();
+        assert_eq!(v.len(), 130);
+        for i in 0..130 {
+            assert_eq!(v.get(i), Some(i % 3 == 0), "bit {i}");
+        }
+        assert_eq!(v.get(130), None);
+    }
+}

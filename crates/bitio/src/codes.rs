@@ -1,0 +1,82 @@
+//! Closed-form lengths for the universal codes used by labels.
+//!
+//! The experiment harness frequently needs a label's size *without*
+//! materializing its bits (e.g. when averaging over 10⁶ samples); these
+//! helpers keep that accounting exact and in sync with the writer.
+
+/// Length in bits of the Elias γ code for `n >= 1`.
+#[inline]
+pub fn gamma_len(n: u64) -> usize {
+    assert!(n >= 1);
+    let nbits = 64 - n.leading_zeros() as usize;
+    2 * nbits - 1
+}
+
+/// Length in bits of the Elias δ code for `n >= 1`.
+#[inline]
+pub fn delta_len(n: u64) -> usize {
+    assert!(n >= 1);
+    let nbits = 64 - n.leading_zeros() as usize;
+    gamma_len(nbits as u64) + nbits - 1
+}
+
+/// Length in bits of the unary code for `n`.
+#[inline]
+pub fn unary_len(n: u64) -> usize {
+    n as usize + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BitReader, BitWriter};
+
+    #[test]
+    fn gamma_len_matches_writer() {
+        for n in 1..2000u64 {
+            let mut w = BitWriter::new();
+            w.write_gamma(n);
+            assert_eq!(w.len(), gamma_len(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn delta_len_matches_writer() {
+        for n in (1..5000u64).step_by(7) {
+            let mut w = BitWriter::new();
+            w.write_delta(n);
+            assert_eq!(w.len(), delta_len(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn unary_len_matches_writer() {
+        for n in 0..64u64 {
+            let mut w = BitWriter::new();
+            w.write_unary(n);
+            assert_eq!(w.len(), unary_len(n));
+        }
+    }
+
+    #[test]
+    fn gamma_is_logarithmic() {
+        // The property Theorem 10 leans on: chain indices cost O(log i) bits.
+        assert_eq!(gamma_len(1), 1);
+        assert_eq!(gamma_len(2), 3);
+        assert_eq!(gamma_len(1 << 10), 21);
+        assert_eq!(gamma_len((1 << 20) - 1), 39);
+    }
+
+    #[test]
+    fn roundtrip_large_values() {
+        for n in [1u64, 2, 63, 64, 65, u32::MAX as u64, u64::MAX / 2] {
+            let mut w = BitWriter::new();
+            w.write_gamma(n);
+            w.write_delta(n);
+            let v = w.finish();
+            let mut r = BitReader::new(&v);
+            assert_eq!(r.read_gamma().unwrap(), n);
+            assert_eq!(r.read_delta().unwrap(), n);
+        }
+    }
+}

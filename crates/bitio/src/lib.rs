@@ -1,0 +1,66 @@
+//! Bit-exact serialization substrate for reachability labels.
+//!
+//! The VLDB'12 labeling paper reports *label length in bits* (Figures 17, 19,
+//! 21 and 24), and its dynamic-labeling model (Definition 10) requires labels
+//! to be assigned online and never modified. This crate provides the two
+//! primitives those requirements force on an implementation:
+//!
+//! * [`BitWriter`] / [`BitReader`] — append-only bit streams with exact
+//!   length accounting, so a label's size really is its wire size;
+//! * prefix-free universal integer codes ([`codes`]) — chain indices inside
+//!   recursive labels `(s, t, i)` are unbounded (they grow with the run), so
+//!   they cannot use a fixed width chosen up front; Elias γ/δ codes keep them
+//!   `O(log i)` bits while remaining decodable without length prefixes.
+//!
+//! Fixed-width fields (production ids, cycle ids, port indices) use
+//! [`min_width`], the number of bits needed for the largest value the
+//! *grammar* (not the run) can produce — a constant for a fixed specification,
+//! exactly as assumed by Theorem 10's label-length analysis.
+
+pub mod bits;
+pub mod codes;
+pub mod reader;
+pub mod writer;
+
+pub use bits::BitVec;
+pub use reader::{BitReader, ReadError};
+pub use writer::BitWriter;
+
+/// Number of bits required to store any value in `0..=max_value` with a
+/// fixed-width binary code. `min_width(0) == 0`: a field whose only possible
+/// value is zero costs nothing on the wire.
+#[inline]
+pub fn min_width(max_value: u64) -> u32 {
+    64 - max_value.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_width_boundaries() {
+        assert_eq!(min_width(0), 0);
+        assert_eq!(min_width(1), 1);
+        assert_eq!(min_width(2), 2);
+        assert_eq!(min_width(3), 2);
+        assert_eq!(min_width(4), 3);
+        assert_eq!(min_width(7), 3);
+        assert_eq!(min_width(8), 4);
+        assert_eq!(min_width(u64::MAX), 64);
+    }
+
+    #[test]
+    fn min_width_roundtrip_contract() {
+        // Every value in 0..=max fits in min_width(max) bits.
+        for max in [0u64, 1, 5, 16, 255, 1023] {
+            let w = min_width(max);
+            for v in [0, max / 2, max] {
+                if w == 64 {
+                    continue;
+                }
+                assert!(v < (1u64 << w.max(1)) || w == 0, "v={v} max={max} w={w}");
+            }
+        }
+    }
+}

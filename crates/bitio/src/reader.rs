@@ -1,0 +1,174 @@
+//! Sequential bit stream reader, the inverse of [`crate::BitWriter`].
+
+use crate::bits::BitVec;
+
+/// Error returned when a read runs past the end of the stream or a code is
+/// malformed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadError {
+    /// The stream ended before the requested field was complete.
+    OutOfBits,
+    /// A universal code was structurally invalid (e.g. > 64-bit γ prefix).
+    Malformed,
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::OutOfBits => write!(f, "bit stream exhausted mid-field"),
+            ReadError::Malformed => write!(f, "malformed universal code"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// Cursor over a [`BitVec`].
+pub struct BitReader<'a> {
+    bits: &'a BitVec,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(bits: &'a BitVec) -> Self {
+        Self { bits, pos: 0 }
+    }
+
+    /// Current cursor position in bits.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bits remaining.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.bits.len() - self.pos
+    }
+
+    /// Reads one bit.
+    pub fn read_bit(&mut self) -> Result<bool, ReadError> {
+        let b = self.bits.get(self.pos).ok_or(ReadError::OutOfBits)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a fixed-width little-endian field (inverse of
+    /// [`crate::BitWriter::write_bits`]). `width == 0` reads the value 0.
+    pub fn read_bits(&mut self, width: u32) -> Result<u64, ReadError> {
+        debug_assert!(width <= 64);
+        if self.remaining() < width as usize {
+            return Err(ReadError::OutOfBits);
+        }
+        let mut out = 0u64;
+        let words = self.bits.words();
+        let mut got = 0u32;
+        while got < width {
+            let word = self.pos / 64;
+            let off = (self.pos % 64) as u32;
+            let take = (64 - off).min(width - got);
+            let chunk = (words[word] >> off) & mask(take);
+            out |= chunk << got;
+            got += take;
+            self.pos += take as usize;
+        }
+        Ok(out)
+    }
+
+    /// Reads a unary-coded value (inverse of `write_unary`).
+    pub fn read_unary(&mut self) -> Result<u64, ReadError> {
+        let mut n = 0u64;
+        loop {
+            if self.read_bit()? {
+                return Ok(n);
+            }
+            n += 1;
+        }
+    }
+
+    /// Reads an Elias γ-coded value (inverse of `write_gamma`).
+    pub fn read_gamma(&mut self) -> Result<u64, ReadError> {
+        let zeros = self.read_unary()?; // consumes the leading 1 of n as well
+        if zeros >= 64 {
+            return Err(ReadError::Malformed);
+        }
+        // We already consumed the MSB (the 1 terminating the unary prefix);
+        // `zeros` further bits follow.
+        let rest = self.read_bits_msb(zeros as u32)?;
+        Ok((1u64 << zeros) | rest)
+    }
+
+    /// Reads an Elias δ-coded value (inverse of `write_delta`).
+    pub fn read_delta(&mut self) -> Result<u64, ReadError> {
+        let nbits = self.read_gamma()?;
+        if nbits == 0 || nbits > 64 {
+            return Err(ReadError::Malformed);
+        }
+        let rest = self.read_bits_msb(nbits as u32 - 1)?;
+        Ok((1u64 << (nbits - 1)) | rest)
+    }
+
+    /// Reads `width` bits MSB-first (γ/δ payloads are written MSB-first).
+    fn read_bits_msb(&mut self, width: u32) -> Result<u64, ReadError> {
+        let mut out = 0u64;
+        for _ in 0..width {
+            out = (out << 1) | self.read_bit()? as u64;
+        }
+        Ok(out)
+    }
+}
+
+#[inline]
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitWriter;
+
+    #[test]
+    fn roundtrip_mixed_fields() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1101, 4);
+        w.write_gamma(17);
+        w.write_bits(5, 3);
+        w.write_delta(1000);
+        w.write_unary(7);
+        w.write_bits(u64::MAX, 64);
+        let v = w.finish();
+
+        let mut r = BitReader::new(&v);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1101);
+        assert_eq!(r.read_gamma().unwrap(), 17);
+        assert_eq!(r.read_bits(3).unwrap(), 5);
+        assert_eq!(r.read_delta().unwrap(), 1000);
+        assert_eq!(r.read_unary().unwrap(), 7);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn out_of_bits_error() {
+        let mut w = BitWriter::new();
+        w.write_bits(3, 2);
+        let v = w.finish();
+        let mut r = BitReader::new(&v);
+        assert_eq!(r.read_bits(3), Err(ReadError::OutOfBits));
+        // Position unchanged enough to retry smaller reads.
+        assert_eq!(r.read_bits(2).unwrap(), 3);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let v = crate::BitVec::new();
+        let mut r = BitReader::new(&v);
+        assert_eq!(r.read_bit(), Err(ReadError::OutOfBits));
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+}

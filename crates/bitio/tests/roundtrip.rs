@@ -1,0 +1,77 @@
+//! Property tests: any sequence of writes reads back verbatim.
+
+use proptest::prelude::*;
+use wf_bitio::{BitReader, BitWriter};
+
+#[derive(Debug, Clone)]
+enum Field {
+    Fixed { value: u64, width: u32 },
+    Gamma(u64),
+    Delta(u64),
+    Unary(u64),
+}
+
+fn field_strategy() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        (0u32..=64).prop_flat_map(|w| {
+            let max = if w == 0 { 0 } else if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+            (0..=max).prop_map(move |v| Field::Fixed { value: v, width: w })
+        }),
+        (1u64..=u64::MAX / 2).prop_map(Field::Gamma),
+        (1u64..=u64::MAX / 2).prop_map(Field::Delta),
+        (0u64..200).prop_map(Field::Unary),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn writes_read_back(fields in proptest::collection::vec(field_strategy(), 0..40)) {
+        let mut w = BitWriter::new();
+        for f in &fields {
+            match *f {
+                Field::Fixed { value, width } => w.write_bits(value, width),
+                Field::Gamma(n) => w.write_gamma(n),
+                Field::Delta(n) => w.write_delta(n),
+                Field::Unary(n) => w.write_unary(n),
+            }
+        }
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        for f in &fields {
+            match *f {
+                Field::Fixed { value, width } => prop_assert_eq!(r.read_bits(width).unwrap(), value),
+                Field::Gamma(n) => prop_assert_eq!(r.read_gamma().unwrap(), n),
+                Field::Delta(n) => prop_assert_eq!(r.read_delta().unwrap(), n),
+                Field::Unary(n) => prop_assert_eq!(r.read_unary().unwrap(), n),
+            }
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bit_by_bit_identity(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let mut w = BitWriter::new();
+        for &b in &bits {
+            w.push_bit(b);
+        }
+        let v = w.finish();
+        prop_assert_eq!(v.len(), bits.len());
+        let got: Vec<bool> = v.iter().collect();
+        prop_assert_eq!(got, bits);
+    }
+
+    #[test]
+    fn prefix_free_gamma(a in 1u64..10_000, b in 1u64..10_000) {
+        // γ is a prefix code: decoding a stream of two values is unambiguous.
+        let mut w = BitWriter::new();
+        w.write_gamma(a);
+        w.write_gamma(b);
+        let v = w.finish();
+        let mut r = BitReader::new(&v);
+        prop_assert_eq!(r.read_gamma().unwrap(), a);
+        prop_assert_eq!(r.read_gamma().unwrap(), b);
+        prop_assert_eq!(r.remaining(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Boolean reachability matrices over module ports.
+//!
+//! View labels in the VLDB'12 scheme are collections of small boolean
+//! matrices (`λ*(S)`, and the `I`, `O`, `Z` functions of §4.3); the decoding
+//! predicate π (Algorithm 2) evaluates products of such matrices, and the
+//! constant-query-time argument (§4.4.3, Lemma 5) rests on the fact that the
+//! monoid of `c×c` boolean matrices is finite, so powers of any matrix are
+//! eventually periodic.
+//!
+//! This crate provides:
+//! * [`BoolMat`] — a dense boolean matrix with one `u64` bitset per row
+//!   (every workload in the paper has ≤ 10 ports per module; we support 64);
+//! * [`PowerCache`] — the `Xᵃ = Xᵇ` cycle detection behind constant-time
+//!   evaluation of long recursion chains (Query-Efficient FVL);
+//! * [`pow`] — logarithmic-time exponentiation (Default FVL's fallback).
+
+mod mat;
+mod power;
+
+pub use mat::BoolMat;
+pub use power::{pow, PowerCache};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_level_smoke() {
+        let id = BoolMat::identity(3);
+        assert_eq!(id.matmul(&id), id);
+        let cache = PowerCache::new(id.clone());
+        assert_eq!(*cache.power(1_000_000), id);
+    }
+}

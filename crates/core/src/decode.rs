@@ -1,0 +1,370 @@
+//! The decoding predicate π (Algorithms 1 and 2, §4.4) and the Matrix-Free
+//! structural fast path for black-box views (§6.4).
+//!
+//! All indices here are 0-based (the paper counts from 1): a recursion-chain
+//! label `Rec{s, t, i}` denotes the `i`-th chain child, whose `Inputs`
+//! matrix is the product of `i` per-step matrices `I(C(s)[t]), …,
+//! I(C(s)[t+i−1])` (wrapping around the cycle). The chain products reduce to
+//! `X_t^q · P_t(r)` where `X_t` is the full-cycle product — evaluated in
+//! O(log) by binary exponentiation (Default / Space-Efficient) or O(1) via
+//! the materialized power caches (Query-Efficient, Lemma 5).
+//!
+//! Every entry point returns `Option<bool>`: `None` means the labels refer
+//! to productions outside the view (the item is invisible, §5); callers
+//! that pre-check visibility can unwrap.
+
+use crate::label::{DataLabel, PortLabel};
+use crate::viewlabel::ViewLabel;
+use std::borrow::Cow;
+use wf_analysis::ProdGraph;
+use wf_boolmat::{pow, BoolMat};
+use wf_model::{Grammar, ProdId};
+use wf_run::EdgeLabel;
+
+/// Everything a query needs: the (static) grammar and production graph plus
+/// one view label.
+pub struct DecodeCtx<'a> {
+    pub grammar: &'a Grammar,
+    pub pg: &'a ProdGraph,
+    pub vl: &'a ViewLabel,
+}
+
+impl<'a> DecodeCtx<'a> {
+    pub fn new(grammar: &'a Grammar, pg: &'a ProdGraph, vl: &'a ViewLabel) -> Self {
+        Self { grammar, pg, vl }
+    }
+
+    /// Input arity of the module at position `i` of production `k`.
+    fn in_dim(&self, k: ProdId, i: u32) -> usize {
+        self.grammar
+            .sig(self.grammar.production(k).rhs.nodes()[i as usize])
+            .inputs()
+    }
+
+    fn out_dim(&self, k: ProdId, i: u32) -> usize {
+        self.grammar
+            .sig(self.grammar.production(k).rhs.nodes()[i as usize])
+            .outputs()
+    }
+
+    /// Input arity of the cycle module at offset `pos` (wrapping).
+    fn cycle_in_dim(&self, s: u32, pos: usize) -> Option<usize> {
+        let cycle = self.pg.cycles().ok()?.get(s as usize)?;
+        Some(self.grammar.sig(cycle.modules[pos % cycle.len()]).inputs())
+    }
+
+    fn cycle_out_dim(&self, s: u32, pos: usize) -> Option<usize> {
+        let cycle = self.pg.cycles().ok()?.get(s as usize)?;
+        Some(self.grammar.sig(cycle.modules[pos % cycle.len()]).outputs())
+    }
+
+    /// Algorithm 1, `Inputs`: the reachability matrix selected by one edge
+    /// label.
+    pub fn inputs_of(&self, e: &EdgeLabel) -> Option<Cow<'_, BoolMat>> {
+        match *e {
+            EdgeLabel::Plain { k, i } => self.vl.i_mat(self.grammar, k, i),
+            EdgeLabel::Rec { s, t, i } => self.inputs_chain(s, t as usize, i).map(Cow::Owned),
+        }
+    }
+
+    /// Algorithm 1's dual for output ports.
+    pub fn outputs_of(&self, e: &EdgeLabel) -> Option<Cow<'_, BoolMat>> {
+        match *e {
+            EdgeLabel::Plain { k, i } => self.vl.o_mat(self.grammar, k, i),
+            EdgeLabel::Rec { s, t, i } => self.outputs_chain(s, t as usize, i).map(Cow::Owned),
+        }
+    }
+
+    /// `P_t(count)` for the I-chain of cycle `s`: the product of `count`
+    /// per-step matrices starting at offset `t`.
+    pub fn inputs_chain(&self, s: u32, t: usize, count: u64) -> Option<BoolMat> {
+        self.chain(s, t, count, true)
+    }
+
+    /// `P_t(count)` for the (reversed) O-chain.
+    pub fn outputs_chain(&self, s: u32, t: usize, count: u64) -> Option<BoolMat> {
+        self.chain(s, t, count, false)
+    }
+
+    fn chain(&self, s: u32, t: usize, count: u64, inputs: bool) -> Option<BoolMat> {
+        let cycle = self.pg.cycles().ok()?.get(s as usize)?;
+        let l = cycle.len();
+        let t = t % l;
+        let dim = if inputs { self.cycle_in_dim(s, t)? } else { self.cycle_out_dim(s, t)? };
+        if count == 0 {
+            return Some(BoolMat::identity(dim));
+        }
+        // Query-Efficient: O(1) via prefix products + power cache (§4.4.3).
+        if let Some(cache) = self.vl.cycle_cache(s) {
+            let q = count / l as u64;
+            let r = (count % l as u64) as usize;
+            let (power, prefix) = if inputs {
+                (cache.i_power[t].power(q), &cache.i_prefix[t][r])
+            } else {
+                (cache.o_power[t].power(q), &cache.o_prefix[t][r])
+            };
+            return Some(power.matmul(prefix));
+        }
+        // Default / Space-Efficient: assemble per-step matrices, then use
+        // divide-and-conquer exponentiation for the full-cycle part.
+        let step = |pos: usize| -> Option<Cow<'_, BoolMat>> {
+            let (k, i) = cycle.edge_at(pos);
+            if inputs {
+                self.vl.i_mat(self.grammar, k, i)
+            } else {
+                self.vl.o_mat(self.grammar, k, i)
+            }
+        };
+        let partial = |from: usize, n: usize| -> Option<BoolMat> {
+            let mut acc = BoolMat::identity(if inputs {
+                self.cycle_in_dim(s, from)?
+            } else {
+                self.cycle_out_dim(s, from)?
+            });
+            for a in 0..n {
+                acc = acc.matmul(step(from + a)?.as_ref());
+            }
+            Some(acc)
+        };
+        if count < l as u64 {
+            return partial(t, count as usize);
+        }
+        let x_t = partial(t, l)?;
+        let q = count / l as u64;
+        let r = (count % l as u64) as usize;
+        Some(pow(&x_t, q).matmul(&partial(t, r)?))
+    }
+
+    /// Left-fold of `Inputs` matrices over a path suffix, starting from the
+    /// identity on `init_dim` ports.
+    fn fold_inputs(&self, labels: &[EdgeLabel], init_dim: usize) -> Option<BoolMat> {
+        let mut acc = BoolMat::identity(init_dim);
+        for e in labels {
+            acc = acc.matmul(self.inputs_of(e)?.as_ref());
+        }
+        Some(acc)
+    }
+
+    fn fold_outputs(&self, labels: &[EdgeLabel], init_dim: usize) -> Option<BoolMat> {
+        let mut acc = BoolMat::identity(init_dim);
+        for e in labels {
+            acc = acc.matmul(self.outputs_of(e)?.as_ref());
+        }
+        Some(acc)
+    }
+}
+
+/// Algorithm 2: `π(φr(d1), φr(d2), φv(U))` — true iff `d2` depends on `d1`
+/// w.r.t. the view. `None` when a label refers outside the view.
+pub fn pi(ctx: &DecodeCtx<'_>, d1: &DataLabel, d2: &DataLabel) -> Option<bool> {
+    // Case I: d1 is a final output or d2 is an initial input.
+    let Some(i1) = &d1.inp else { return Some(false) };
+    let Some(o2) = &d2.out else { return Some(false) };
+    match (&d1.out, &d2.inp) {
+        // Case II: initial input -> final output: λ*(S) decides directly.
+        (None, None) => Some(ctx.vl.lambda_star_s().get(i1.port as usize, o2.port as usize)),
+        // Case III: initial input -> intermediate: chain the I-matrices
+        // down d2's consumer path.
+        (None, Some(i2)) => {
+            let m = ctx.fold_inputs(&i2.path, ctx.vl.lambda_star_s().rows())?;
+            Some(m.get(i1.port as usize, i2.port as usize))
+        }
+        // Case IV: intermediate -> final output: chain O-matrices down d1's
+        // producer path (reversed orientation).
+        (Some(o1), None) => {
+            let m = ctx.fold_outputs(&o1.path, ctx.vl.lambda_star_s().cols())?;
+            Some(m.get(o2.port as usize, o1.port as usize))
+        }
+        // Main cases: both intermediate.
+        (Some(o1), Some(i2)) => main_case(ctx, o1, i2),
+    }
+}
+
+fn main_case(ctx: &DecodeCtx<'_>, o1: &PortLabel, i2: &PortLabel) -> Option<bool> {
+    let l1 = &o1.path;
+    let l2 = &i2.path;
+    let div = o1.common_prefix_len(i2);
+    // Case 1: same node or ancestor/descendant — an output port never
+    // reaches back inside its own module's expansion.
+    if div == l1.len() || div == l2.len() {
+        return Some(false);
+    }
+    match (l1[div], l2[div]) {
+        // Case 2a: the least common ancestor is an ordinary production node.
+        (EdgeLabel::Plain { k, i }, EdgeLabel::Plain { k: k2, i: j }) => {
+            debug_assert_eq!(k, k2, "siblings share their production");
+            if i >= j {
+                return Some(false); // Z(k,i,j) is empty for i ≥ j
+            }
+            let o = ctx.fold_outputs(&l1[div + 1..], ctx.out_dim(k, i))?;
+            let z = ctx.vl.z_mat(ctx.grammar, k, i, j)?;
+            let im = ctx.fold_inputs(&l2[div + 1..], ctx.in_dim(k, j))?;
+            let res = o.transpose().matmul(z.as_ref()).matmul(&im);
+            Some(res.get(o1.port as usize, i2.port as usize))
+        }
+        // Case 2b: the least common ancestor is a recursive node.
+        (EdgeLabel::Rec { s, t, i: a }, EdgeLabel::Rec { s: s2, t: t2, i: b }) => {
+            debug_assert_eq!((s, t), (s2, t2), "chain siblings share their recursion");
+            let cycle = ctx.pg.cycles().ok()?.get(s as usize)?;
+            let _l = cycle.len();
+            if a < b {
+                // d1's branch is an ancestor level of d2's chain position.
+                if l1.len() == div + 1 {
+                    return Some(false); // o1 is a port of chain child a itself
+                }
+                let EdgeLabel::Plain { k: kp, i: ip } = l1[div + 1] else {
+                    debug_assert!(false, "chain child expands through a plain edge");
+                    return None;
+                };
+                let (k_exp, jp) = cycle.edge_at(t as usize + a as usize);
+                debug_assert_eq!(kp, k_exp, "child a expands via its cycle production");
+                if ip >= jp {
+                    return Some(false); // Z(k', i', j') is empty
+                }
+                let o = ctx.fold_outputs(&l1[div + 2..], ctx.out_dim(kp, ip))?;
+                let z = ctx.vl.z_mat(ctx.grammar, kp, ip, jp)?;
+                let i_chain =
+                    ctx.inputs_chain(s, t as usize + a as usize + 1, b - a - 1)?;
+                let i_fold = ctx.fold_inputs(
+                    &l2[div + 1..],
+                    ctx.cycle_in_dim(s, t as usize + b as usize)?,
+                )?;
+                let res = o
+                    .transpose()
+                    .matmul(z.as_ref())
+                    .matmul(&i_chain)
+                    .matmul(&i_fold);
+                Some(res.get(o1.port as usize, i2.port as usize))
+            } else {
+                // a > b: d2's branch is the ancestor level.
+                if l2.len() == div + 1 {
+                    return Some(false); // i2 is a port of chain child b itself
+                }
+                let EdgeLabel::Plain { k: kq, i: iq } = l2[div + 1] else {
+                    debug_assert!(false, "chain child expands through a plain edge");
+                    return None;
+                };
+                let (k_exp, jq) = cycle.edge_at(t as usize + b as usize);
+                debug_assert_eq!(kq, k_exp);
+                if jq >= iq {
+                    return Some(false); // Z(k'', j'', i'') is empty
+                }
+                let o_chain =
+                    ctx.outputs_chain(s, t as usize + b as usize + 1, a - b - 1)?;
+                let o_fold = ctx.fold_outputs(
+                    &l1[div + 1..],
+                    ctx.cycle_out_dim(s, t as usize + a as usize)?,
+                )?;
+                let z = ctx.vl.z_mat(ctx.grammar, kq, jq, iq)?;
+                let i_fold = ctx.fold_inputs(&l2[div + 2..], ctx.in_dim(kq, iq))?;
+                let res = o_chain
+                    .matmul(&o_fold)
+                    .transpose()
+                    .matmul(z.as_ref())
+                    .matmul(&i_fold);
+                Some(res.get(o1.port as usize, i2.port as usize))
+            }
+        }
+        _ => {
+            debug_assert!(false, "sibling edges cannot mix plain and recursive labels");
+            None
+        }
+    }
+}
+
+pub mod structural {
+    //! Matrix-Free decoding for black-box (coarse-grained) views (§6.4).
+    //!
+    //! Under black-box dependencies every module passes everything through,
+    //! so dependency collapses to *instance-level* reachability: `d₂ depends
+    //! on d₁` iff the consumer instance of `d₁` reaches the producer
+    //! instance of `d₂` in the flattened run DAG. That is decidable from the
+    //! two parse-tree paths plus one static per-production instance closure
+    //! — no matrix multiplication at all. (This is also exactly how the DRL
+    //! baseline decodes.)
+    //!
+    //! Contract: only valid for validated coarse-grained views
+    //! ([`wf_model::Spec::is_coarse_grained`]-style structure), and for
+    //! *visible* labels — pre-check visibility.
+
+    use super::*;
+    use wf_analysis::rhs_closure;
+
+    /// Per-production instance-level reflexive-transitive closures.
+    pub struct StructuralIndex {
+        closures: Vec<Option<BoolMat>>,
+    }
+
+    impl StructuralIndex {
+        /// Builds closures for the active productions of a view.
+        pub fn build(grammar: &Grammar, active: impl Fn(ProdId) -> bool) -> Self {
+            let closures = grammar
+                .productions()
+                .map(|(k, _)| active(k).then(|| rhs_closure(grammar, k)))
+                .collect();
+            Self { closures }
+        }
+
+        /// Instance `j` reachable from instance `i` within production `k`.
+        pub fn reach(&self, k: ProdId, i: u32, j: u32) -> Option<bool> {
+            self.closures[k.index()]
+                .as_ref()
+                .map(|m| m.get(i as usize, j as usize))
+        }
+    }
+
+    /// Matrix-free π: anchors on d1's *consumer* and d2's *producer* (black
+    /// boxes spread flows completely, making these the exact anchors).
+    pub fn pi_structural(
+        pg: &ProdGraph,
+        idx: &StructuralIndex,
+        d1: &DataLabel,
+        d2: &DataLabel,
+    ) -> Option<bool> {
+        let Some(i1) = &d1.inp else { return Some(false) }; // d1 final output
+        let Some(o2) = &d2.out else { return Some(false) }; // d2 initial input
+        if d1 == d2 {
+            // A data item depends on itself through its own edge (the o→i
+            // reading of §2.3); the consumer/producer anchors below would
+            // wrongly ask for a backward instance path.
+            return Some(true);
+        }
+        let l1 = &i1.path;
+        let l2 = &o2.path;
+        let div = i1.common_prefix_len(o2);
+        // Ancestor-or-equal (either direction) ⇒ dependent: entering any
+        // input of a black box floods all of its interior and outputs.
+        if div == l1.len() || div == l2.len() {
+            return Some(true);
+        }
+        match (l1[div], l2[div]) {
+            (EdgeLabel::Plain { k, i }, EdgeLabel::Plain { i: j, .. }) => idx.reach(k, i, j),
+            (EdgeLabel::Rec { s, t, i: a }, EdgeLabel::Rec { i: b, .. }) => {
+                let cycle = pg.cycles().ok()?.get(s as usize)?;
+                if a < b {
+                    // Consumer side sits at/above chain child a; the
+                    // producer is nested inside child b ⊂ child a.
+                    if l1.len() == div + 1 {
+                        return Some(true); // consumer is chain child a itself
+                    }
+                    let EdgeLabel::Plain { k: kp, i: ip } = l1[div + 1] else {
+                        return None;
+                    };
+                    let (_, jp) = cycle.edge_at(t as usize + a as usize);
+                    idx.reach(kp, ip, jp)
+                } else {
+                    debug_assert_ne!(a, b);
+                    if l2.len() == div + 1 {
+                        return Some(true); // producer is chain child b itself
+                    }
+                    let EdgeLabel::Plain { k: kq, i: iq } = l2[div + 1] else {
+                        return None;
+                    };
+                    let (_, jq) = cycle.edge_at(t as usize + b as usize);
+                    idx.reach(kq, jq, iq)
+                }
+            }
+            _ => None,
+        }
+    }
+}

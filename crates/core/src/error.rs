@@ -1,0 +1,47 @@
+//! Errors of the FVL scheme.
+
+use wf_analysis::SafetyError;
+use wf_model::ModelError;
+
+/// Why FVL refuses a specification or view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FvlError {
+    /// Compact dynamic labels require a strictly linear-recursive grammar
+    /// (Theorems 6 and 8); the production graph has overlapping cycles.
+    NotStrictlyLinear { witness: wf_model::ModuleId },
+    /// The view is unsafe: no dynamic labeling scheme exists for it at all
+    /// (Theorem 1).
+    Unsafe(SafetyError),
+    /// Malformed model input.
+    Model(ModelError),
+}
+
+impl std::fmt::Display for FvlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FvlError::NotStrictlyLinear { witness } => write!(
+                f,
+                "grammar is not strictly linear-recursive (cycles overlap at {witness})"
+            ),
+            FvlError::Unsafe(e) => write!(f, "view is unsafe: {e}"),
+            FvlError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FvlError {}
+
+impl From<SafetyError> for FvlError {
+    fn from(e: SafetyError) -> Self {
+        match e {
+            SafetyError::Model(m) => FvlError::Model(m),
+            other => FvlError::Unsafe(other),
+        }
+    }
+}
+
+impl From<ModelError> for FvlError {
+    fn from(e: ModelError) -> Self {
+        FvlError::Model(e)
+    }
+}

@@ -1,0 +1,93 @@
+//! Data labels (§4.2.2): the view-independent half of the scheme.
+
+use wf_run::EdgeLabel;
+
+/// The label of one port of one data item: the compressed-parse-tree path
+/// from the root to the node of the module where the port was *first
+/// created*, followed by the port index within that module.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PortLabel {
+    pub path: Vec<EdgeLabel>,
+    pub port: u8,
+}
+
+impl PortLabel {
+    pub fn new(path: Vec<EdgeLabel>, port: u8) -> Self {
+        Self { path, port }
+    }
+
+    /// Number of shared leading edge labels with another port label — the
+    /// common prefix the wire encoding factors out ("the size of φr(d) can
+    /// be reduced almost by half by factoring out the common prefix").
+    pub fn common_prefix_len(&self, other: &PortLabel) -> usize {
+        self.path
+            .iter()
+            .zip(&other.path)
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+}
+
+/// The label of a data item: producer-side and consumer-side port labels.
+/// `out` is `None` for the run's initial inputs, `inp` is `None` for its
+/// final outputs. Assigned once, never modified (Definition 10).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct DataLabel {
+    /// φr(o): label of the producing output port.
+    pub out: Option<PortLabel>,
+    /// φr(i): label of the consuming input port.
+    pub inp: Option<PortLabel>,
+}
+
+impl DataLabel {
+    pub fn intermediate(out: PortLabel, inp: PortLabel) -> Self {
+        Self { out: Some(out), inp: Some(inp) }
+    }
+
+    pub fn initial_input(inp: PortLabel) -> Self {
+        Self { out: None, inp: Some(inp) }
+    }
+
+    pub fn final_output(out: PortLabel) -> Self {
+        Self { out: Some(out), inp: None }
+    }
+
+    pub fn is_initial_input(&self) -> bool {
+        self.out.is_none()
+    }
+
+    pub fn is_final_output(&self) -> bool {
+        self.inp.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::ProdId;
+
+    fn plain(k: u32, i: u32) -> EdgeLabel {
+        EdgeLabel::Plain { k: ProdId(k), i }
+    }
+
+    #[test]
+    fn common_prefix() {
+        let a = PortLabel::new(vec![plain(0, 1), plain(2, 3), plain(4, 5)], 0);
+        let b = PortLabel::new(vec![plain(0, 1), plain(2, 3), plain(4, 6)], 1);
+        assert_eq!(a.common_prefix_len(&b), 2);
+        let c = PortLabel::new(vec![plain(9, 9)], 0);
+        assert_eq!(a.common_prefix_len(&c), 0);
+        assert_eq!(a.common_prefix_len(&a), 3);
+    }
+
+    #[test]
+    fn boundary_constructors() {
+        let p = PortLabel::new(vec![], 1);
+        assert!(DataLabel::initial_input(p.clone()).is_initial_input());
+        assert!(!DataLabel::initial_input(p.clone()).is_final_output());
+        assert!(DataLabel::final_output(p.clone()).is_final_output());
+        let d = DataLabel::intermediate(p.clone(), p);
+        assert!(!d.is_initial_input());
+        assert!(!d.is_final_output());
+    }
+}

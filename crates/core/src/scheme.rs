@@ -1,0 +1,148 @@
+//! The FVL facade: one object tying together preprocessing, run labeling,
+//! view labeling and querying.
+
+use crate::codec::LabelCodec;
+use crate::decode::{pi, structural, DecodeCtx};
+use crate::error::FvlError;
+use crate::label::DataLabel;
+use crate::labeler::RunLabeler;
+use crate::viewlabel::{VariantKind, ViewLabel};
+use crate::visibility::is_visible;
+use wf_analysis::{classify_with, ProdGraph, RecursionClass};
+use wf_model::{ModuleId, Spec, View, ViewSpec};
+use wf_run::Run;
+
+/// The view-adaptive dynamic labeling scheme for one specification.
+///
+/// Construction performs the §4.1 preprocessing (production-graph edge ids
+/// and cycle tables) and rejects grammars that are not strictly
+/// linear-recursive — for those, compact dynamic labels do not exist
+/// (Theorem 6), and for non-linear ones they do not exist even for
+/// black-box dependencies (Theorem 3).
+pub struct Fvl<'a> {
+    spec: &'a Spec,
+    pg: ProdGraph,
+    codec: LabelCodec,
+    class: RecursionClass,
+}
+
+impl<'a> Fvl<'a> {
+    pub fn new(spec: &'a Spec) -> Result<Self, FvlError> {
+        let pg = ProdGraph::new(&spec.grammar);
+        let class = classify_with(&spec.grammar, &pg);
+        if !class.is_strictly_linear() {
+            let witness = pg
+                .cycles()
+                .err()
+                .map(|c| ModuleId(c.witness.0))
+                .unwrap_or(spec.grammar.start());
+            return Err(FvlError::NotStrictlyLinear { witness });
+        }
+        let codec = LabelCodec::new(&spec.grammar, &pg);
+        Ok(Self { spec, pg, codec, class })
+    }
+
+    pub fn spec(&self) -> &Spec {
+        self.spec
+    }
+
+    pub fn prod_graph(&self) -> &ProdGraph {
+        &self.pg
+    }
+
+    pub fn codec(&self) -> &LabelCodec {
+        &self.codec
+    }
+
+    pub fn recursion_class(&self) -> RecursionClass {
+        self.class
+    }
+
+    /// Attaches a dynamic labeler to a run (labels any existing history,
+    /// then follows new steps via [`RunLabeler::on_step`]).
+    pub fn labeler(&self, run: &Run) -> RunLabeler {
+        RunLabeler::start(&self.spec.grammar, &self.pg, run)
+    }
+
+    /// Statically labels a view (§4.3). Fails on unsafe views (Theorem 1).
+    pub fn label_view(&self, view: &'a View, kind: VariantKind) -> Result<ViewLabel, FvlError> {
+        let vs = ViewSpec::new(self.spec, view);
+        ViewLabel::build(&vs, &self.pg, kind)
+    }
+
+    /// π with a visibility pre-check: `None` iff either item is invisible
+    /// in the view; otherwise the (constant-time) dependency answer.
+    pub fn query(&self, vl: &ViewLabel, d1: &DataLabel, d2: &DataLabel) -> Option<bool> {
+        if !is_visible(d1, vl, &self.pg) || !is_visible(d2, vl, &self.pg) {
+            return None;
+        }
+        let ctx = DecodeCtx::new(&self.spec.grammar, &self.pg, vl);
+        pi(&ctx, d1, d2)
+    }
+
+    /// Raw π without the visibility pre-check (benchmark hot path; only
+    /// meaningful for visible items).
+    pub fn query_unchecked(&self, vl: &ViewLabel, d1: &DataLabel, d2: &DataLabel) -> Option<bool> {
+        let ctx = DecodeCtx::new(&self.spec.grammar, &self.pg, vl);
+        pi(&ctx, d1, d2)
+    }
+
+    /// Builds the Matrix-Free structural index for a black-box view (§6.4).
+    pub fn structural_index(&self, view: &View) -> structural::StructuralIndex {
+        structural::StructuralIndex::build(&self.spec.grammar, |k| {
+            view.expands(self.spec.grammar.production(k).lhs)
+        })
+    }
+
+    /// Matrix-Free query (only valid on coarse-grained views + visible
+    /// items).
+    pub fn query_structural(
+        &self,
+        idx: &structural::StructuralIndex,
+        d1: &DataLabel,
+        d2: &DataLabel,
+    ) -> Option<bool> {
+        structural::pi_structural(&self.pg, idx, d1, d2)
+    }
+
+    pub fn is_visible(&self, vl: &ViewLabel, d: &DataLabel) -> bool {
+        is_visible(d, vl, &self.pg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::fixtures::{nonstrict_example, paper_example};
+    use wf_run::fixtures::figure3_run;
+
+    #[test]
+    fn rejects_nonstrict_grammar() {
+        let spec = nonstrict_example();
+        assert!(matches!(Fvl::new(&spec), Err(FvlError::NotStrictlyLinear { .. })));
+    }
+
+    /// End-to-end Example 8: label once, query under both views.
+    #[test]
+    fn example8_end_to_end() {
+        let ex = paper_example();
+        let fvl = Fvl::new(&ex.spec).unwrap();
+        let (run, ids) = figure3_run(&ex);
+        let labeler = fvl.labeler(&run);
+
+        let u1 = ex.view_u1();
+        let u2 = ex.view_u2();
+        let vl1 = fvl.label_view(&u1, VariantKind::Default).unwrap();
+        let vl2 = fvl.label_view(&u2, VariantKind::Default).unwrap();
+
+        let d17 = labeler.label(ids.d17);
+        let d31 = labeler.label(ids.d31);
+        // "Does d31 depend on d17?" — no in U1, yes in U2. Same data labels!
+        assert_eq!(fvl.query(&vl1, d17, d31), Some(false));
+        assert_eq!(fvl.query(&vl2, d17, d31), Some(true));
+        // d21 is invisible in U2.
+        let d21 = labeler.label(ids.d21);
+        assert_eq!(fvl.query(&vl2, d21, d31), None);
+        assert!(fvl.query(&vl1, d21, d31).is_some());
+    }
+}

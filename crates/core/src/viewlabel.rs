@@ -1,0 +1,364 @@
+//! View labels (§4.3): the static, per-view half of the scheme.
+//!
+//! A view label is `φv(U) = {λ*(S), I, O, Z}` — the full dependency
+//! assignment's matrix for the start module plus the three per-production
+//! matrix functions. The three variants of §6.3 differ only in how much of
+//! this is materialized:
+//!
+//! * **Space-Efficient** stores λ\* alone ("almost no index … any access to
+//!   I, O and Z will be answered by performing a graph search over the view
+//!   of a specification at query time");
+//! * **Default** pre-computes and stores every `I`/`O`/`Z` matrix;
+//! * **Query-Efficient** additionally stores, per recursion and per chain
+//!   offset, the prefix products `P_t(r)` and the `Xᵃ = Xᵇ` power caches of
+//!   §4.4.3, so arbitrary-length recursion chains evaluate in O(1).
+
+use crate::error::FvlError;
+use std::borrow::Cow;
+use wf_analysis::{
+    full_assignment, i_matrix, o_matrix, production_matrices, z_matrix, ProdGraph,
+    ProductionMatrices,
+};
+use wf_boolmat::{BoolMat, PowerCache};
+use wf_model::{DepAssignment, Grammar, ProdId, ViewSpec};
+
+/// Which §6.3 variant a view label was built as.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VariantKind {
+    SpaceEfficient,
+    Default,
+    QueryEfficient,
+}
+
+/// Materialized chain caches for one production-graph cycle (Query-Efficient
+/// only). `l` = cycle length; offsets are positions within the cycle.
+#[derive(Clone, Debug)]
+pub struct CycleCache {
+    /// `i_prefix[t][r]` = product of `r` I-matrices starting at offset `t`
+    /// (`r = 0` is the identity on the inputs of the cycle module at `t`).
+    pub i_prefix: Vec<Vec<BoolMat>>,
+    /// Power cache of `X_t` = full-cycle I-product starting at `t`.
+    pub i_power: Vec<PowerCache>,
+    /// Same for the (reversed) O-chain.
+    pub o_prefix: Vec<Vec<BoolMat>>,
+    pub o_power: Vec<PowerCache>,
+}
+
+/// The label of one view.
+pub struct ViewLabel {
+    kind: VariantKind,
+    /// λ\* of the view — covers every derivable module.
+    lambda: DepAssignment,
+    /// λ\*(S), used directly for boundary-to-boundary queries.
+    lambda_s: BoolMat,
+    /// Which productions are active (LHS ∈ Δ′).
+    active: Vec<bool>,
+    /// Materialized matrices per production (Default / Query-Efficient).
+    mats: Vec<Option<ProductionMatrices>>,
+    /// Per-cycle chain caches (Query-Efficient); `None` when the cycle is
+    /// broken by the view (some cycle production inactive).
+    cycles: Vec<Option<CycleCache>>,
+}
+
+impl ViewLabel {
+    /// Builds the label of a view (rejecting unsafe views, Theorem 1).
+    pub fn build(
+        vs: &ViewSpec<'_>,
+        pg: &ProdGraph,
+        kind: VariantKind,
+    ) -> Result<Self, FvlError> {
+        let grammar = vs.grammar();
+        let lambda = full_assignment(vs)?;
+        let lambda_s = lambda
+            .get(grammar.start())
+            .expect("start module always has a full-assignment matrix")
+            .clone();
+        let active: Vec<bool> =
+            grammar.productions().map(|(k, _)| vs.prod_active(k)).collect();
+
+        let mats: Vec<Option<ProductionMatrices>> = match kind {
+            VariantKind::SpaceEfficient => vec![None; grammar.production_count()],
+            _ => active
+                .iter()
+                .enumerate()
+                .map(|(k, &a)| a.then(|| production_matrices(grammar, ProdId(k as u32), &lambda)))
+                .collect(),
+        };
+
+        let cycles = build_cycle_caches(grammar, pg, kind, &active, &mats)?;
+        Ok(Self { kind, lambda, lambda_s, active, mats, cycles })
+    }
+
+    /// Assembles a view label from externally computed parts — used by the
+    /// user-defined-view machinery (§5), which substitutes grouped matrices.
+    pub(crate) fn from_parts(
+        kind: VariantKind,
+        lambda: DepAssignment,
+        lambda_s: BoolMat,
+        active: Vec<bool>,
+        mats: Vec<Option<ProductionMatrices>>,
+        grammar: &Grammar,
+        pg: &ProdGraph,
+    ) -> Self {
+        let cycles = build_cycle_caches(grammar, pg, kind, &active, &mats)
+            .expect("caller guarantees strict linearity");
+        Self { kind, lambda, lambda_s, active, mats, cycles }
+    }
+
+    #[inline]
+    pub fn kind(&self) -> VariantKind {
+        self.kind
+    }
+
+    #[inline]
+    pub fn lambda_star(&self) -> &DepAssignment {
+        &self.lambda
+    }
+
+    /// λ\*(S) — the boundary matrix.
+    #[inline]
+    pub fn lambda_star_s(&self) -> &BoolMat {
+        &self.lambda_s
+    }
+
+    #[inline]
+    pub fn prod_active(&self, k: ProdId) -> bool {
+        self.active[k.index()]
+    }
+
+    /// `I(k, i)`; `None` if the production is not part of this view.
+    /// Space-Efficient recomputes it by graph search.
+    pub fn i_mat(&self, grammar: &Grammar, k: ProdId, i: u32) -> Option<Cow<'_, BoolMat>> {
+        if !self.active[k.index()] {
+            return None;
+        }
+        match &self.mats[k.index()] {
+            Some(m) => Some(Cow::Borrowed(&m.i_mats[i as usize])),
+            None => Some(Cow::Owned(i_matrix(grammar, k, i as usize, &self.lambda))),
+        }
+    }
+
+    /// `O(k, i)` (reversed orientation).
+    pub fn o_mat(&self, grammar: &Grammar, k: ProdId, i: u32) -> Option<Cow<'_, BoolMat>> {
+        if !self.active[k.index()] {
+            return None;
+        }
+        match &self.mats[k.index()] {
+            Some(m) => Some(Cow::Borrowed(&m.o_mats[i as usize])),
+            None => Some(Cow::Owned(o_matrix(grammar, k, i as usize, &self.lambda))),
+        }
+    }
+
+    /// `Z(k, i, j)`.
+    pub fn z_mat(&self, grammar: &Grammar, k: ProdId, i: u32, j: u32) -> Option<Cow<'_, BoolMat>> {
+        if !self.active[k.index()] {
+            return None;
+        }
+        match &self.mats[k.index()] {
+            Some(m) => Some(Cow::Borrowed(&m.z_mats[i as usize][j as usize])),
+            None => Some(Cow::Owned(z_matrix(grammar, k, i as usize, j as usize, &self.lambda))),
+        }
+    }
+
+    /// Query-Efficient chain cache for a cycle, if materialized and intact.
+    pub fn cycle_cache(&self, s: u32) -> Option<&CycleCache> {
+        self.cycles.get(s as usize).and_then(|c| c.as_ref())
+    }
+
+    /// Wire size of the view label in bits — what Figure 19 measures.
+    /// λ\*(S) is charged to every variant; Default adds `I`/`O`/`Z`;
+    /// Query-Efficient adds the chain caches.
+    pub fn size_bits(&self) -> usize {
+        let mut bits = self.lambda_s.payload_bits();
+        if self.kind == VariantKind::SpaceEfficient {
+            // λ* for non-start modules is the "less than 5 bytes per view"
+            // residue: it is needed to run graph searches at query time.
+            bits += self
+                .lambda
+                .iter()
+                .map(|(_, m)| m.payload_bits())
+                .sum::<usize>();
+            return bits;
+        }
+        bits += self
+            .mats
+            .iter()
+            .flatten()
+            .map(ProductionMatrices::payload_bits)
+            .sum::<usize>();
+        for c in self.cycles.iter().flatten() {
+            bits += c
+                .i_prefix
+                .iter()
+                .chain(&c.o_prefix)
+                .flat_map(|v| v.iter().map(BoolMat::payload_bits))
+                .sum::<usize>();
+            bits += c.i_power.iter().map(PowerCache::payload_bits).sum::<usize>();
+            bits += c.o_power.iter().map(PowerCache::payload_bits).sum::<usize>();
+        }
+        bits
+    }
+}
+
+/// Builds the Query-Efficient per-cycle chain caches (`None` per cycle for
+/// other variants or when the view breaks the cycle).
+fn build_cycle_caches(
+    grammar: &Grammar,
+    pg: &ProdGraph,
+    kind: VariantKind,
+    active: &[bool],
+    mats: &[Option<ProductionMatrices>],
+) -> Result<Vec<Option<CycleCache>>, FvlError> {
+    if kind != VariantKind::QueryEfficient {
+        return Ok(pg.cycles().map(|c| vec![None; c.len()]).unwrap_or_default());
+    }
+    let tables = pg.cycles().map_err(|c| FvlError::NotStrictlyLinear {
+        witness: wf_model::ModuleId(c.witness.0),
+    })?;
+    Ok(tables
+        .iter()
+        .map(|cycle| {
+            if !cycle.edges.iter().all(|&(k, _)| active[k.index()]) {
+                return None; // cycle broken by the view
+            }
+            let l = cycle.len();
+            let i_of = |pos: usize| {
+                let (k, i) = cycle.edge_at(pos);
+                mats[k.index()].as_ref().unwrap().i_mats[i as usize].clone()
+            };
+            let o_of = |pos: usize| {
+                let (k, i) = cycle.edge_at(pos);
+                mats[k.index()].as_ref().unwrap().o_mats[i as usize].clone()
+            };
+            let mut i_prefix = Vec::with_capacity(l);
+            let mut i_power = Vec::with_capacity(l);
+            let mut o_prefix = Vec::with_capacity(l);
+            let mut o_power = Vec::with_capacity(l);
+            for t in 0..l {
+                let in_dim = grammar.sig(cycle.modules[t]).inputs();
+                let out_dim = grammar.sig(cycle.modules[t]).outputs();
+                let mut ip = vec![BoolMat::identity(in_dim)];
+                let mut op = vec![BoolMat::identity(out_dim)];
+                for r in 0..l {
+                    ip.push(ip[r].matmul(&i_of(t + r)));
+                    op.push(op[r].matmul(&o_of(t + r)));
+                }
+                let x_i = ip.pop().unwrap(); // P_t(l) = X_t
+                let x_o = op.pop().unwrap();
+                i_prefix.push(ip);
+                o_prefix.push(op);
+                i_power.push(PowerCache::new(x_i));
+                o_power.push(PowerCache::new(x_o));
+            }
+            Some(CycleCache { i_prefix, i_power, o_prefix, o_power })
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::fixtures::paper_example;
+
+    fn setup() -> (wf_model::fixtures::PaperExample, ProdGraph) {
+        let ex = paper_example();
+        let pg = ProdGraph::new(&ex.spec.grammar);
+        (ex, pg)
+    }
+
+    #[test]
+    fn all_variants_build_for_default_view() {
+        let (ex, pg) = setup();
+        let u1 = ex.view_u1();
+        let vs = ViewSpec::new(&ex.spec, &u1);
+        for kind in [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient] {
+            let vl = ViewLabel::build(&vs, &pg, kind).unwrap();
+            assert_eq!(vl.kind(), kind);
+            assert_eq!(vl.lambda_star_s().rows(), 2);
+            assert_eq!(vl.lambda_star_s().cols(), 3);
+        }
+    }
+
+    #[test]
+    fn variant_sizes_are_ordered() {
+        // Figure 19: Space-Efficient < Default < Query-Efficient.
+        let (ex, pg) = setup();
+        let u1 = ex.view_u1();
+        let vs = ViewSpec::new(&ex.spec, &u1);
+        let se = ViewLabel::build(&vs, &pg, VariantKind::SpaceEfficient).unwrap();
+        let de = ViewLabel::build(&vs, &pg, VariantKind::Default).unwrap();
+        let qe = ViewLabel::build(&vs, &pg, VariantKind::QueryEfficient).unwrap();
+        assert!(se.size_bits() < de.size_bits(), "{} vs {}", se.size_bits(), de.size_bits());
+        assert!(de.size_bits() < qe.size_bits(), "{} vs {}", de.size_bits(), qe.size_bits());
+    }
+
+    #[test]
+    fn space_efficient_matches_materialized() {
+        let (ex, pg) = setup();
+        let g = &ex.spec.grammar;
+        let u1 = ex.view_u1();
+        let vs = ViewSpec::new(&ex.spec, &u1);
+        let se = ViewLabel::build(&vs, &pg, VariantKind::SpaceEfficient).unwrap();
+        let de = ViewLabel::build(&vs, &pg, VariantKind::Default).unwrap();
+        for (k, p) in g.productions() {
+            for i in 0..p.rhs.node_count() as u32 {
+                assert_eq!(
+                    se.i_mat(g, k, i).unwrap().as_ref(),
+                    de.i_mat(g, k, i).unwrap().as_ref(),
+                    "I({k},{i})"
+                );
+                assert_eq!(
+                    se.o_mat(g, k, i).unwrap().as_ref(),
+                    de.o_mat(g, k, i).unwrap().as_ref(),
+                    "O({k},{i})"
+                );
+                for j in 0..p.rhs.node_count() as u32 {
+                    assert_eq!(
+                        se.z_mat(g, k, i, j).unwrap().as_ref(),
+                        de.z_mat(g, k, i, j).unwrap().as_ref(),
+                        "Z({k},{i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inactive_productions_have_no_matrices() {
+        let (ex, pg) = setup();
+        let g = &ex.spec.grammar;
+        let u2 = ex.view_u2();
+        let vs = ViewSpec::new(&ex.spec, &u2);
+        let vl = ViewLabel::build(&vs, &pg, VariantKind::Default).unwrap();
+        // p5 = C -> W5 is inactive in U2 (C ∉ Δ′).
+        assert!(!vl.prod_active(ex.prods[4]));
+        assert!(vl.i_mat(g, ex.prods[4], 0).is_none());
+        // p1 = S -> W1 is active.
+        assert!(vl.prod_active(ex.prods[0]));
+        assert!(vl.i_mat(g, ex.prods[0], 0).is_some());
+    }
+
+    #[test]
+    fn broken_cycles_lose_their_cache() {
+        let (ex, pg) = setup();
+        let u2 = ex.view_u2();
+        let vs = ViewSpec::new(&ex.spec, &u2);
+        let vl = ViewLabel::build(&vs, &pg, VariantKind::QueryEfficient).unwrap();
+        // Cycle 0 (A/B) is intact in U2; cycle 1 (D) is broken (C ∉ Δ′ means
+        // p6 stays active? No: p6's LHS is D, and D ∉ Δ′ ⇒ inactive).
+        assert!(vl.cycle_cache(0).is_some());
+        assert!(vl.cycle_cache(1).is_none());
+    }
+
+    #[test]
+    fn unsafe_view_rejected() {
+        let spec = wf_model::fixtures::unsafe_example();
+        let pg = ProdGraph::new(&spec.grammar);
+        let view = spec.default_view();
+        let vs = ViewSpec::new(&spec, &view);
+        assert!(matches!(
+            ViewLabel::build(&vs, &pg, VariantKind::Default),
+            Err(FvlError::Unsafe(_))
+        ));
+    }
+}

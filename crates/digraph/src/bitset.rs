@@ -1,0 +1,142 @@
+//! Fixed-capacity bitset used for reachability frontiers and closures.
+
+/// A growable bitset over `usize` keys.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Empty set with capacity for `n` elements.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { words: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Inserts `i`, growing as needed. Returns true if newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let w = i / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (i % 64);
+        let was = self.words[w] & bit != 0;
+        self.words[w] |= bit;
+        !was
+    }
+
+    /// Removes `i`. Returns true if it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        let w = i / 64;
+        if w >= self.words.len() {
+            return false;
+        }
+        let bit = 1u64 << (i % 64);
+        let was = self.words[w] & bit != 0;
+        self.words[w] &= !bit;
+        was
+    }
+
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.words.get(i / 64).is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Union in place; grows to the larger capacity. Returns true if any bit
+    /// was added.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a |= b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates set elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut s = BitSet::default();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::with_capacity(10);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn grows_past_capacity() {
+        let mut s = BitSet::with_capacity(1);
+        s.insert(1000);
+        assert!(s.contains(1000));
+        assert!(!s.contains(999));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let a: BitSet = [1, 2, 3].into_iter().collect();
+        let mut b: BitSet = [2, 3].into_iter().collect();
+        assert!(b.union_with(&a));
+        assert!(!b.union_with(&a));
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn iter_in_order_across_words() {
+        let s: BitSet = [0, 63, 64, 130].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 130]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Small directed-multigraph substrate.
+//!
+//! Everything in the paper's static analysis is graph work on *small*
+//! graphs: production graphs have one vertex per grammar module and one edge
+//! per module occurrence (≈ hundreds), simple workflows have ≤ a few dozen
+//! nodes, and port graphs of single productions stay in the hundreds of
+//! vertices. This crate provides exactly the operations the analyses need:
+//!
+//! * [`DiGraph`] — adjacency-list multigraph with stable edge ids (the
+//!   paper's `(k, i)` edge identities for production graphs);
+//! * Kahn topological sort ([`DiGraph::topo_sort`]) — productions fix a
+//!   topological ordering of their right-hand sides (§4.1);
+//! * Tarjan SCCs ([`DiGraph::sccs`]) and the vertex-disjoint cycle analysis
+//!   ([`cycles::vertex_disjoint_cycles`]) — the strictly-linear-recursive
+//!   classifier (Definition 16, Theorem 7);
+//! * BFS reachability and bitset transitive closure — the linear-recursion
+//!   check (Lemma 3) and λ* computation.
+
+mod bitset;
+pub mod cycles;
+pub mod graph;
+mod scc;
+
+pub use bitset::BitSet;
+pub use cycles::{vertex_disjoint_cycles, CycleOverlap, EdgeCycle};
+pub use graph::{Closure, DiGraph, EdgeId, NodeId};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_level_smoke() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        assert_eq!(g.topo_sort().unwrap(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(vertex_disjoint_cycles(&g).unwrap().is_empty());
+    }
+}

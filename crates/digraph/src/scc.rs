@@ -1,0 +1,131 @@
+//! Iterative Tarjan strongly-connected components.
+
+use crate::{DiGraph, NodeId};
+
+/// Computes SCCs in reverse topological order of the condensation.
+/// Iterative formulation: production graphs are small, but run-derived
+/// graphs can be deep, and Rust's stack is finite.
+pub fn tarjan(g: &DiGraph) -> Vec<Vec<NodeId>> {
+    const UNVISITED: u32 = u32::MAX;
+    let n = g.node_count();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs = Vec::new();
+
+    // Explicit DFS frames: (node, next out-edge position).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let out = g.out_edges(NodeId(v));
+            if *pos < out.len() {
+                let (_, w) = out[*pos];
+                *pos += 1;
+                let w = w.0;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp.push(NodeId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_big_scc() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(0));
+        let sccs = tarjan(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0], vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn dag_gives_singletons_in_reverse_topo_order() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        let sccs = tarjan(&g);
+        assert_eq!(sccs, vec![vec![NodeId(2)], vec![NodeId(1)], vec![NodeId(0)]]);
+    }
+
+    #[test]
+    fn two_cycles_bridge() {
+        // {0,1} cycle -> {2,3} cycle
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(0));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        g.add_edge(NodeId(3), NodeId(2));
+        let sccs = tarjan(&g);
+        assert_eq!(sccs.len(), 2);
+        // Reverse topological: sink SCC {2,3} first.
+        assert_eq!(sccs[0], vec![NodeId(2), NodeId(3)]);
+        assert_eq!(sccs[1], vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn self_loop_is_singleton_scc() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(0));
+        g.add_edge(NodeId(0), NodeId(1));
+        let sccs = tarjan(&g);
+        assert_eq!(sccs.len(), 2);
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        // 100k-node chain would blow a recursive Tarjan.
+        let n = 100_000;
+        let mut g = DiGraph::with_nodes(n);
+        for i in 0..n - 1 {
+            g.add_edge(NodeId(i as u32), NodeId(i as u32 + 1));
+        }
+        assert_eq!(tarjan(&g).len(), n);
+    }
+}

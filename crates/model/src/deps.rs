@@ -1,0 +1,194 @@
+//! Dependency assignments (Definition 6).
+
+use crate::error::ModelError;
+use crate::ids::ModuleId;
+use crate::module::ModuleSig;
+use wf_boolmat::BoolMat;
+
+/// A (partial) dependency assignment `λ`: for each covered module, a boolean
+/// matrix with one row per input port and one column per output port;
+/// `λ(M)[i][o]` means "output `o` depends on input `i`".
+///
+/// Definition 6 requires *proper* assignments — every input contributes to
+/// at least one output (no all-zero row) and every output depends on at
+/// least one input (no all-zero column); [`DepAssignment::validate_for`]
+/// enforces this.
+#[derive(Clone, Debug, Default)]
+pub struct DepAssignment {
+    mats: Vec<Option<BoolMat>>,
+}
+
+impl DepAssignment {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assignment covering `modules` with black-box (complete) matrices —
+    /// the coarse-grained model of Definition 8.
+    pub fn black_box(sigs: &[ModuleSig], modules: impl IntoIterator<Item = ModuleId>) -> Self {
+        let mut d = Self::new();
+        for m in modules {
+            let sig = &sigs[m.index()];
+            d.set(m, BoolMat::complete(sig.inputs(), sig.outputs()));
+        }
+        d
+    }
+
+    /// Assigns `λ(module) = mat` (replacing any previous matrix).
+    pub fn set(&mut self, module: ModuleId, mat: BoolMat) {
+        if module.index() >= self.mats.len() {
+            self.mats.resize(module.index() + 1, None);
+        }
+        self.mats[module.index()] = Some(mat);
+    }
+
+    /// Assigns from `(input, output)` pairs.
+    pub fn set_pairs(
+        &mut self,
+        module: ModuleId,
+        sig: &ModuleSig,
+        pairs: impl IntoIterator<Item = (usize, usize)>,
+    ) {
+        self.set(module, BoolMat::from_pairs(sig.inputs(), sig.outputs(), pairs));
+    }
+
+    #[inline]
+    pub fn get(&self, module: ModuleId) -> Option<&BoolMat> {
+        self.mats.get(module.index()).and_then(|m| m.as_ref())
+    }
+
+    pub fn is_defined(&self, module: ModuleId) -> bool {
+        self.get(module).is_some()
+    }
+
+    /// Validates shape and Definition 6 properness for one module.
+    pub fn validate_for(&self, module: ModuleId, sig: &ModuleSig) -> Result<(), ModelError> {
+        let mat = self.get(module).ok_or(ModelError::MissingDeps { module })?;
+        if mat.rows() != sig.inputs() || mat.cols() != sig.outputs() {
+            return Err(ModelError::DepsShapeMismatch { module });
+        }
+        for r in 0..mat.rows() {
+            if mat.row_bits(r) == 0 {
+                return Err(ModelError::ImproperDeps { module });
+            }
+        }
+        let t = mat.transpose();
+        for c in 0..t.rows() {
+            if t.row_bits(c) == 0 {
+                return Err(ModelError::ImproperDeps { module });
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges `other` over `self`: modules defined in `other` win. Views are
+    /// often built as "default λ with a few overrides" (Example 7).
+    pub fn overridden_by(&self, other: &DepAssignment) -> DepAssignment {
+        let len = self.mats.len().max(other.mats.len());
+        let mut out = DepAssignment { mats: vec![None; len] };
+        for i in 0..len {
+            out.mats[i] = other
+                .mats
+                .get(i)
+                .and_then(|m| m.clone())
+                .or_else(|| self.mats.get(i).and_then(|m| m.clone()));
+        }
+        out
+    }
+
+    /// Iterates `(module, matrix)` for all defined modules.
+    pub fn iter(&self) -> impl Iterator<Item = (ModuleId, &BoolMat)> {
+        self.mats
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.as_ref().map(|mat| (ModuleId(i as u32), mat)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> ModuleSig {
+        ModuleSig::new("m", 2, 2)
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut d = DepAssignment::new();
+        assert!(!d.is_defined(ModuleId(3)));
+        d.set_pairs(ModuleId(3), &sig(), [(0, 0), (1, 1)]);
+        assert!(d.is_defined(ModuleId(3)));
+        assert!(d.get(ModuleId(3)).unwrap().get(0, 0));
+        assert!(!d.get(ModuleId(0)).is_some());
+    }
+
+    #[test]
+    fn proper_assignment_validates() {
+        let mut d = DepAssignment::new();
+        d.set_pairs(ModuleId(0), &sig(), [(0, 0), (1, 1)]);
+        d.validate_for(ModuleId(0), &sig()).unwrap();
+    }
+
+    #[test]
+    fn empty_row_rejected() {
+        let mut d = DepAssignment::new();
+        d.set_pairs(ModuleId(0), &sig(), [(0, 0), (0, 1)]); // input 1 contributes nowhere
+        assert_eq!(
+            d.validate_for(ModuleId(0), &sig()),
+            Err(ModelError::ImproperDeps { module: ModuleId(0) })
+        );
+    }
+
+    #[test]
+    fn empty_column_rejected() {
+        let mut d = DepAssignment::new();
+        d.set_pairs(ModuleId(0), &sig(), [(0, 0), (1, 0)]); // output 1 depends on nothing
+        assert_eq!(
+            d.validate_for(ModuleId(0), &sig()),
+            Err(ModelError::ImproperDeps { module: ModuleId(0) })
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut d = DepAssignment::new();
+        d.set(ModuleId(0), BoolMat::complete(3, 2));
+        assert_eq!(
+            d.validate_for(ModuleId(0), &sig()),
+            Err(ModelError::DepsShapeMismatch { module: ModuleId(0) })
+        );
+    }
+
+    #[test]
+    fn missing_rejected() {
+        let d = DepAssignment::new();
+        assert_eq!(
+            d.validate_for(ModuleId(0), &sig()),
+            Err(ModelError::MissingDeps { module: ModuleId(0) })
+        );
+    }
+
+    #[test]
+    fn black_box_is_complete_and_proper() {
+        let sigs = vec![ModuleSig::new("a", 2, 3), ModuleSig::new("b", 1, 1)];
+        let d = DepAssignment::black_box(&sigs, [ModuleId(0), ModuleId(1)]);
+        assert!(d.get(ModuleId(0)).unwrap().is_complete());
+        d.validate_for(ModuleId(0), &sigs[0]).unwrap();
+        d.validate_for(ModuleId(1), &sigs[1]).unwrap();
+    }
+
+    #[test]
+    fn override_semantics() {
+        let s = sig();
+        let mut base = DepAssignment::new();
+        base.set_pairs(ModuleId(0), &s, [(0, 0), (1, 1)]);
+        base.set_pairs(ModuleId(1), &s, [(0, 1), (1, 0)]);
+        let mut over = DepAssignment::new();
+        over.set(ModuleId(1), BoolMat::complete(2, 2));
+        let merged = base.overridden_by(&over);
+        assert!(!merged.get(ModuleId(0)).unwrap().is_complete());
+        assert!(merged.get(ModuleId(1)).unwrap().is_complete());
+        assert_eq!(merged.iter().count(), 2);
+    }
+}

@@ -1,0 +1,368 @@
+//! User-defined views built by grouping modules (§5).
+//!
+//! A grouping takes one production `C → W` and a convex set of positions in
+//! `W`, and introduces a fresh composite module `F` encapsulating them —
+//! formally replacing `C → W` by `C → W₉` (with `F` in place of the members)
+//! and `F → W₁₀` (the induced sub-workflow), exactly as in Figure 16. Data
+//! edges *between* members are hidden in the resulting view, along with the
+//! members themselves.
+//!
+//! Labeling such views never rebuilds data labels: §5's construction
+//! projects the user-defined view back onto the *original* production
+//! structure, computing reachability matrices over the original positions
+//! with the hidden ports masked out ("the first column is undefined",
+//! Example 19). [`Grouping::boundary`] and [`Grouping::is_hidden_in`],
+//! consumed by the labeler, provide exactly that projection;
+//! [`Grouping::materialize`] builds the formal `W₉`/`W₁₀` pair for tests and
+//! documentation.
+
+use crate::error::ModelError;
+use crate::grammar::Grammar;
+use crate::ids::{ModuleId, ProdId};
+use crate::module::ModuleSig;
+use crate::production::Production;
+use crate::workflow::{DataEdge, InPortRef, NodeIx, OutPortRef, SimpleWorkflow};
+
+/// A module-grouping operation on one production.
+#[derive(Clone, Debug)]
+pub struct Grouping {
+    /// The production whose right-hand side is being grouped.
+    pub prod: ProdId,
+    /// Positions of the grouped instances, sorted and distinct.
+    pub members: Vec<NodeIx>,
+    /// Name of the new composite module `F`.
+    pub name: String,
+}
+
+/// The boundary of a group: which member ports remain visible as ports of
+/// the new composite module `F`, in canonical `(node, port)` order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupBoundary {
+    /// Member input ports fed from outside the group (or initial): `F`'s
+    /// inputs, in order.
+    pub f_inputs: Vec<InPortRef>,
+    /// Member output ports consumed outside the group (or final): `F`'s
+    /// outputs, in order.
+    pub f_outputs: Vec<OutPortRef>,
+}
+
+impl Grouping {
+    pub fn new(prod: ProdId, members: impl IntoIterator<Item = NodeIx>, name: impl Into<String>) -> Self {
+        let mut members: Vec<NodeIx> = members.into_iter().collect();
+        members.sort();
+        members.dedup();
+        Self { prod, members, name: name.into() }
+    }
+
+    #[inline]
+    pub fn is_member(&self, n: NodeIx) -> bool {
+        self.members.binary_search(&n).is_ok()
+    }
+
+    /// Validates the grouping:
+    /// * the production exists and the positions are in range, nonempty;
+    /// * the group is *convex*: no data path leaves the group and re-enters
+    ///   it (otherwise `W₉` would be cyclic through `F`).
+    pub fn validate(&self, grammar: &Grammar) -> Result<(), ModelError> {
+        if self.prod.index() >= grammar.production_count() {
+            return Err(ModelError::BadGrouping { prod: self.prod, detail: "no such production" });
+        }
+        let w = &grammar.production(self.prod).rhs;
+        if self.members.is_empty() {
+            return Err(ModelError::BadGrouping { prod: self.prod, detail: "empty member set" });
+        }
+        if self.members.last().unwrap().index() >= w.node_count() {
+            return Err(ModelError::BadGrouping { prod: self.prod, detail: "position out of range" });
+        }
+        if self.members.len() == w.node_count() {
+            return Err(ModelError::BadGrouping {
+                prod: self.prod,
+                detail: "grouping the whole right-hand side is a no-op view",
+            });
+        }
+        // Convexity: for every non-member n reachable from a member, n must
+        // not reach a member.
+        for &m in &self.members {
+            for n in 0..w.node_count() {
+                let n = NodeIx(n as u32);
+                if self.is_member(n) || !w.node_reaches(m, n) {
+                    continue;
+                }
+                for &m2 in &self.members {
+                    if w.node_reaches(n, m2) {
+                        return Err(ModelError::BadGrouping {
+                            prod: self.prod,
+                            detail: "group is not convex: a path exits and re-enters it",
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes `F`'s boundary ports over the *original* workflow.
+    pub fn boundary(&self, grammar: &Grammar) -> GroupBoundary {
+        let w = &grammar.production(self.prod).rhs;
+        let sigs = grammar.sigs();
+        let mut f_inputs = Vec::new();
+        let mut f_outputs = Vec::new();
+        for &m in &self.members {
+            let sig = &sigs[w.module_at(m).index()];
+            for p in 0..sig.inputs() as u8 {
+                let port = InPortRef { node: m, port: p };
+                let fed_internally = w
+                    .edge_into(port)
+                    .is_some_and(|e| self.is_member(e.from.node));
+                if !fed_internally {
+                    f_inputs.push(port);
+                }
+            }
+            for p in 0..sig.outputs() as u8 {
+                let port = OutPortRef { node: m, port: p };
+                let consumed_internally = w
+                    .edge_out_of(port)
+                    .is_some_and(|e| self.is_member(e.to.node));
+                if !consumed_internally {
+                    f_outputs.push(port);
+                }
+            }
+        }
+        GroupBoundary { f_inputs, f_outputs }
+    }
+
+    /// True iff an input port of the original workflow is hidden by this
+    /// grouping (a member port fed by an intra-group edge).
+    pub fn input_hidden(&self, grammar: &Grammar, p: InPortRef) -> bool {
+        let w = &grammar.production(self.prod).rhs;
+        self.is_member(p.node) && w.edge_into(p).is_some_and(|e| self.is_member(e.from.node))
+    }
+
+    /// True iff an output port is hidden (consumed by an intra-group edge).
+    pub fn output_hidden(&self, grammar: &Grammar, p: OutPortRef) -> bool {
+        let w = &grammar.production(self.prod).rhs;
+        self.is_member(p.node) && w.edge_out_of(p).is_some_and(|e| self.is_member(e.to.node))
+    }
+
+    /// Materializes the formal transformation of §5: returns the new module
+    /// signature for `F` and the productions `C → W₉` and `F → W₁₀`.
+    /// `f_id` is the module id the caller reserves for `F`.
+    pub fn materialize(
+        &self,
+        grammar: &Grammar,
+        f_id: ModuleId,
+    ) -> Result<(ModuleSig, Production, Production), ModelError> {
+        self.validate(grammar)?;
+        let prod = grammar.production(self.prod);
+        let w = &prod.rhs;
+        let boundary = self.boundary(grammar);
+        let f_sig = ModuleSig::new(
+            self.name.clone(),
+            boundary.f_inputs.len() as u8,
+            boundary.f_outputs.len() as u8,
+        );
+
+        // ---- W10: the induced sub-workflow over the members. ----
+        let member_pos = |n: NodeIx| self.members.binary_search(&n).unwrap() as u32;
+        let w10_nodes: Vec<ModuleId> = self.members.iter().map(|&m| w.module_at(m)).collect();
+        let w10_edges: Vec<DataEdge> = w
+            .edges()
+            .iter()
+            .filter(|e| self.is_member(e.from.node) && self.is_member(e.to.node))
+            .map(|e| DataEdge {
+                from: OutPortRef { node: NodeIx(member_pos(e.from.node)), port: e.from.port },
+                to: InPortRef { node: NodeIx(member_pos(e.to.node)), port: e.to.port },
+            })
+            .collect();
+        // Extended module table: the original sigs plus F at f_id.
+        let mut sigs = grammar.sigs().to_vec();
+        assert_eq!(f_id.index(), sigs.len(), "f_id must be the next module id");
+        sigs.push(f_sig.clone());
+        let w10 = SimpleWorkflow::new(w10_nodes, w10_edges, &sigs)?;
+        // Canonical maps: W10's initial inputs are exactly the boundary
+        // inputs, in the same (member-relative) canonical order.
+        let p_f = Production::with_canonical_maps(f_id, w10);
+
+        // ---- W9: the outer workflow with F replacing the members. ----
+        // Abstract nodes: non-members (keyed by original position) plus F.
+        let outer: Vec<NodeIx> = (0..w.node_count() as u32)
+            .map(NodeIx)
+            .filter(|n| !self.is_member(*n))
+            .collect();
+        // Order: topological over the contracted graph.
+        let n_outer = outer.len();
+        let f_abstract = n_outer; // abstract index of F
+        let mut g = wf_digraph::DiGraph::with_nodes(n_outer + 1);
+        let outer_pos = |n: NodeIx| outer.binary_search(&n).unwrap();
+        for e in w.edges() {
+            let from_member = self.is_member(e.from.node);
+            let to_member = self.is_member(e.to.node);
+            match (from_member, to_member) {
+                (true, true) => {} // hidden internal edge
+                (false, false) => {
+                    g.add_edge(
+                        wf_digraph::NodeId(outer_pos(e.from.node) as u32),
+                        wf_digraph::NodeId(outer_pos(e.to.node) as u32),
+                    );
+                }
+                (false, true) => {
+                    g.add_edge(
+                        wf_digraph::NodeId(outer_pos(e.from.node) as u32),
+                        wf_digraph::NodeId(f_abstract as u32),
+                    );
+                }
+                (true, false) => {
+                    g.add_edge(
+                        wf_digraph::NodeId(f_abstract as u32),
+                        wf_digraph::NodeId(outer_pos(e.to.node) as u32),
+                    );
+                }
+            }
+        }
+        let order = g.topo_sort().expect("convex grouping keeps the outer workflow acyclic");
+        // new_pos[abstract index] = position in W9's node list.
+        let mut new_pos = vec![0u32; n_outer + 1];
+        let mut w9_nodes = Vec::with_capacity(n_outer + 1);
+        for (i, nid) in order.iter().enumerate() {
+            new_pos[nid.0 as usize] = i as u32;
+            w9_nodes.push(if nid.0 as usize == f_abstract {
+                f_id
+            } else {
+                w.module_at(outer[nid.0 as usize])
+            });
+        }
+        let f_in_port = |p: InPortRef| {
+            boundary.f_inputs.iter().position(|&q| q == p).expect("boundary input") as u8
+        };
+        let f_out_port = |p: OutPortRef| {
+            boundary.f_outputs.iter().position(|&q| q == p).expect("boundary output") as u8
+        };
+        let map_out = |p: OutPortRef| {
+            if self.is_member(p.node) {
+                OutPortRef { node: NodeIx(new_pos[f_abstract]), port: f_out_port(p) }
+            } else {
+                OutPortRef { node: NodeIx(new_pos[outer_pos(p.node)]), port: p.port }
+            }
+        };
+        let map_in = |p: InPortRef| {
+            if self.is_member(p.node) {
+                InPortRef { node: NodeIx(new_pos[f_abstract]), port: f_in_port(p) }
+            } else {
+                InPortRef { node: NodeIx(new_pos[outer_pos(p.node)]), port: p.port }
+            }
+        };
+        let w9_edges: Vec<DataEdge> = w
+            .edges()
+            .iter()
+            .filter(|e| !(self.is_member(e.from.node) && self.is_member(e.to.node)))
+            .map(|e| DataEdge { from: map_out(e.from), to: map_in(e.to) })
+            .collect();
+        let w9 = SimpleWorkflow::new(w9_nodes, w9_edges, &sigs)?;
+        // C's bijection: remap the original input/output maps.
+        let p_c = Production {
+            lhs: prod.lhs,
+            rhs: w9,
+            input_map: prod.input_map.iter().map(|&p| map_in(p)).collect(),
+            output_map: prod.output_map.iter().map(|&p| map_out(p)).collect(),
+        };
+        Ok((f_sig, p_c, p_f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+
+    /// C -> (b, D, E, c) chain: the Figure 16 shape (group {D, E}).
+    fn chain_grammar() -> (Grammar, ProdId) {
+        let mut g = GrammarBuilder::new();
+        let c = g.composite("C", 1, 1);
+        let b = g.atomic("b", 1, 1);
+        let d = g.atomic("D", 1, 1);
+        let e = g.atomic("E", 1, 1);
+        let c2 = g.atomic("c", 1, 1);
+        g.start(c);
+        g.production(
+            c,
+            vec![b, d, e, c2],
+            vec![((0, 0), (1, 0)), ((1, 0), (2, 0)), ((2, 0), (3, 0))],
+        );
+        (g.finish().unwrap(), ProdId(0))
+    }
+
+    #[test]
+    fn boundary_of_figure16_group() {
+        let (g, p) = chain_grammar();
+        let grp = Grouping::new(p, [NodeIx(1), NodeIx(2)], "F");
+        grp.validate(&g).unwrap();
+        let b = grp.boundary(&g);
+        // F's input: D's input (fed by b, outside). E's input is hidden
+        // (fed by the internal D->E edge). F's output: E's output.
+        assert_eq!(b.f_inputs, vec![InPortRef { node: NodeIx(1), port: 0 }]);
+        assert_eq!(b.f_outputs, vec![OutPortRef { node: NodeIx(2), port: 0 }]);
+        assert!(grp.input_hidden(&g, InPortRef { node: NodeIx(2), port: 0 }));
+        assert!(!grp.input_hidden(&g, InPortRef { node: NodeIx(1), port: 0 }));
+        assert!(grp.output_hidden(&g, OutPortRef { node: NodeIx(1), port: 0 }));
+        assert!(!grp.output_hidden(&g, OutPortRef { node: NodeIx(2), port: 0 }));
+    }
+
+    #[test]
+    fn materialize_figure16() {
+        let (g, p) = chain_grammar();
+        let grp = Grouping::new(p, [NodeIx(1), NodeIx(2)], "F");
+        let f_id = ModuleId(g.module_count() as u32);
+        let (f_sig, p_c, p_f) = grp.materialize(&g, f_id).unwrap();
+        assert_eq!(f_sig.inputs(), 1);
+        assert_eq!(f_sig.outputs(), 1);
+        // W9 = b -> F -> c.
+        assert_eq!(p_c.rhs.node_count(), 3);
+        assert_eq!(p_c.rhs.nodes()[1], f_id);
+        assert_eq!(p_c.rhs.edges().len(), 2);
+        // W10 = D -> E with one internal (now hidden) edge.
+        assert_eq!(p_f.rhs.node_count(), 2);
+        assert_eq!(p_f.rhs.edges().len(), 1);
+        assert_eq!(p_f.lhs, f_id);
+    }
+
+    #[test]
+    fn non_convex_group_rejected() {
+        // b -> D -> E -> c plus D -> c ... need path out and back in:
+        // members {b, E}: b -> D (exit) -> E (re-enter) violates convexity.
+        let (g, p) = chain_grammar();
+        let grp = Grouping::new(p, [NodeIx(0), NodeIx(2)], "F");
+        assert!(matches!(
+            grp.validate(&g),
+            Err(ModelError::BadGrouping { detail: "group is not convex: a path exits and re-enters it", .. })
+        ));
+    }
+
+    #[test]
+    fn whole_rhs_group_rejected() {
+        let (g, p) = chain_grammar();
+        let grp = Grouping::new(p, (0..4).map(NodeIx), "F");
+        assert!(grp.validate(&g).is_err());
+    }
+
+    #[test]
+    fn empty_and_out_of_range_rejected() {
+        let (g, p) = chain_grammar();
+        assert!(Grouping::new(p, [], "F").validate(&g).is_err());
+        assert!(Grouping::new(p, [NodeIx(9)], "F").validate(&g).is_err());
+    }
+
+    #[test]
+    fn adjacent_pair_groups_fine() {
+        let (g, p) = chain_grammar();
+        // Group {b, D} — convex prefix.
+        let grp = Grouping::new(p, [NodeIx(0), NodeIx(1)], "F");
+        grp.validate(&g).unwrap();
+        let f_id = ModuleId(g.module_count() as u32);
+        let (f_sig, p_c, _p_f) = grp.materialize(&g, f_id).unwrap();
+        assert_eq!(f_sig.inputs(), 1);
+        assert_eq!(f_sig.outputs(), 1);
+        assert_eq!(p_c.rhs.node_count(), 3);
+        // C's input map now points at F's input.
+        assert_eq!(p_c.input_map[0].node, p_c.rhs.nodes().iter().position(|&m| m == f_id).map(|i| NodeIx(i as u32)).unwrap());
+    }
+}

@@ -1,0 +1,60 @@
+//! Dense identifiers for grammar-level entities.
+
+/// Index of a module (atomic or composite) in a grammar's module table.
+///
+/// Module identities are grammar-global and *stable across views*: a view
+/// never renumbers modules, which is what lets view labels combine with data
+/// labels produced without knowledge of any view.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ModuleId(pub u32);
+
+impl ModuleId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a production in a grammar's production table.
+///
+/// This is the `k` of the paper's `(k, i)` production-graph edge identities
+/// (§4.1); like module ids it is stable across views. The paper numbers
+/// productions from 1; we use 0-based indices internally.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProdId(pub u32);
+
+impl ProdId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl std::fmt::Display for ProdId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0 + 1) // 1-based like the paper's p₁, p₂, …
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_numbering() {
+        assert_eq!(ProdId(0).to_string(), "p1");
+        assert_eq!(ModuleId(3).to_string(), "m3");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ModuleId(1) < ModuleId(2));
+        assert!(ProdId(0) < ProdId(1));
+    }
+}

@@ -1,0 +1,56 @@
+//! The fine-grained workflow model of *Labeling Workflow Views with
+//! Fine-Grained Dependencies* (VLDB 2012), §2 and §5.
+//!
+//! A **workflow specification** `Gλ` pairs a *context-free workflow grammar*
+//! `G = (Σ, Δ, S, P)` — modules, composite modules, a start module and
+//! productions `M → W` rewriting a composite module into a simple workflow —
+//! with a *dependency assignment* `λ` giving each atomic module a bipartite
+//! input→output dependency relation (Definitions 1–7). The language `L(Gλ)`
+//! is the set of runs: all-atomic simple workflows derivable from `S`.
+//!
+//! A **view** `(Δ′, λ′)` (Definition 9) restricts expansion to a subset of
+//! composite modules and overrides the perceived dependencies of everything
+//! else — *white-box* views reflect true dependencies, *grey-box* views may
+//! add (or remove) them, and *black-box* views make every output depend on
+//! every input.
+//!
+//! Layout:
+//! * [`ids`], [`module`] — module identities and port signatures;
+//! * [`workflow`] — validated simple workflows (Definition 2);
+//! * [`production`] — productions with explicit port bijections `f`
+//!   (Definition 3);
+//! * [`grammar`] — grammars, the builder, and properness (Definition 5);
+//! * [`deps`] — dependency assignments (Definition 6);
+//! * [`spec`] — specifications `Gλ` (Definition 7) and the coarse-grained
+//!   subclass (Definition 8);
+//! * [`view`] — views and view-restricted specifications (Definition 9);
+//! * [`portgraph`] — the expanded port graph of a simple workflow, the
+//!   ground-truth reachability structure everything else is tested against;
+//! * [`grouping`] — user-defined views built by grouping modules (§5);
+//! * [`fixtures`] — the paper's running example (Figures 2–5), the unsafe
+//!   specification of Figure 6, and the linear-but-not-strictly-linear
+//!   grammar of Figure 10.
+
+pub mod deps;
+pub mod error;
+pub mod fixtures;
+pub mod grammar;
+pub mod grouping;
+pub mod ids;
+pub mod module;
+pub mod portgraph;
+pub mod production;
+pub mod spec;
+pub mod view;
+pub mod workflow;
+
+pub use deps::DepAssignment;
+pub use error::ModelError;
+pub use grammar::{Grammar, GrammarBuilder};
+pub use ids::{ModuleId, ProdId};
+pub use module::ModuleSig;
+pub use portgraph::{PortGraph, PortRef};
+pub use production::Production;
+pub use spec::Spec;
+pub use view::{View, ViewSpec};
+pub use workflow::{DataEdge, InPortRef, NodeIx, OutPortRef, SimpleWorkflow, WorkflowBuilder};

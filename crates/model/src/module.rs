@@ -1,0 +1,59 @@
+//! Module signatures (Definition 1).
+
+/// A module `M = (I, O)`: a named processing step with `n_in` input ports
+/// and `n_out` output ports.
+///
+/// Ports are identified positionally (0-based; the paper counts from 1).
+/// Whether a module is atomic or composite is a property of the *grammar*
+/// (membership in Δ), not of the signature — a view may demote a composite
+/// module to atomic without touching its signature.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ModuleSig {
+    pub name: String,
+    pub n_in: u8,
+    pub n_out: u8,
+}
+
+impl ModuleSig {
+    pub fn new(name: impl Into<String>, n_in: u8, n_out: u8) -> Self {
+        Self { name: name.into(), n_in, n_out }
+    }
+
+    #[inline]
+    pub fn inputs(&self) -> usize {
+        self.n_in as usize
+    }
+
+    #[inline]
+    pub fn outputs(&self) -> usize {
+        self.n_out as usize
+    }
+
+    /// Every module that can carry a proper dependency assignment has at
+    /// least one input and one output (Definition 6 is unsatisfiable
+    /// otherwise). The sole permitted exceptions never occur in practice;
+    /// grammar validation enforces this.
+    pub fn has_ports(&self) -> bool {
+        self.n_in > 0 && self.n_out > 0
+    }
+}
+
+impl std::fmt::Display for ModuleSig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({} in, {} out)", self.name, self.n_in, self.n_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sig_accessors() {
+        let s = ModuleSig::new("S", 2, 3);
+        assert_eq!(s.inputs(), 2);
+        assert_eq!(s.outputs(), 3);
+        assert!(s.has_ports());
+        assert!(!ModuleSig::new("x", 0, 1).has_ports());
+    }
+}

@@ -1,0 +1,144 @@
+//! Workflow productions `M →f W` (Definition 3).
+
+use crate::error::ModelError;
+use crate::ids::{ModuleId, ProdId};
+use crate::module::ModuleSig;
+use crate::workflow::{InPortRef, OutPortRef, SimpleWorkflow};
+
+/// A production rewriting the composite module `lhs` into the simple
+/// workflow `rhs`, with the bijection `f` made explicit:
+///
+/// * `input_map[x]` is the initial input port of `rhs` bound to input `x`
+///   of `lhs`;
+/// * `output_map[y]` is the final output port of `rhs` bound to output `y`
+///   of `lhs`.
+///
+/// When a production is applied during a derivation, the data edges adjacent
+/// to the rewritten instance are re-attached through these maps; the data
+/// items themselves (and their labels) are untouched.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Production {
+    pub lhs: ModuleId,
+    pub rhs: SimpleWorkflow,
+    pub input_map: Vec<InPortRef>,
+    pub output_map: Vec<OutPortRef>,
+}
+
+impl Production {
+    /// Builds a production with the canonical "top to bottom" bijection:
+    /// LHS port `x` binds to the `x`-th initial input / final output of the
+    /// RHS in `(node, port)` order. This is the convention the paper adopts
+    /// for all its figures ("the input ports and output ports of M and W are
+    /// mapped by f from top to bottom").
+    pub fn with_canonical_maps(lhs: ModuleId, rhs: SimpleWorkflow) -> Self {
+        let input_map = rhs.initial_inputs().to_vec();
+        let output_map = rhs.final_outputs().to_vec();
+        Self { lhs, rhs, input_map, output_map }
+    }
+
+    /// Validates the bijection against the module table. `id` is used only
+    /// for error reporting.
+    pub fn validate(&self, id: ProdId, sigs: &[ModuleSig]) -> Result<(), ModelError> {
+        let sig = &sigs[self.lhs.index()];
+        if self.input_map.len() != sig.inputs() {
+            return Err(ModelError::BadPortMap { prod: id, detail: "input arity mismatch" });
+        }
+        if self.output_map.len() != sig.outputs() {
+            return Err(ModelError::BadPortMap { prod: id, detail: "output arity mismatch" });
+        }
+        // input_map must be a permutation of the RHS initial inputs.
+        let mut inits = self.rhs.initial_inputs().to_vec();
+        let mut mapped_in = self.input_map.clone();
+        inits.sort();
+        mapped_in.sort();
+        if inits != mapped_in {
+            return Err(ModelError::BadPortMap {
+                prod: id,
+                detail: "input_map is not a bijection onto the initial inputs",
+            });
+        }
+        let mut finals = self.rhs.final_outputs().to_vec();
+        let mut mapped_out = self.output_map.clone();
+        finals.sort();
+        mapped_out.sort();
+        if finals != mapped_out {
+            return Err(ModelError::BadPortMap {
+                prod: id,
+                detail: "output_map is not a bijection onto the final outputs",
+            });
+        }
+        Ok(())
+    }
+
+    /// LHS input index bound to a given RHS initial input port.
+    pub fn lhs_input_for(&self, p: InPortRef) -> Option<u8> {
+        self.input_map.iter().position(|&q| q == p).map(|i| i as u8)
+    }
+
+    /// LHS output index bound to a given RHS final output port.
+    pub fn lhs_output_for(&self, p: OutPortRef) -> Option<u8> {
+        self.output_map.iter().position(|&q| q == p).map(|i| i as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::WorkflowBuilder;
+
+    fn setup() -> (Vec<ModuleSig>, SimpleWorkflow) {
+        let sigs = vec![
+            ModuleSig::new("M", 2, 1),  // m0: composite LHS
+            ModuleSig::new("a", 1, 1),  // m1
+            ModuleSig::new("b", 2, 1),  // m2
+        ];
+        let mut b = WorkflowBuilder::new();
+        let n0 = b.node(ModuleId(1));
+        let n1 = b.node(ModuleId(2));
+        b.edge((n0, 0), (n1, 0));
+        // initial inputs: a.in0, b.in1 ; final outputs: b.out0
+        let w = b.finish(&sigs).unwrap();
+        (sigs, w)
+    }
+
+    #[test]
+    fn canonical_maps_follow_port_order() {
+        let (sigs, w) = setup();
+        let p = Production::with_canonical_maps(ModuleId(0), w);
+        p.validate(ProdId(0), &sigs).unwrap();
+        assert_eq!(p.input_map[0].node.index(), 0);
+        assert_eq!(p.input_map[1], InPortRef { node: crate::workflow::NodeIx(1), port: 1 });
+        assert_eq!(p.output_map[0].node.index(), 1);
+        assert_eq!(p.lhs_input_for(p.input_map[1]), Some(1));
+        assert_eq!(p.lhs_output_for(p.output_map[0]), Some(0));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let (mut sigs, w) = setup();
+        sigs[0] = ModuleSig::new("M", 3, 1); // now claims 3 inputs
+        let p = Production::with_canonical_maps(ModuleId(0), w);
+        // canonical maps built from RHS give only 2 entries.
+        assert!(matches!(
+            p.validate(ProdId(0), &sigs),
+            Err(ModelError::BadPortMap { detail: "input arity mismatch", .. })
+        ));
+    }
+
+    #[test]
+    fn non_bijective_map_is_rejected() {
+        let (sigs, w) = setup();
+        let mut p = Production::with_canonical_maps(ModuleId(0), w);
+        p.input_map[1] = p.input_map[0]; // duplicate
+        assert!(matches!(p.validate(ProdId(0), &sigs), Err(ModelError::BadPortMap { .. })));
+    }
+
+    #[test]
+    fn permuted_bijection_is_accepted() {
+        let (sigs, w) = setup();
+        let mut p = Production::with_canonical_maps(ModuleId(0), w);
+        p.input_map.swap(0, 1);
+        p.validate(ProdId(0), &sigs).unwrap();
+        assert_eq!(p.lhs_input_for(p.input_map[0]), Some(0));
+    }
+}

@@ -1,0 +1,148 @@
+//! Workflow specifications `Gλ` (Definition 7) and the coarse-grained
+//! subclass (Definition 8).
+
+use crate::deps::DepAssignment;
+use crate::error::ModelError;
+use crate::grammar::Grammar;
+use crate::view::View;
+
+/// A fine-grained workflow specification: a grammar plus a proper dependency
+/// assignment for its atomic modules.
+#[derive(Clone, Debug)]
+pub struct Spec {
+    pub grammar: Grammar,
+    /// The true dependency assignment λ, defined on atomic modules.
+    pub deps: DepAssignment,
+}
+
+impl Spec {
+    /// Validates that `deps` covers every atomic module with a proper matrix
+    /// (Definition 6) and that the grammar is proper under full expansion
+    /// (Definition 5 — the paper assumes properness throughout).
+    pub fn new(grammar: Grammar, deps: DepAssignment) -> Result<Self, ModelError> {
+        for m in grammar.atomic_modules().collect::<Vec<_>>() {
+            deps.validate_for(m, grammar.sig(m))?;
+        }
+        grammar.check_proper(&grammar.full_expand())?;
+        Ok(Self { grammar, deps })
+    }
+
+    /// The default view `(Δ, λ)` over this specification (Definition 9).
+    pub fn default_view(&self) -> View {
+        View::new_unchecked(self.grammar.full_expand(), self.deps.clone())
+    }
+
+    /// Definition 8: coarse-grained specifications have (1) black-box
+    /// dependencies on every atomic module and (2) single-source /
+    /// single-sink simple workflows.
+    ///
+    /// We check the property footnote 3 actually needs — all initial inputs
+    /// enter one module from which every module is reachable, and all final
+    /// outputs leave one module that every module reaches — which is the
+    /// reading under which "every output of a composite module depends on
+    /// every input" genuinely holds.
+    pub fn is_coarse_grained(&self) -> bool {
+        for m in self.grammar.atomic_modules() {
+            match self.deps.get(m) {
+                Some(mat) if mat.is_complete() => {}
+                _ => return false,
+            }
+        }
+        for (_, p) in self.grammar.productions() {
+            let w = &p.rhs;
+            let Some(&src) = w.initial_inputs().first().map(|p| &p.node) else {
+                return false;
+            };
+            if !w.initial_inputs().iter().all(|p| p.node == src) {
+                return false;
+            }
+            let Some(&sink) = w.final_outputs().first().map(|p| &p.node) else {
+                return false;
+            };
+            if !w.final_outputs().iter().all(|p| p.node == sink) {
+                return false;
+            }
+            for n in 0..w.node_count() {
+                let n = crate::workflow::NodeIx(n as u32);
+                if !w.node_reaches(src, n) || !w.node_reaches(n, sink) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+    use crate::ids::ModuleId;
+
+    fn chain_spec(complete_deps: bool) -> Result<Spec, ModelError> {
+        let mut b = GrammarBuilder::new();
+        let s = b.composite("S", 2, 1);
+        let x = b.atomic("x", 2, 2);
+        let y = b.atomic("y", 2, 1);
+        b.start(s);
+        b.production(s, vec![x, y], vec![((0, 0), (1, 0)), ((0, 1), (1, 1))]);
+        let g = b.finish()?;
+        let mut deps = DepAssignment::new();
+        if complete_deps {
+            deps = DepAssignment::black_box(g.sigs(), [x, y]);
+        } else {
+            // Identity on x is proper but not complete: fine-grained.
+            deps.set_pairs(x, g.sig(x), [(0, 0), (1, 1)]);
+            deps.set_pairs(y, g.sig(y), [(0, 0), (1, 0)]);
+        }
+        let _ = ModuleId(0);
+        Spec::new(g, deps)
+    }
+
+    #[test]
+    fn spec_validates() {
+        chain_spec(false).unwrap();
+    }
+
+    #[test]
+    fn missing_atomic_deps_rejected() {
+        let mut b = GrammarBuilder::new();
+        let s = b.composite("S", 1, 1);
+        let x = b.atomic("x", 1, 1);
+        b.start(s);
+        b.production(s, vec![x], vec![]);
+        let g = b.finish().unwrap();
+        assert!(matches!(
+            Spec::new(g, DepAssignment::new()),
+            Err(ModelError::MissingDeps { .. })
+        ));
+    }
+
+    #[test]
+    fn coarse_grained_classification() {
+        assert!(chain_spec(true).unwrap().is_coarse_grained());
+        assert!(!chain_spec(false).unwrap().is_coarse_grained());
+    }
+
+    #[test]
+    fn multi_source_is_not_coarse() {
+        // Two parallel atomics: two sources, two sinks.
+        let mut b = GrammarBuilder::new();
+        let s = b.composite("S", 2, 2);
+        let x = b.atomic("x", 1, 1);
+        b.start(s);
+        b.production(s, vec![x, x], vec![]);
+        let g = b.finish().unwrap();
+        let deps = DepAssignment::black_box(g.sigs(), [x]);
+        let spec = Spec::new(g, deps).unwrap();
+        assert!(!spec.is_coarse_grained());
+    }
+
+    #[test]
+    fn default_view_expands_all_composites() {
+        let spec = chain_spec(false).unwrap();
+        let v = spec.default_view();
+        assert!(v.expands(spec.grammar.start()));
+        assert_eq!(v.expand_mask().iter().filter(|&&e| e).count(), 1);
+    }
+}

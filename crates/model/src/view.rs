@@ -1,0 +1,250 @@
+//! Views `(Δ′, λ′)` over a specification (Definition 9).
+
+use crate::deps::DepAssignment;
+use crate::error::ModelError;
+use crate::grammar::Grammar;
+use crate::ids::{ModuleId, ProdId};
+use crate::spec::Spec;
+
+/// A view over a specification: the subset `Δ′` of composite modules a user
+/// may expand, plus the *perceived* dependency assignment `λ′` for every
+/// module the view treats as atomic.
+///
+/// The view's grammar `G_Δ′` is the base grammar restricted to productions
+/// of `Δ′` modules — we never materialize it with new ids; production and
+/// module identities stay those of the base grammar (that stability is what
+/// makes view-adaptive labeling possible).
+#[derive(Clone, Debug)]
+pub struct View {
+    expand: Vec<bool>,
+    /// λ′ — dependency matrices for modules outside `Δ′` (covering at least
+    /// the ones derivable in the view).
+    pub deps: DepAssignment,
+}
+
+impl View {
+    /// Validates a view against its grammar:
+    /// * `Δ′` contains only composite modules;
+    /// * the restricted grammar is proper (Definition 5 — the paper
+    ///   considers only proper views);
+    /// * `λ′` is defined and proper for every view-atomic module that is
+    ///   derivable in the view.
+    pub fn new(
+        grammar: &Grammar,
+        expand_modules: impl IntoIterator<Item = ModuleId>,
+        deps: DepAssignment,
+    ) -> Result<Self, ModelError> {
+        let mut expand = vec![false; grammar.module_count()];
+        for m in expand_modules {
+            if m.index() >= grammar.module_count() || !grammar.is_composite(m) {
+                return Err(ModelError::ExpandNotComposite { module: m });
+            }
+            expand[m.index()] = true;
+        }
+        grammar.check_proper(&expand)?;
+        let derivable = grammar.derivable_modules(&expand);
+        for m in grammar.modules() {
+            if derivable[m.index()] && !expand[m.index()] {
+                deps.validate_for(m, grammar.sig(m))?;
+            }
+        }
+        Ok(Self { expand, deps })
+    }
+
+    /// Bypasses validation — for the default view (already validated as part
+    /// of the specification) and internal construction.
+    pub(crate) fn new_unchecked(expand: Vec<bool>, deps: DepAssignment) -> Self {
+        Self { expand, deps }
+    }
+
+    /// Like [`View::new`] but without requiring λ′ to cover every derivable
+    /// unexpandable module. User-defined views (§5) need this: modules
+    /// hidden inside a grouping are structurally derivable in the projected
+    /// regular view, yet their perceived dependencies are carried by the
+    /// group's `λ′(F)` instead of individual matrices.
+    pub fn new_structural(
+        grammar: &Grammar,
+        expand_modules: impl IntoIterator<Item = ModuleId>,
+        deps: DepAssignment,
+    ) -> Result<Self, ModelError> {
+        let mut expand = vec![false; grammar.module_count()];
+        for m in expand_modules {
+            if m.index() >= grammar.module_count() || !grammar.is_composite(m) {
+                return Err(ModelError::ExpandNotComposite { module: m });
+            }
+            expand[m.index()] = true;
+        }
+        grammar.check_proper(&expand)?;
+        Ok(Self { expand, deps })
+    }
+
+    /// Whether module `m` may be expanded in this view.
+    #[inline]
+    pub fn expands(&self, m: ModuleId) -> bool {
+        self.expand.get(m.index()).copied().unwrap_or(false)
+    }
+
+    pub fn expand_mask(&self) -> &[bool] {
+        &self.expand
+    }
+
+    /// Number of expandable composite modules — the paper's proxy for view
+    /// size in §6.3 ("we estimate the size of a view by the number of
+    /// composite modules that can expand").
+    pub fn size(&self) -> usize {
+        self.expand.iter().filter(|&&e| e).count()
+    }
+
+    /// True when every perceived matrix is complete — a black-box view,
+    /// the only kind DRL supports (§6.4).
+    pub fn is_black_box(&self, grammar: &Grammar) -> bool {
+        let derivable = grammar.derivable_modules(&self.expand);
+        grammar.modules().all(|m| {
+            !derivable[m.index()]
+                || self.expand[m.index()]
+                || self.deps.get(m).is_some_and(|mat| mat.is_complete())
+        })
+    }
+}
+
+/// A specification seen through a view — the pair the analyses operate on.
+///
+/// Borrowing both keeps view creation O(1) and guarantees id stability.
+#[derive(Clone, Copy)]
+pub struct ViewSpec<'a> {
+    pub spec: &'a Spec,
+    pub view: &'a View,
+}
+
+impl<'a> ViewSpec<'a> {
+    pub fn new(spec: &'a Spec, view: &'a View) -> Self {
+        Self { spec, view }
+    }
+
+    #[inline]
+    pub fn grammar(&self) -> &'a Grammar {
+        &self.spec.grammar
+    }
+
+    /// λ′ of the view.
+    #[inline]
+    pub fn deps(&self) -> &'a DepAssignment {
+        &self.view.deps
+    }
+
+    /// A module is a *terminal* of the view grammar iff it cannot be
+    /// expanded.
+    #[inline]
+    pub fn is_terminal(&self, m: ModuleId) -> bool {
+        !self.view.expands(m)
+    }
+
+    /// Productions active in this view.
+    pub fn active_productions(&self) -> impl Iterator<Item = ProdId> + 'a {
+        let view = self.view;
+        self.spec
+            .grammar
+            .productions()
+            .filter(move |(_, p)| view.expands(p.lhs))
+            .map(|(k, _)| k)
+    }
+
+    #[inline]
+    pub fn prod_active(&self, k: ProdId) -> bool {
+        self.view.expands(self.spec.grammar.production(k).lhs)
+    }
+
+    /// Modules derivable in the view.
+    pub fn derivable(&self) -> Vec<bool> {
+        self.spec.grammar.derivable_modules(self.view.expand_mask())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+    use wf_boolmat::BoolMat;
+
+    /// S -> (x, C); C -> (y); two-level grammar.
+    fn two_level() -> (Spec, ModuleId, ModuleId) {
+        let mut b = GrammarBuilder::new();
+        let s = b.composite("S", 1, 1);
+        let c = b.composite("C", 1, 1);
+        let x = b.atomic("x", 1, 1);
+        let y = b.atomic("y", 1, 1);
+        b.start(s);
+        b.production(s, vec![x, c], vec![((0, 0), (1, 0))]);
+        b.production(c, vec![y], vec![]);
+        let g = b.finish().unwrap();
+        let mut deps = DepAssignment::new();
+        deps.set(x, BoolMat::identity(1));
+        deps.set(y, BoolMat::identity(1));
+        (Spec::new(g, deps).unwrap(), s, c)
+    }
+
+    #[test]
+    fn valid_partial_view() {
+        let (spec, s, c) = two_level();
+        // Expand only S: C becomes atomic-in-view and needs λ′(C).
+        let mut deps = spec.deps.clone();
+        deps.set(c, BoolMat::identity(1));
+        let v = View::new(&spec.grammar, [s], deps).unwrap();
+        assert!(v.expands(s));
+        assert!(!v.expands(c));
+        assert_eq!(v.size(), 1);
+        let vs = ViewSpec::new(&spec, &v);
+        assert!(vs.is_terminal(c));
+        assert_eq!(vs.active_productions().count(), 1);
+    }
+
+    #[test]
+    fn missing_view_deps_rejected() {
+        let (spec, s, _c) = two_level();
+        // λ′ covers x and y, but not C which is derivable & unexpandable.
+        let err = View::new(&spec.grammar, [s], spec.deps.clone());
+        assert!(matches!(err, Err(ModelError::MissingDeps { .. })));
+    }
+
+    #[test]
+    fn underivable_modules_need_no_deps() {
+        let (spec, s, c) = two_level();
+        // Expanding both S and C: y needs λ′ but C itself doesn't (it is in Δ′).
+        let v = View::new(&spec.grammar, [s, c], spec.deps.clone()).unwrap();
+        assert_eq!(v.size(), 2);
+    }
+
+    #[test]
+    fn expanding_atomic_rejected() {
+        let (spec, _s, _c) = two_level();
+        let x = spec.grammar.module_named("x").unwrap();
+        assert!(matches!(
+            View::new(&spec.grammar, [x], spec.deps.clone()),
+            Err(ModelError::ExpandNotComposite { .. })
+        ));
+    }
+
+    #[test]
+    fn improper_view_rejected() {
+        let (spec, _s, c) = two_level();
+        // Expanding only C: C is underivable in the restricted grammar.
+        let err = View::new(&spec.grammar, [c], spec.deps.clone());
+        assert!(matches!(err, Err(ModelError::Underivable { .. })));
+    }
+
+    #[test]
+    fn black_box_detection() {
+        let (spec, s, c) = two_level();
+        let g = &spec.grammar;
+        let x = g.module_named("x").unwrap();
+        let mut deps = DepAssignment::new();
+        deps.set(x, BoolMat::complete(1, 1));
+        deps.set(c, BoolMat::complete(1, 1));
+        let v = View::new(g, [s], deps).unwrap();
+        assert!(v.is_black_box(g));
+        // The default view with identity matrices is trivially "complete"
+        // here because all modules are 1x1; use a 2-port module to verify
+        // the negative case elsewhere (covered in spec tests).
+        let _ = c;
+    }
+}

@@ -1,0 +1,363 @@
+//! Simple workflows (Definition 2): DAGs of module instances connected by
+//! data edges, with pairwise non-adjacent edges.
+
+use crate::error::ModelError;
+use crate::ids::ModuleId;
+use crate::module::ModuleSig;
+
+/// Index of a module instance (node) within one simple workflow.
+///
+/// Nodes are stored in the *fixed topological ordering* of §4.1, so a node's
+/// index is exactly the `i` of the production-graph edge id `(k, i)` (we use
+/// 0-based positions; the paper counts from 1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeIx(pub u32);
+
+impl NodeIx {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An output port of a node: the producing end of a data edge.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OutPortRef {
+    pub node: NodeIx,
+    pub port: u8,
+}
+
+/// An input port of a node: the consuming end of a data edge.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InPortRef {
+    pub node: NodeIx,
+    pub port: u8,
+}
+
+/// A data edge carrying one data item from an output port to an input port.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DataEdge {
+    pub from: OutPortRef,
+    pub to: InPortRef,
+}
+
+/// A validated simple workflow `W = (V, E)`.
+///
+/// Invariants (enforced by [`SimpleWorkflow::new`]):
+/// * at least one node; all module ids and port indices in range;
+/// * every port touches at most one data edge (pairwise non-adjacency);
+/// * every edge goes from an earlier node to a strictly later node — the
+///   listing is a topological order, so the workflow is acyclic.
+///
+/// *Initial inputs* (input ports with no incoming edge) and *final outputs*
+/// (output ports with no outgoing edge) are derived at construction, in
+/// canonical `(node, port)` order — the "top to bottom" convention the paper
+/// uses for the default bijections.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SimpleWorkflow {
+    nodes: Vec<ModuleId>,
+    edges: Vec<DataEdge>,
+    initial_inputs: Vec<InPortRef>,
+    final_outputs: Vec<OutPortRef>,
+    /// `in_edge[node][port]` = index into `edges` of the edge feeding that
+    /// input port, if any.
+    in_edge: Vec<Vec<Option<u32>>>,
+    /// `out_edge[node][port]` = index of the edge consuming that output.
+    out_edge: Vec<Vec<Option<u32>>>,
+}
+
+impl SimpleWorkflow {
+    /// Validates and indexes a simple workflow against the module table.
+    pub fn new(
+        nodes: Vec<ModuleId>,
+        edges: Vec<DataEdge>,
+        sigs: &[ModuleSig],
+    ) -> Result<Self, ModelError> {
+        if nodes.is_empty() {
+            return Err(ModelError::EmptyWorkflow);
+        }
+        for &m in &nodes {
+            if m.index() >= sigs.len() {
+                return Err(ModelError::UnknownModule { module: m });
+            }
+        }
+        let sig_of = |n: NodeIx| &sigs[nodes[n.index()].index()];
+        let mut in_edge: Vec<Vec<Option<u32>>> =
+            nodes.iter().map(|m| vec![None; sigs[m.index()].inputs()]).collect();
+        let mut out_edge: Vec<Vec<Option<u32>>> =
+            nodes.iter().map(|m| vec![None; sigs[m.index()].outputs()]).collect();
+
+        for (ei, e) in edges.iter().enumerate() {
+            let (fi, ti) = (e.from.node.index(), e.to.node.index());
+            if fi >= nodes.len() || ti >= nodes.len() {
+                return Err(ModelError::EdgeNotForward { from_node: fi, to_node: ti });
+            }
+            if e.from.port as usize >= sig_of(e.from.node).outputs() {
+                return Err(ModelError::PortOutOfRange { node: fi, port: e.from.port, is_input: false });
+            }
+            if e.to.port as usize >= sig_of(e.to.node).inputs() {
+                return Err(ModelError::PortOutOfRange { node: ti, port: e.to.port, is_input: true });
+            }
+            if fi >= ti {
+                return Err(ModelError::EdgeNotForward { from_node: fi, to_node: ti });
+            }
+            let out_slot = &mut out_edge[fi][e.from.port as usize];
+            if out_slot.is_some() {
+                return Err(ModelError::AdjacentEdges { node: fi, port: e.from.port, is_input: false });
+            }
+            *out_slot = Some(ei as u32);
+            let in_slot = &mut in_edge[ti][e.to.port as usize];
+            if in_slot.is_some() {
+                return Err(ModelError::AdjacentEdges { node: ti, port: e.to.port, is_input: true });
+            }
+            *in_slot = Some(ei as u32);
+        }
+
+        let mut initial_inputs = Vec::new();
+        let mut final_outputs = Vec::new();
+        for (ni, slots) in in_edge.iter().enumerate() {
+            for (p, slot) in slots.iter().enumerate() {
+                if slot.is_none() {
+                    initial_inputs.push(InPortRef { node: NodeIx(ni as u32), port: p as u8 });
+                }
+            }
+        }
+        for (ni, slots) in out_edge.iter().enumerate() {
+            for (p, slot) in slots.iter().enumerate() {
+                if slot.is_none() {
+                    final_outputs.push(OutPortRef { node: NodeIx(ni as u32), port: p as u8 });
+                }
+            }
+        }
+
+        Ok(Self { nodes, edges, initial_inputs, final_outputs, in_edge, out_edge })
+    }
+
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    pub fn module_at(&self, n: NodeIx) -> ModuleId {
+        self.nodes[n.index()]
+    }
+
+    pub fn nodes(&self) -> &[ModuleId] {
+        &self.nodes
+    }
+
+    pub fn edges(&self) -> &[DataEdge] {
+        &self.edges
+    }
+
+    /// Initial input ports in canonical `(node, port)` order.
+    pub fn initial_inputs(&self) -> &[InPortRef] {
+        &self.initial_inputs
+    }
+
+    /// Final output ports in canonical `(node, port)` order.
+    pub fn final_outputs(&self) -> &[OutPortRef] {
+        &self.final_outputs
+    }
+
+    /// The edge feeding an input port, if any.
+    #[inline]
+    pub fn edge_into(&self, p: InPortRef) -> Option<&DataEdge> {
+        self.in_edge[p.node.index()][p.port as usize].map(|i| &self.edges[i as usize])
+    }
+
+    /// The edge consuming an output port, if any.
+    #[inline]
+    pub fn edge_out_of(&self, p: OutPortRef) -> Option<&DataEdge> {
+        self.out_edge[p.node.index()][p.port as usize].map(|i| &self.edges[i as usize])
+    }
+
+    /// Instance-level reachability: `to` is reachable from `from` through
+    /// data edges (reflexive). Used by the coarse-grained (black-box)
+    /// machinery where module internals pass everything through.
+    pub fn node_reaches(&self, from: NodeIx, to: NodeIx) -> bool {
+        if from == to {
+            return true;
+        }
+        // Forward edges only; node indices are topological.
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![from];
+        seen[from.index()] = true;
+        while let Some(u) = stack.pop() {
+            for e in &self.edges {
+                if e.from.node == u && !seen[e.to.node.index()] {
+                    if e.to.node == to {
+                        return true;
+                    }
+                    seen[e.to.node.index()] = true;
+                    stack.push(e.to.node);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Convenience builder used by fixtures and generators.
+///
+/// ```
+/// use wf_model::{ModuleSig, ModuleId, WorkflowBuilder};
+/// let sigs = vec![ModuleSig::new("a", 1, 1), ModuleSig::new("b", 1, 1)];
+/// let mut b = WorkflowBuilder::new();
+/// let n0 = b.node(ModuleId(0));
+/// let n1 = b.node(ModuleId(1));
+/// b.edge((n0, 0), (n1, 0));
+/// let w = b.finish(&sigs).unwrap();
+/// assert_eq!(w.initial_inputs().len(), 1);
+/// assert_eq!(w.final_outputs().len(), 1);
+/// ```
+#[derive(Default)]
+pub struct WorkflowBuilder {
+    nodes: Vec<ModuleId>,
+    edges: Vec<DataEdge>,
+}
+
+impl WorkflowBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an instance of `module`; returns its position.
+    pub fn node(&mut self, module: ModuleId) -> NodeIx {
+        self.nodes.push(module);
+        NodeIx(self.nodes.len() as u32 - 1)
+    }
+
+    /// Adds a data edge from `(node, output port)` to `(node, input port)`.
+    pub fn edge(&mut self, from: (NodeIx, u8), to: (NodeIx, u8)) -> &mut Self {
+        self.edges.push(DataEdge {
+            from: OutPortRef { node: from.0, port: from.1 },
+            to: InPortRef { node: to.0, port: to.1 },
+        });
+        self
+    }
+
+    pub fn finish(self, sigs: &[ModuleSig]) -> Result<SimpleWorkflow, ModelError> {
+        SimpleWorkflow::new(self.nodes, self.edges, sigs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sigs() -> Vec<ModuleSig> {
+        vec![
+            ModuleSig::new("x", 1, 2), // m0
+            ModuleSig::new("y", 2, 1), // m1
+        ]
+    }
+
+    #[test]
+    fn boundary_ports_in_canonical_order() {
+        let sigs = sigs();
+        let mut b = WorkflowBuilder::new();
+        let n0 = b.node(ModuleId(0));
+        let n1 = b.node(ModuleId(1));
+        b.edge((n0, 1), (n1, 0));
+        let w = b.finish(&sigs).unwrap();
+        assert_eq!(
+            w.initial_inputs(),
+            &[InPortRef { node: n0, port: 0 }, InPortRef { node: n1, port: 1 }]
+        );
+        assert_eq!(
+            w.final_outputs(),
+            &[OutPortRef { node: n0, port: 0 }, OutPortRef { node: n1, port: 0 }]
+        );
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            SimpleWorkflow::new(vec![], vec![], &sigs()),
+            Err(ModelError::EmptyWorkflow)
+        );
+    }
+
+    #[test]
+    fn rejects_adjacent_edges() {
+        let sigs = sigs();
+        let mut b = WorkflowBuilder::new();
+        let n0 = b.node(ModuleId(0));
+        let n1 = b.node(ModuleId(1));
+        b.edge((n0, 0), (n1, 0));
+        b.edge((n0, 0), (n1, 1)); // same output port twice
+        assert!(matches!(
+            b.finish(&sigs),
+            Err(ModelError::AdjacentEdges { is_input: false, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_shared_input_port() {
+        let sigs = sigs();
+        let mut b = WorkflowBuilder::new();
+        let n0 = b.node(ModuleId(0));
+        let n1 = b.node(ModuleId(1));
+        b.edge((n0, 0), (n1, 0));
+        b.edge((n0, 1), (n1, 0)); // same input port twice
+        assert!(matches!(
+            b.finish(&sigs),
+            Err(ModelError::AdjacentEdges { is_input: true, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_backward_and_self_edges() {
+        let sigs = sigs();
+        let mut b = WorkflowBuilder::new();
+        let n0 = b.node(ModuleId(0));
+        let n1 = b.node(ModuleId(1));
+        b.edge((n1, 0), (n0, 0));
+        assert!(matches!(b.finish(&sigs), Err(ModelError::EdgeNotForward { .. })));
+
+        let mut b = WorkflowBuilder::new();
+        let n0 = b.node(ModuleId(1));
+        b.edge((n0, 0), (n0, 0));
+        assert!(matches!(b.finish(&sigs), Err(ModelError::EdgeNotForward { .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_range_port() {
+        let sigs = sigs();
+        let mut b = WorkflowBuilder::new();
+        let n0 = b.node(ModuleId(0));
+        let n1 = b.node(ModuleId(1));
+        b.edge((n0, 2), (n1, 0)); // m0 has 2 outputs: 0, 1
+        assert!(matches!(b.finish(&sigs), Err(ModelError::PortOutOfRange { .. })));
+    }
+
+    #[test]
+    fn edge_lookups() {
+        let sigs = sigs();
+        let mut b = WorkflowBuilder::new();
+        let n0 = b.node(ModuleId(0));
+        let n1 = b.node(ModuleId(1));
+        b.edge((n0, 1), (n1, 0));
+        let w = b.finish(&sigs).unwrap();
+        assert!(w.edge_into(InPortRef { node: n1, port: 0 }).is_some());
+        assert!(w.edge_into(InPortRef { node: n1, port: 1 }).is_none());
+        assert!(w.edge_out_of(OutPortRef { node: n0, port: 1 }).is_some());
+        assert!(w.edge_out_of(OutPortRef { node: n0, port: 0 }).is_none());
+    }
+
+    #[test]
+    fn node_reachability() {
+        let sigs = vec![ModuleSig::new("m", 1, 1); 4];
+        let mut b = WorkflowBuilder::new();
+        let n: Vec<_> = (0..4).map(|i| b.node(ModuleId(i as u32))).collect();
+        b.edge((n[0], 0), (n[1], 0));
+        b.edge((n[2], 0), (n[3], 0));
+        let w = b.finish(&sigs).unwrap();
+        assert!(w.node_reaches(n[0], n[1]));
+        assert!(w.node_reaches(n[0], n[0]));
+        assert!(!w.node_reaches(n[0], n[2]));
+        assert!(!w.node_reaches(n[1], n[0]));
+    }
+}

@@ -1,0 +1,287 @@
+//! Replayable derivations and the random run sampler of the evaluation.
+
+use crate::run::{InstanceId, Run, RunError, StepId};
+use rand::Rng;
+use wf_analysis::ProdGraph;
+use wf_model::{Grammar, ProdId};
+
+/// A derivation script: the sequence of `(instance, production)` choices.
+/// Replaying it on a fresh [`Run`] is deterministic because instance ids are
+/// allocated in creation order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Derivation {
+    pub steps: Vec<(InstanceId, ProdId)>,
+}
+
+impl Derivation {
+    /// Replays the script into a run.
+    pub fn replay(&self, grammar: &Grammar) -> Result<Run, RunError> {
+        self.replay_with(grammar, |_, _| {})
+    }
+
+    /// Replays the script, invoking `observer` after every step — this is
+    /// how labelers consume derivations *online* (Definition 10: labels are
+    /// assigned per step and never revised).
+    pub fn replay_with(
+        &self,
+        grammar: &Grammar,
+        mut observer: impl FnMut(&Run, StepId),
+    ) -> Result<Run, RunError> {
+        let mut run = Run::start(grammar);
+        for &(inst, prod) in &self.steps {
+            let s = run.apply(grammar, inst, prod)?;
+            observer(&run, s);
+        }
+        Ok(run)
+    }
+
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Per-module cheapest terminating production, by total derivation size.
+/// Used to wind a random derivation down once the size target is reached.
+fn terminating_productions(grammar: &Grammar) -> Vec<Option<ProdId>> {
+    const INF: u64 = u64::MAX / 4;
+    let n = grammar.module_count();
+    let mut cost = vec![INF; n];
+    for m in grammar.atomic_modules() {
+        cost[m.index()] = 0;
+    }
+    let mut best: Vec<Option<ProdId>> = vec![None; n];
+    loop {
+        let mut changed = false;
+        for (k, p) in grammar.productions() {
+            let total: u64 = p
+                .rhs
+                .nodes()
+                .iter()
+                .map(|c| cost[c.index()].saturating_add(1))
+                .sum();
+            if total < cost[p.lhs.index()] {
+                cost[p.lhs.index()] = total;
+                best[p.lhs.index()] = Some(k);
+                changed = true;
+            }
+        }
+        if !changed {
+            return best;
+        }
+    }
+}
+
+/// Samples a random derivation of roughly `target_items` data items
+/// (§6.1: "we simulated runs by applying a random sequence of productions,
+/// varying their sizes from 1K to 32K").
+///
+/// Growth phase: expand a uniformly random open instance, preferring
+/// recursive productions (RHS reaches back to the LHS in `P(G)`) with
+/// probability 3/4 so deep runs are actually reachable. Wind-down phase:
+/// expand every remaining open instance along its cheapest terminating
+/// production, which provably converges.
+pub fn random_derivation(
+    grammar: &Grammar,
+    pg: &ProdGraph,
+    rng: &mut impl Rng,
+    target_items: usize,
+) -> Derivation {
+    let term = terminating_productions(grammar);
+    // Modules lying on a production-graph cycle (SCC-based so this also
+    // works for non-strict grammars like Figure 10's).
+    let on_cycle: Vec<bool> = {
+        let mut on_cycle = vec![false; grammar.module_count()];
+        for scc in pg.graph().sccs() {
+            let cyclic = scc.len() > 1
+                || pg.graph().out_edges(scc[0]).iter().any(|&(_, t)| t == scc[0]);
+            if cyclic {
+                for n in scc {
+                    on_cycle[n.0 as usize] = true;
+                }
+            }
+        }
+        on_cycle
+    };
+    // dist[m] = production steps needed before an on-cycle instance exists
+    // below an instance of m (0 when m itself is on a cycle).
+    const INF: u64 = u64::MAX / 4;
+    let mut dist: Vec<u64> = (0..grammar.module_count())
+        .map(|m| if on_cycle[m] { 0 } else { INF })
+        .collect();
+    let mut toward_cycle: Vec<Option<ProdId>> = vec![None; grammar.module_count()];
+    loop {
+        let mut changed = false;
+        for (k, p) in grammar.productions() {
+            if on_cycle[p.lhs.index()] {
+                continue;
+            }
+            let best_child = p.rhs.nodes().iter().map(|c| dist[c.index()]).min().unwrap_or(INF);
+            let cand = best_child.saturating_add(1);
+            if cand < dist[p.lhs.index()] {
+                dist[p.lhs.index()] = cand;
+                toward_cycle[p.lhs.index()] = Some(k);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let is_recursive_prod = |k: ProdId| {
+        let p = grammar.production(k);
+        p.rhs.nodes().iter().any(|&c| pg.reaches(c, p.lhs))
+    };
+    let mut run = Run::start(grammar);
+    let mut steps = Vec::new();
+    // Growth phase. Invariant: as long as the target is unmet and recursion
+    // is reachable at all, each iteration either unrolls a cycle or moves an
+    // instance strictly closer to one, so arbitrary sizes are attainable.
+    while run.item_count() < target_items {
+        let cycle_open: Vec<InstanceId> = run
+            .open_instances()
+            .iter()
+            .copied()
+            .filter(|&i| on_cycle[run.instance(i).module.index()])
+            .collect();
+        let (inst, k) = if !cycle_open.is_empty() {
+            let inst = cycle_open[rng.gen_range(0..cycle_open.len())];
+            let m = run.instance(inst).module;
+            let prods = grammar.productions_of(m);
+            let recursive: Vec<ProdId> =
+                prods.iter().copied().filter(|&k| is_recursive_prod(k)).collect();
+            // The sole remaining cycle instance must keep recursing, or the
+            // run could be forced to terminate under-size.
+            let k = if cycle_open.len() == 1 || rng.gen_bool(0.75) {
+                recursive[rng.gen_range(0..recursive.len())]
+            } else {
+                prods[rng.gen_range(0..prods.len())]
+            };
+            (inst, k)
+        } else {
+            // Re-establish a cycle instance by steering the closest capable
+            // instance toward one.
+            let capable: Vec<InstanceId> = run
+                .open_instances()
+                .iter()
+                .copied()
+                .filter(|&i| dist[run.instance(i).module.index()] < INF)
+                .collect();
+            if capable.is_empty() {
+                break; // no recursion reachable: the grammar caps run size
+            }
+            let inst = capable[rng.gen_range(0..capable.len())];
+            let k = toward_cycle[run.instance(inst).module.index()]
+                .expect("capable module has a cycle-ward production");
+            (inst, k)
+        };
+        run.apply(grammar, inst, k).expect("open instance accepts its production");
+        steps.push((inst, k));
+        // Occasional random side expansion (never of a cycle instance) for
+        // structural variety.
+        if rng.gen_bool(0.5) {
+            let side: Vec<InstanceId> = run
+                .open_instances()
+                .iter()
+                .copied()
+                .filter(|&i| !on_cycle[run.instance(i).module.index()])
+                .collect();
+            if !side.is_empty() {
+                let inst = side[rng.gen_range(0..side.len())];
+                let sm = run.instance(inst).module;
+                let sprods = grammar.productions_of(sm);
+                let sk = sprods[rng.gen_range(0..sprods.len())];
+                run.apply(grammar, inst, sk).expect("open instance accepts its production");
+                steps.push((inst, sk));
+            }
+        }
+    }
+    // Wind-down phase.
+    while let Some(&inst) = run.open_instances().first() {
+        let m = run.instance(inst).module;
+        let k = term[m.index()].expect("proper grammars have terminating productions");
+        run.apply(grammar, inst, k).expect("wind-down production applies");
+        steps.push((inst, k));
+    }
+    Derivation { steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wf_model::fixtures::paper_example;
+
+    #[test]
+    fn random_derivations_complete_and_hit_target() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let pg = ProdGraph::new(g);
+        let mut rng = StdRng::seed_from_u64(42);
+        for target in [10, 100, 1000] {
+            let d = random_derivation(g, &pg, &mut rng, target);
+            let run = d.replay(g).unwrap();
+            assert!(run.is_complete());
+            assert!(
+                run.item_count() >= target,
+                "target {target}, got {}",
+                run.item_count()
+            );
+            // Wind-down keeps overshoot moderate: the biggest single
+            // production adds ≤ max |W| items per step, and termination is
+            // cheapest-first; allow a generous structural bound.
+            assert!(run.item_count() < target * 3 + 200);
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let pg = ProdGraph::new(g);
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = random_derivation(g, &pg, &mut rng, 300);
+        let r1 = d.replay(g).unwrap();
+        let r2 = d.replay(g).unwrap();
+        assert_eq!(r1.item_count(), r2.item_count());
+        assert_eq!(r1.instance_count(), r2.instance_count());
+    }
+
+    #[test]
+    fn same_seed_same_derivation() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let pg = ProdGraph::new(g);
+        let d1 = random_derivation(g, &pg, &mut StdRng::seed_from_u64(9), 200);
+        let d2 = random_derivation(g, &pg, &mut StdRng::seed_from_u64(9), 200);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn observer_sees_every_step() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let pg = ProdGraph::new(g);
+        let d = random_derivation(g, &pg, &mut StdRng::seed_from_u64(1), 50);
+        let mut seen = 0usize;
+        let run = d.replay_with(g, |_, _| seen += 1).unwrap();
+        assert_eq!(seen, run.step_count());
+        assert_eq!(seen, d.len());
+    }
+
+    #[test]
+    fn terminating_productions_cover_all_composites() {
+        let ex = paper_example();
+        let term = terminating_productions(&ex.spec.grammar);
+        for m in ex.spec.grammar.composite_modules() {
+            let k = term[m.index()].expect("every composite terminates");
+            assert_eq!(ex.spec.grammar.production(k).lhs, m);
+        }
+        // D's cheapest exit is p7 (D -> f), not the recursive p6.
+        assert_eq!(term[ex.d_mod.index()], Some(ex.prods[6]));
+    }
+}

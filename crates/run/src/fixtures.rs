@@ -1,0 +1,162 @@
+//! The run of Figures 3 and 4, replayed on the running example.
+
+use crate::run::{DataId, InstanceId, Run};
+use wf_model::fixtures::PaperExample;
+
+/// Handles into the Figure 3/4 run. Instance names follow the figures
+/// (`C:4` is the fourth C created); data handles use the paper's item names
+/// where the text pins them down.
+pub struct Fig3Ids {
+    /// `S:1` — the root.
+    pub s1: InstanceId,
+    /// `A:1`, `A:2`, `A:3` of the unrolled A/B recursion.
+    pub a1: InstanceId,
+    pub a2: InstanceId,
+    pub a3: InstanceId,
+    /// `B:1`, `B:2`.
+    pub b1: InstanceId,
+    pub b2_mod: InstanceId,
+    /// `C:1` … `C:4` (only `C:4` is expanded, as in the figure).
+    pub c1: InstanceId,
+    pub c2: InstanceId,
+    pub c3: InstanceId,
+    pub c4: InstanceId,
+    /// Inside `C:4` (Figure 4): `b:2`, `D:1..3`, `E:1`, `f:1..4`, `c:2`,`c:3`.
+    pub b2: InstanceId,
+    pub d1: InstanceId,
+    pub d2: InstanceId,
+    pub d3: InstanceId,
+    pub e1_mod: InstanceId,
+    pub f1: InstanceId,
+    pub f2: InstanceId,
+    pub f3: InstanceId,
+    pub f4: InstanceId,
+    /// Example 8's data items: `d17` enters `C:4`, `d31` leaves it.
+    pub d17: DataId,
+    pub d31: DataId,
+    /// Example 15's data item `d21` = (b:2.out1st → D:1.in2nd), hidden in U₂.
+    pub d21: DataId,
+}
+
+/// Replays the Figure 3 derivation prefix: the A/B recursion unrolled to
+/// `A:3`, `C:4` fully expanded per Figure 4 (`D` looping twice over `f`,
+/// then exiting; `E` expanding to `f:4, c:3`), `C:1..C:3` left unexpanded
+/// exactly as the figure elides them. The result is a *partial* run — which
+/// dynamic labeling must handle anyway.
+pub fn figure3_run(ex: &PaperExample) -> (Run, Fig3Ids) {
+    let g = &ex.spec.grammar;
+    let p = &ex.prods;
+    let mut run = Run::start(g);
+    let apply = |run: &mut Run, inst: u32, prod: usize| {
+        run.apply(g, InstanceId(inst), p[prod]).unwrap();
+    };
+    apply(&mut run, 0, 0); // p1 @ S:1   -> a:1 b:1 A:1 C:1 c:1 d:1   (1..6)
+    apply(&mut run, 3, 1); // p2 @ A:1   -> d:2 B:1 C:2               (7..9)
+    apply(&mut run, 8, 3); // p4 @ B:1   -> e:1 A:2                   (10,11)
+    apply(&mut run, 11, 1); // p2 @ A:2  -> d:3 B:2 C:3               (12..14)
+    apply(&mut run, 13, 3); // p4 @ B:2  -> e:2 A:3                   (15,16)
+    apply(&mut run, 16, 2); // p3 @ A:3  -> e:3 C:4                   (17,18)
+    apply(&mut run, 18, 4); // p5 @ C:4  -> b:2 D:1 E:1 c:2           (19..22)
+    apply(&mut run, 20, 5); // p6 @ D:1  -> f:1 D:2                   (23,24)
+    apply(&mut run, 24, 5); // p6 @ D:2  -> f:2 D:3                   (25,26)
+    apply(&mut run, 26, 6); // p7 @ D:3  -> f:3                       (27)
+    apply(&mut run, 21, 7); // p8 @ E:1  -> f:4 c:3                   (28,29)
+
+    let ids = Fig3Ids {
+        s1: InstanceId(0),
+        a1: InstanceId(3),
+        a2: InstanceId(11),
+        a3: InstanceId(16),
+        b1: InstanceId(8),
+        b2_mod: InstanceId(13),
+        c1: InstanceId(4),
+        c2: InstanceId(9),
+        c3: InstanceId(14),
+        c4: InstanceId(18),
+        b2: InstanceId(19),
+        d1: InstanceId(20),
+        d2: InstanceId(24),
+        d3: InstanceId(26),
+        e1_mod: InstanceId(21),
+        f1: InstanceId(23),
+        f2: InstanceId(25),
+        f3: InstanceId(27),
+        f4: InstanceId(28),
+        // Item 26 = (e:2.out1 -> A:3.in1): resolves to C:4's second input.
+        d17: DataId(26),
+        // Item 23 = (B:2.out0 -> C:3.in0): its producer resolves through
+        // A:3 to C:4's first output.
+        d31: DataId(23),
+        // Item 29 = (b:2.out0 -> D:1.in1), first item of C:4's expansion.
+        d21: DataId(29),
+    };
+    debug_assert_eq!(run.instance_count(), 30);
+    debug_assert_eq!(run.item_count(), 41); // 5 boundary + 36 internal
+    (run, ids)
+}
+
+/// Completes the Figure 3 run: expands `C:1..C:3` (each `D` exits via p7
+/// immediately, each `E` via p8), yielding an all-atomic run `R ∈ L(Gλ)`.
+pub fn figure3_run_complete(ex: &PaperExample) -> (Run, Fig3Ids) {
+    let g = &ex.spec.grammar;
+    let (mut run, ids) = figure3_run(ex);
+    while let Some(&inst) = run.open_instances().first() {
+        let m = run.instance(inst).module;
+        let prod = if m == ex.c_mod {
+            ex.prods[4]
+        } else if m == ex.d_mod {
+            ex.prods[6]
+        } else if m == ex.e_mod {
+            ex.prods[7]
+        } else {
+            unreachable!("only C, D, E remain open in the Figure 3 run")
+        };
+        run.apply(g, inst, prod).unwrap();
+    }
+    (run, ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::fixtures::paper_example;
+
+    #[test]
+    fn figure3_shape() {
+        let ex = paper_example();
+        let (run, ids) = figure3_run(&ex);
+        let g = &ex.spec.grammar;
+        let name = |i: InstanceId| g.sig(run.instance(i).module).name.clone();
+        assert_eq!(name(ids.s1), "S");
+        assert_eq!(name(ids.a3), "A");
+        assert_eq!(name(ids.c4), "C");
+        assert_eq!(name(ids.b2), "b");
+        assert_eq!(name(ids.d3), "D");
+        assert_eq!(name(ids.f4), "f");
+        // C:1..C:3 still open; D:1, D:2 expanded.
+        assert_eq!(run.open_instances().len(), 3);
+        assert!(run.expansion_of(ids.d1).is_some());
+        assert!(run.expansion_of(ids.c1).is_none());
+        // d21's endpoints match Example 15: first output port of b:2 to
+        // second input port of D:1.
+        let d21 = run.item(ids.d21);
+        assert_eq!(d21.producer, Some((ids.b2, 0)));
+        assert_eq!(d21.consumer, Some((ids.d1, 1)));
+        // d17 is consumed (at creation level) by A:3's second input.
+        let d17 = run.item(ids.d17);
+        assert_eq!(d17.consumer, Some((ids.a3, 1)));
+        // d31 is produced (at creation level) by B:2's first output.
+        let d31 = run.item(ids.d31);
+        assert_eq!(d31.producer, Some((ids.b2_mod, 0)));
+    }
+
+    #[test]
+    fn figure3_completion() {
+        let ex = paper_example();
+        let (run, _) = figure3_run_complete(&ex);
+        assert!(run.is_complete());
+        // 3 extra C expansions (6 items each) + 3 D->f (0 items) + 3 E->(f,c)
+        // (2 items each): 41 + 18 + 6 = 65 items.
+        assert_eq!(run.item_count(), 65);
+    }
+}

@@ -1,0 +1,299 @@
+//! Materializing the view of a run and the ground-truth dependency oracle.
+//!
+//! The view of a run `R_U` is itself a simple workflow over the view's leaf
+//! instances; [`FlatRun`] builds it explicitly, resolving every visible data
+//! item's endpoints *downward* through the port bijections of the projected
+//! expansions. [`RunOracle`] then answers "does `d₂` depend on `d₁` w.r.t.
+//! `U`" by brute-force port-graph reachability — the semantics every
+//! labeling scheme must reproduce, and the reference the test suites
+//! compare against.
+//!
+//! Unexpanded composite leaves (partial runs) carry their λ\* matrices: for
+//! a *safe* view, λ\* is exactly the dependency every completion of the run
+//! will exhibit (Definition 13), so the oracle is well-defined mid-run.
+
+use crate::run::{DataId, InstanceId, Run};
+use crate::viewproj::RunProjection;
+use wf_analysis::{full_assignment, SafetyError};
+use wf_digraph::{DiGraph, NodeId};
+use wf_model::{
+    DataEdge, DepAssignment, Grammar, InPortRef, NodeIx, OutPortRef, PortGraph, PortRef,
+    SimpleWorkflow, ViewSpec,
+};
+
+/// The view of a run, flattened to a simple workflow over leaf instances.
+pub struct FlatRun {
+    pub workflow: SimpleWorkflow,
+    /// Leaf instance of each workflow node.
+    pub leaf_of_node: Vec<InstanceId>,
+    /// Workflow node of each leaf instance (dense by instance id).
+    node_of_leaf: Vec<Option<NodeIx>>,
+    /// Per item: resolved `(producer, consumer)` in workflow coordinates;
+    /// `None` for invisible items.
+    resolved: Vec<Option<(Option<OutPortRef>, Option<InPortRef>)>>,
+}
+
+impl FlatRun {
+    /// Flattens `run` under `view`/`proj`.
+    pub fn new(grammar: &Grammar, run: &Run, proj: &RunProjection) -> Self {
+        // Collect leaves in creation order.
+        let mut node_of_leaf: Vec<Option<NodeIx>> = vec![None; run.instance_count()];
+        let mut leaves = Vec::new();
+        for i in 0..run.instance_count() as u32 {
+            let inst = InstanceId(i);
+            if proj.is_view_leaf(run, inst) {
+                leaves.push(inst);
+            }
+        }
+
+        let resolve_consumer = |mut inst: InstanceId, mut port: u8| -> (InstanceId, u8) {
+            loop {
+                if proj.is_view_leaf(run, inst) {
+                    return (inst, port);
+                }
+                let step = run.step(run.expansion_of(inst).expect("non-leaf is expanded"));
+                let p = grammar.production(step.prod);
+                let target = p.input_map[port as usize];
+                inst = InstanceId(step.children.start + target.node.0);
+                port = target.port;
+            }
+        };
+        let resolve_producer = |mut inst: InstanceId, mut port: u8| -> (InstanceId, u8) {
+            loop {
+                if proj.is_view_leaf(run, inst) {
+                    return (inst, port);
+                }
+                let step = run.step(run.expansion_of(inst).expect("non-leaf is expanded"));
+                let p = grammar.production(step.prod);
+                let target = p.output_map[port as usize];
+                inst = InstanceId(step.children.start + target.node.0);
+                port = target.port;
+            }
+        };
+
+        // Resolve all visible items; gather leaf-level edges.
+        type RawEndpoint = Option<(InstanceId, u8)>;
+        let mut resolved_raw: Vec<Option<(RawEndpoint, RawEndpoint)>> =
+            vec![None; run.item_count()];
+        for d in proj.visible_items() {
+            let item = run.item(d);
+            let prod = item.producer.map(|(i, p)| resolve_producer(i, p));
+            let cons = item.consumer.map(|(i, p)| resolve_consumer(i, p));
+            resolved_raw[d.0 as usize] = Some((prod, cons));
+        }
+
+        // Topologically order the leaves by the resolved edges.
+        let leaf_pos: std::collections::HashMap<InstanceId, usize> =
+            leaves.iter().enumerate().map(|(ix, &l)| (l, ix)).collect();
+        let mut g = DiGraph::with_nodes(leaves.len());
+        for r in resolved_raw.iter().flatten() {
+            if let (Some((pi, _)), Some((ci, _))) = r {
+                if pi != ci {
+                    g.add_edge(NodeId(leaf_pos[pi] as u32), NodeId(leaf_pos[ci] as u32));
+                }
+            }
+        }
+        let order = g.topo_sort().expect("view of a run is acyclic");
+        for (node_ix, leaf_ix) in order.iter().enumerate() {
+            node_of_leaf[leaves[leaf_ix.0 as usize].0 as usize] = Some(NodeIx(node_ix as u32));
+        }
+        let mut leaf_of_node = vec![InstanceId(0); leaves.len()];
+        for &l in &leaves {
+            leaf_of_node[node_of_leaf[l.0 as usize].unwrap().index()] = l;
+        }
+
+        // Build the simple workflow.
+        let nodes: Vec<_> = leaf_of_node.iter().map(|&l| run.instance(l).module).collect();
+        let mut edges = Vec::new();
+        let mut resolved: Vec<Option<(Option<OutPortRef>, Option<InPortRef>)>> =
+            vec![None; run.item_count()];
+        for (ix, r) in resolved_raw.iter().enumerate() {
+            let Some((prod, cons)) = r else { continue };
+            let out = prod.map(|(i, p)| OutPortRef {
+                node: node_of_leaf[i.0 as usize].unwrap(),
+                port: p,
+            });
+            let inp = cons.map(|(i, p)| InPortRef {
+                node: node_of_leaf[i.0 as usize].unwrap(),
+                port: p,
+            });
+            if let (Some(from), Some(to)) = (out, inp) {
+                edges.push(DataEdge { from, to });
+            }
+            resolved[ix] = Some((out, inp));
+        }
+        let workflow = SimpleWorkflow::new(nodes, edges, grammar.sigs())
+            .expect("flattened view of a run is a valid simple workflow");
+
+        Self { workflow, leaf_of_node, node_of_leaf, resolved }
+    }
+
+    /// Resolved endpoints of a visible item, in workflow coordinates.
+    pub fn endpoints(&self, d: DataId) -> Option<(Option<OutPortRef>, Option<InPortRef>)> {
+        self.resolved.get(d.0 as usize).copied().flatten()
+    }
+
+    pub fn node_of(&self, leaf: InstanceId) -> Option<NodeIx> {
+        self.node_of_leaf.get(leaf.0 as usize).copied().flatten()
+    }
+}
+
+/// Ground-truth dependency oracle over the view of a run.
+pub struct RunOracle {
+    flat: FlatRun,
+    pg: PortGraph,
+}
+
+impl RunOracle {
+    /// Builds the oracle; fails only if the view is unsafe (no λ\*).
+    pub fn new(
+        grammar: &Grammar,
+        spec_view: &ViewSpec<'_>,
+        run: &Run,
+    ) -> Result<Self, SafetyError> {
+        let proj = RunProjection::new(grammar, run, spec_view.view);
+        let flat = FlatRun::new(grammar, run, &proj);
+        let lambda: DepAssignment = full_assignment(spec_view)?;
+        let pg = PortGraph::build(&flat.workflow, &lambda);
+        Ok(Self { flat, pg })
+    }
+
+    /// "Does `d₂` depend on `d₁`?" — §2.3's query, by brute-force
+    /// reachability. Returns `None` if either item is invisible in the view.
+    pub fn depends_on(&self, d1: DataId, d2: DataId) -> Option<bool> {
+        let (o1, i1) = self.flat.endpoints(d1)?;
+        let (o2, i2) = self.flat.endpoints(d2)?;
+        // Case I: d1 is a final output, or d2 is an initial input.
+        if i1.is_none() || o2.is_none() {
+            return Some(false);
+        }
+        let answer = match (o1, i2) {
+            // Both intermediate: i2 reachable from o1.
+            (Some(o1), Some(i2)) => self.pg.reaches(PortRef::Out(o1), PortRef::In(i2)),
+            // d1 initial input: start from its consumer port.
+            (None, Some(i2)) => self.pg.reaches(PortRef::In(i1.unwrap()), PortRef::In(i2)),
+            // d2 final output: end at its producer port.
+            (Some(o1), None) => self.pg.reaches(PortRef::Out(o1), PortRef::Out(o2.unwrap())),
+            (None, None) => self.pg.reaches(PortRef::In(i1.unwrap()), PortRef::Out(o2.unwrap())),
+        };
+        Some(answer)
+    }
+
+    pub fn is_visible(&self, d: DataId) -> bool {
+        self.flat.endpoints(d).is_some()
+    }
+
+    pub fn flat(&self) -> &FlatRun {
+        &self.flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure3_run, figure3_run_complete};
+    use wf_model::fixtures::paper_example;
+
+    /// Example 8: "does d31 depend on d17?" — no in U₁, yes in U₂.
+    #[test]
+    fn example8_view_dependent_answer() {
+        let ex = paper_example();
+        let (run, ids) = figure3_run(&ex);
+        let g = &ex.spec.grammar;
+
+        let u1 = ex.view_u1();
+        let vs1 = ViewSpec::new(&ex.spec, &u1);
+        let oracle1 = RunOracle::new(g, &vs1, &run).unwrap();
+        assert_eq!(oracle1.depends_on(ids.d17, ids.d31), Some(false));
+
+        let u2 = ex.view_u2();
+        let vs2 = ViewSpec::new(&ex.spec, &u2);
+        let oracle2 = RunOracle::new(g, &vs2, &run).unwrap();
+        assert_eq!(oracle2.depends_on(ids.d17, ids.d31), Some(true));
+    }
+
+    /// d21 is visible in the default view, hidden in U₂.
+    #[test]
+    fn visibility_of_hidden_items() {
+        let ex = paper_example();
+        let (run, ids) = figure3_run(&ex);
+        let g = &ex.spec.grammar;
+        let u1 = ex.view_u1();
+        let vs1 = ViewSpec::new(&ex.spec, &u1);
+        let oracle1 = RunOracle::new(g, &vs1, &run).unwrap();
+        assert!(oracle1.is_visible(ids.d21));
+        let u2 = ex.view_u2();
+        let vs2 = ViewSpec::new(&ex.spec, &u2);
+        let oracle2 = RunOracle::new(g, &vs2, &run).unwrap();
+        assert!(!oracle2.is_visible(ids.d21));
+        assert_eq!(oracle2.depends_on(ids.d21, ids.d31), None);
+    }
+
+    /// Boundary-case semantics: nothing depends on a final output; an
+    /// initial input depends on nothing.
+    #[test]
+    fn boundary_cases() {
+        let ex = paper_example();
+        let (run, _) = figure3_run_complete(&ex);
+        let g = &ex.spec.grammar;
+        let u1 = ex.view_u1();
+        let vs = ViewSpec::new(&ex.spec, &u1);
+        let oracle = RunOracle::new(g, &vs, &run).unwrap();
+        let input0 = run.initial_inputs().next().unwrap();
+        let output0 = run.final_outputs().next().unwrap();
+        // Final outputs depend on initial inputs (λ*(S)[0][0] = 1).
+        assert_eq!(oracle.depends_on(input0, output0), Some(true));
+        // Nothing depends on a final output; initial inputs depend on nothing.
+        assert_eq!(oracle.depends_on(output0, input0), Some(false));
+        assert_eq!(oracle.depends_on(output0, output0), Some(false));
+        assert_eq!(oracle.depends_on(input0, input0), Some(false));
+    }
+
+    /// λ*(S) of the default view agrees with the oracle on the complete run:
+    /// boundary-to-boundary queries reproduce Figure 7's S matrix.
+    #[test]
+    fn boundary_matrix_matches_lambda_star() {
+        let ex = paper_example();
+        let (run, _) = figure3_run_complete(&ex);
+        let g = &ex.spec.grammar;
+        let u1 = ex.view_u1();
+        let vs = ViewSpec::new(&ex.spec, &u1);
+        let oracle = RunOracle::new(g, &vs, &run).unwrap();
+        let lambda = wf_analysis::full_assignment_default(&ex.spec).unwrap();
+        let s_mat = lambda.get(ex.s).unwrap();
+        let inputs: Vec<_> = run.initial_inputs().collect();
+        let outputs: Vec<_> = run.final_outputs().collect();
+        for (x, &di) in inputs.iter().enumerate() {
+            for (y, &do_) in outputs.iter().enumerate() {
+                assert_eq!(
+                    oracle.depends_on(di, do_),
+                    Some(s_mat.get(x, y)),
+                    "S in{x} -> out{y}"
+                );
+            }
+        }
+    }
+
+    /// The partial run's oracle agrees with the complete run's on items
+    /// visible in both (safety: expanding C:1..C:3 cannot change answers).
+    #[test]
+    fn partial_and_complete_runs_agree() {
+        let ex = paper_example();
+        let (partial, _) = figure3_run(&ex);
+        let (complete, _) = figure3_run_complete(&ex);
+        let g = &ex.spec.grammar;
+        let u1 = ex.view_u1();
+        let vs = ViewSpec::new(&ex.spec, &u1);
+        let o_partial = RunOracle::new(g, &vs, &partial).unwrap();
+        let o_complete = RunOracle::new(g, &vs, &complete).unwrap();
+        for a in 0..partial.item_count() as u32 {
+            for b in 0..partial.item_count() as u32 {
+                assert_eq!(
+                    o_partial.depends_on(DataId(a), DataId(b)),
+                    o_complete.depends_on(DataId(a), DataId(b)),
+                    "items {a},{b}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Runs and the online derivation engine.
+
+use wf_model::{Grammar, ModuleId, ProdId};
+
+/// Identifier of a module instance created during a derivation. Instance 0
+/// is always the start module.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InstanceId(pub u32);
+
+/// Identifier of a data item. The first `n_in + n_out` ids are the start
+/// module's boundary items, labeled before any production is applied
+/// (Definition 10: "initially, φ assigns a label to each input and output
+/// of S").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DataId(pub u32);
+
+/// Index of a derivation step.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StepId(pub u32);
+
+/// How an instance came to exist.
+#[derive(Clone, Copy, Debug)]
+pub struct Origin {
+    /// The instance whose expansion created this one.
+    pub parent: InstanceId,
+    /// The step performing the expansion.
+    pub step: StepId,
+    /// Position in the production's right-hand side.
+    pub pos: u32,
+}
+
+/// A module instance in the run.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    pub module: ModuleId,
+    /// `None` for the root (start module).
+    pub origin: Option<Origin>,
+}
+
+/// A data item. Endpoints are recorded at *creation level*: the instances
+/// adjacent to the item's data edge when the production introducing it was
+/// applied. Later expansions re-route the item to deeper instances through
+/// the productions' port bijections but never change these fields — exactly
+/// like labels, which are assigned once (Definition 10).
+#[derive(Clone, Copy, Debug)]
+pub struct Item {
+    /// Producing `(instance, output port)`; `None` for the run's initial
+    /// inputs.
+    pub producer: Option<(InstanceId, u8)>,
+    /// Consuming `(instance, input port)`; `None` for the run's final
+    /// outputs.
+    pub consumer: Option<(InstanceId, u8)>,
+    /// The step that created the item; `None` for the start module's
+    /// boundary items.
+    pub step: Option<StepId>,
+}
+
+/// One production application.
+#[derive(Clone, Debug)]
+pub struct Step {
+    pub instance: InstanceId,
+    pub prod: ProdId,
+    /// Child instances, contiguous: `children.start .. children.end`.
+    pub children: std::ops::Range<u32>,
+    /// Data items created by this step, contiguous.
+    pub items: std::ops::Range<u32>,
+}
+
+/// Why a production application was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The instance does not exist.
+    NoSuchInstance(InstanceId),
+    /// The instance was already expanded by an earlier step.
+    AlreadyExpanded(InstanceId),
+    /// The production's LHS differs from the instance's module.
+    WrongModule { instance: InstanceId, expected: ModuleId, prod: ProdId },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::NoSuchInstance(i) => write!(f, "no such instance {}", i.0),
+            RunError::AlreadyExpanded(i) => write!(f, "instance {} already expanded", i.0),
+            RunError::WrongModule { instance, expected, prod } => {
+                write!(f, "production {prod} does not rewrite module {expected} of instance {}", instance.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// A (possibly partial) run with its full derivation history.
+#[derive(Clone, Debug)]
+pub struct Run {
+    instances: Vec<Instance>,
+    items: Vec<Item>,
+    steps: Vec<Step>,
+    /// Per instance: the step that expanded it, if any.
+    expanded_by: Vec<Option<StepId>>,
+    /// Unexpanded composite instances, in creation order.
+    open: Vec<InstanceId>,
+    n_initial_inputs: u32,
+}
+
+impl Run {
+    /// Starts a derivation: a single instance of the start module with its
+    /// boundary data items.
+    pub fn start(grammar: &Grammar) -> Self {
+        let start = grammar.start();
+        let sig = grammar.sig(start);
+        let root = InstanceId(0);
+        let mut items = Vec::with_capacity(sig.inputs() + sig.outputs());
+        for p in 0..sig.inputs() as u8 {
+            items.push(Item { producer: None, consumer: Some((root, p)), step: None });
+        }
+        for p in 0..sig.outputs() as u8 {
+            items.push(Item { producer: Some((root, p)), consumer: None, step: None });
+        }
+        Self {
+            instances: vec![Instance { module: start, origin: None }],
+            items,
+            steps: Vec::new(),
+            expanded_by: vec![None],
+            open: vec![root],
+            n_initial_inputs: sig.inputs() as u32,
+        }
+    }
+
+    /// Applies production `prod` to `instance`. Returns the step id; the new
+    /// instances and items are reachable through [`Run::step`].
+    pub fn apply(
+        &mut self,
+        grammar: &Grammar,
+        instance: InstanceId,
+        prod: ProdId,
+    ) -> Result<StepId, RunError> {
+        let inst = self
+            .instances
+            .get(instance.0 as usize)
+            .ok_or(RunError::NoSuchInstance(instance))?;
+        if self.expanded_by[instance.0 as usize].is_some() {
+            return Err(RunError::AlreadyExpanded(instance));
+        }
+        let p = grammar.production(prod);
+        if p.lhs != inst.module {
+            return Err(RunError::WrongModule { instance, expected: inst.module, prod });
+        }
+        let step_id = StepId(self.steps.len() as u32);
+        let child_base = self.instances.len() as u32;
+        for (pos, &m) in p.rhs.nodes().iter().enumerate() {
+            self.instances.push(Instance {
+                module: m,
+                origin: Some(Origin { parent: instance, step: step_id, pos: pos as u32 }),
+            });
+            self.expanded_by.push(None);
+            if grammar.is_composite(m) {
+                self.open.push(InstanceId(child_base + pos as u32));
+            }
+        }
+        let item_base = self.items.len() as u32;
+        for e in p.rhs.edges() {
+            self.items.push(Item {
+                producer: Some((InstanceId(child_base + e.from.node.0), e.from.port)),
+                consumer: Some((InstanceId(child_base + e.to.node.0), e.to.port)),
+                step: Some(step_id),
+            });
+        }
+        self.steps.push(Step {
+            instance,
+            prod,
+            children: child_base..self.instances.len() as u32,
+            items: item_base..self.items.len() as u32,
+        });
+        self.expanded_by[instance.0 as usize] = Some(step_id);
+        self.open.retain(|&i| i != instance);
+        Ok(step_id)
+    }
+
+    #[inline]
+    pub fn instance(&self, i: InstanceId) -> &Instance {
+        &self.instances[i.0 as usize]
+    }
+
+    #[inline]
+    pub fn item(&self, d: DataId) -> &Item {
+        &self.items[d.0 as usize]
+    }
+
+    #[inline]
+    pub fn step(&self, s: StepId) -> &Step {
+        &self.steps[s.0 as usize]
+    }
+
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of data items so far — the `n` of every complexity statement.
+    pub fn item_count(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn items(&self) -> impl Iterator<Item = DataId> {
+        (0..self.items.len() as u32).map(DataId)
+    }
+
+    pub fn steps(&self) -> impl Iterator<Item = StepId> {
+        (0..self.steps.len() as u32).map(StepId)
+    }
+
+    /// The step that expanded `i`, if any.
+    #[inline]
+    pub fn expansion_of(&self, i: InstanceId) -> Option<StepId> {
+        self.expanded_by[i.0 as usize]
+    }
+
+    /// Unexpanded composite instances, in creation order. Empty iff the run
+    /// is complete (all-atomic, `R ∈ L(G)`).
+    pub fn open_instances(&self) -> &[InstanceId] {
+        &self.open
+    }
+
+    pub fn is_complete(&self) -> bool {
+        self.open.is_empty()
+    }
+
+    /// The run's initial input items (inputs of the start module).
+    pub fn initial_inputs(&self) -> impl Iterator<Item = DataId> {
+        (0..self.n_initial_inputs).map(DataId)
+    }
+
+    /// The run's final output items (outputs of the start module).
+    pub fn final_outputs(&self) -> impl Iterator<Item = DataId> + '_ {
+        (self.n_initial_inputs..self.boundary_item_count() as u32).map(DataId)
+    }
+
+    fn boundary_item_count(&self) -> usize {
+        self.n_initial_inputs as usize
+            + self.items[self.n_initial_inputs as usize..]
+                .iter()
+                .take_while(|it| it.step.is_none())
+                .count()
+    }
+
+    /// Finds the `n`-th unexpanded instance of a module — handy in tests to
+    /// say "expand the second C".
+    pub fn nth_open_of(&self, module: ModuleId, n: usize) -> Option<InstanceId> {
+        self.open
+            .iter()
+            .copied()
+            .filter(|&i| self.instance(i).module == module)
+            .nth(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::fixtures::paper_example;
+
+    #[test]
+    fn start_creates_boundary_items() {
+        let ex = paper_example();
+        let run = Run::start(&ex.spec.grammar);
+        assert_eq!(run.instance_count(), 1);
+        assert_eq!(run.item_count(), 5); // S(2,3)
+        assert_eq!(run.initial_inputs().count(), 2);
+        assert_eq!(run.final_outputs().count(), 3);
+        assert_eq!(run.open_instances(), &[InstanceId(0)]);
+        assert!(!run.is_complete());
+        let d0 = run.item(DataId(0));
+        assert!(d0.producer.is_none());
+        assert_eq!(d0.consumer, Some((InstanceId(0), 0)));
+        let d4 = run.item(DataId(4));
+        assert_eq!(d4.producer, Some((InstanceId(0), 2)));
+        assert!(d4.consumer.is_none());
+    }
+
+    #[test]
+    fn apply_p1_creates_w1_instances_and_items() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let mut run = Run::start(g);
+        let s0 = run.apply(g, InstanceId(0), ex.prods[0]).unwrap();
+        let step = run.step(s0);
+        assert_eq!(step.children.len(), 6);
+        assert_eq!(step.items.len(), 10);
+        assert_eq!(run.item_count(), 15);
+        // Composite children A and C are now open.
+        let names: Vec<&str> = run
+            .open_instances()
+            .iter()
+            .map(|&i| g.sig(run.instance(i).module).name.as_str())
+            .collect();
+        assert_eq!(names, vec!["A", "C"]);
+    }
+
+    #[test]
+    fn apply_rejects_bad_requests() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let mut run = Run::start(g);
+        // Wrong module: p2 rewrites A, not S.
+        assert!(matches!(
+            run.apply(g, InstanceId(0), ex.prods[1]),
+            Err(RunError::WrongModule { .. })
+        ));
+        run.apply(g, InstanceId(0), ex.prods[0]).unwrap();
+        assert_eq!(
+            run.apply(g, InstanceId(0), ex.prods[0]),
+            Err(RunError::AlreadyExpanded(InstanceId(0)))
+        );
+        assert!(matches!(
+            run.apply(g, InstanceId(99), ex.prods[0]),
+            Err(RunError::NoSuchInstance(_))
+        ));
+    }
+
+    #[test]
+    fn nth_open_selects_in_creation_order() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let mut run = Run::start(g);
+        run.apply(g, InstanceId(0), ex.prods[0]).unwrap();
+        let a1 = run.nth_open_of(ex.a_mod, 0).unwrap();
+        run.apply(g, a1, ex.prods[1]).unwrap(); // A -> (d, B, C)
+        // Two C's now: C:1 from W1 and C:2 from W2.
+        assert!(run.nth_open_of(ex.c_mod, 1).is_some());
+        assert!(run.nth_open_of(ex.c_mod, 2).is_none());
+    }
+
+    #[test]
+    fn completing_a_run() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let mut run = Run::start(g);
+        run.apply(g, InstanceId(0), ex.prods[0]).unwrap();
+        // Expand A via p3 (e, C), then every C via p5, D via p7, E via p8...
+        while let Some(&i) = run.open_instances().first() {
+            let m = run.instance(i).module;
+            let prod = if m == ex.a_mod {
+                ex.prods[2] // A -> W3, avoid the A/B recursion
+            } else if m == ex.c_mod {
+                ex.prods[4]
+            } else if m == ex.d_mod {
+                ex.prods[6] // D -> (f), exit the loop
+            } else if m == ex.e_mod {
+                ex.prods[7]
+            } else {
+                panic!("unexpected open module");
+            };
+            run.apply(g, i, prod).unwrap();
+        }
+        assert!(run.is_complete());
+        // All instances atomic or expanded.
+        for s in run.steps() {
+            let _ = run.step(s);
+        }
+        assert!(run.item_count() > 20);
+    }
+}

@@ -1,0 +1,323 @@
+//! The compressed parse tree (Definitions 17–18) and its dynamic,
+//! top-down construction (§4.2.3).
+//!
+//! The *basic* parse tree nests one node per production application, so its
+//! depth grows with the run. The *compressed* tree flattens every unfolded
+//! recursion: the chain `A:1 ⊃ B:1 ⊃ A:2 ⊃ B:2 ⊃ A:3` of nested expansions
+//! becomes five ordered children of one **recursive node**, labeled
+//! `(s, t, i)` — cycle `s` of the production graph, unfolded starting at its
+//! `t`-th edge, chain position `i`. Every other parent→child edge keeps its
+//! production-graph identity `(k, i)`. Because the grammar is strictly
+//! linear-recursive, each module belongs to at most one cycle, the tree is
+//! well-defined, and its depth is bounded by `2·|Δ|` (Lemma 4) — which is
+//! why port labels (paths in this tree) are `O(log n)` bits.
+
+use crate::run::{InstanceId, Run, StepId};
+use wf_analysis::ProdGraph;
+use wf_model::{Grammar, ProdId};
+
+/// A parent→child edge label in the compressed parse tree (§4.2.2).
+/// The paper's 1-based `(k, i)` / `(s, t, i)` triples are 0-based here.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EdgeLabel {
+    /// Child `i` of a production application `pₖ` (a production-graph edge).
+    Plain { k: ProdId, i: u32 },
+    /// Chain position `i` under a recursive node denoting cycle `s`
+    /// unfolded from its `t`-th edge.
+    Rec { s: u32, t: u32, i: u64 },
+}
+
+/// Node index within a [`CompressedTree`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TreeNodeId(pub u32);
+
+#[derive(Clone, Debug)]
+enum NodeKind {
+    /// A module instance of the run.
+    Module(InstanceId),
+    /// A recursive node: cycle `s` starting at edge `t`, with the current
+    /// number of chain children.
+    Recursive { s: u32, t: u32, children: u64 },
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    kind: NodeKind,
+    parent: Option<(TreeNodeId, EdgeLabel)>,
+    depth: u32,
+}
+
+/// A compressed parse tree built incrementally as a derivation unfolds.
+///
+/// The same builder serves FVL (over the full run) and DRL (over the
+/// view-projected run): the caller simply skips invisible steps and passes
+/// the production graph of the grammar it labels against.
+#[derive(Clone, Debug)]
+pub struct CompressedTree {
+    nodes: Vec<Node>,
+    /// Dense map instance → module node.
+    node_of: Vec<Option<TreeNodeId>>,
+    root: TreeNodeId,
+}
+
+impl CompressedTree {
+    /// Creates the tree for a fresh run: the start module's node, wrapped in
+    /// a recursive root if the start module is itself recursive (§4.2.3,
+    /// initialization case).
+    pub fn new(grammar: &Grammar, pg: &ProdGraph, root_instance: InstanceId) -> Self {
+        let start = grammar.start();
+        let mut nodes = Vec::new();
+        let root;
+        match pg.cycle_of(start) {
+            Some((s, t)) => {
+                nodes.push(Node {
+                    kind: NodeKind::Recursive { s, t, children: 1 },
+                    parent: None,
+                    depth: 0,
+                });
+                root = TreeNodeId(0);
+                nodes.push(Node {
+                    kind: NodeKind::Module(root_instance),
+                    parent: Some((root, EdgeLabel::Rec { s, t, i: 0 })),
+                    depth: 1,
+                });
+            }
+            None => {
+                nodes.push(Node {
+                    kind: NodeKind::Module(root_instance),
+                    parent: None,
+                    depth: 0,
+                });
+                root = TreeNodeId(0);
+            }
+        }
+        let module_node = TreeNodeId(nodes.len() as u32 - 1);
+        let mut node_of = vec![None; root_instance.0 as usize + 1];
+        node_of[root_instance.0 as usize] = Some(module_node);
+        Self { nodes, node_of, root }
+    }
+
+    /// Incorporates one production application (§4.2.3's three insertion
+    /// rules). The expanded instance must already have a node.
+    pub fn on_step(&mut self, pg: &ProdGraph, run: &Run, step: StepId) {
+        let st = run.step(step).clone();
+        let u = self.node_of(InstanceId(st.instance.0)).expect("expanded instance not in tree");
+        let k = st.prod;
+        let m_u = run.instance(st.instance).module;
+        let u_cycle = pg.cycle_of(m_u);
+        for (pos, child) in st.children.clone().enumerate() {
+            let child_inst = InstanceId(child);
+            let m_i = run.instance(child_inst).module;
+            let i = pos as u32;
+            let node = match pg.cycle_of(m_i) {
+                // Rule 1: non-recursive child hangs off u directly.
+                None => self.push_module(child_inst, u, EdgeLabel::Plain { k, i }),
+                Some((s_i, t_i)) => {
+                    if u_cycle.is_some_and(|(s_u, _)| s_u == s_i) {
+                        // Rule 2a: continuing the recursion — next sibling of
+                        // u under its recursive parent.
+                        let (r, u_label) = self.nodes[u.0 as usize]
+                            .parent
+                            .expect("recursive module node must sit under a recursive node");
+                        debug_assert!(matches!(u_label, EdgeLabel::Rec { .. }));
+                        let (s, t, next) = match &mut self.nodes[r.0 as usize].kind {
+                            NodeKind::Recursive { s, t, children } => {
+                                let next = *children;
+                                *children += 1;
+                                (*s, *t, next)
+                            }
+                            NodeKind::Module(_) => unreachable!("parent must be recursive"),
+                        };
+                        debug_assert_eq!(s, s_i);
+                        // The chain edge must be the cycle's next edge.
+                        debug_assert_eq!(
+                            pg.cycles().unwrap()[s as usize]
+                                .edge_at(t as usize + next as usize - 1),
+                            (k, i),
+                            "chain extension must follow the cycle's edge order"
+                        );
+                        self.push_module(child_inst, r, EdgeLabel::Rec { s, t, i: next })
+                    } else {
+                        // Rule 2b: entering a new recursion — fresh recursive
+                        // node under u, child at chain position 0.
+                        let r = self.push_node(
+                            NodeKind::Recursive { s: s_i, t: t_i, children: 1 },
+                            Some((u, EdgeLabel::Plain { k, i })),
+                        );
+                        self.push_module(child_inst, r, EdgeLabel::Rec { s: s_i, t: t_i, i: 0 })
+                    }
+                }
+            };
+            let _ = node;
+        }
+    }
+
+    fn push_node(&mut self, kind: NodeKind, parent: Option<(TreeNodeId, EdgeLabel)>) -> TreeNodeId {
+        let depth = parent.map_or(0, |(p, _)| self.nodes[p.0 as usize].depth + 1);
+        self.nodes.push(Node { kind, parent, depth });
+        TreeNodeId(self.nodes.len() as u32 - 1)
+    }
+
+    fn push_module(
+        &mut self,
+        inst: InstanceId,
+        parent: TreeNodeId,
+        label: EdgeLabel,
+    ) -> TreeNodeId {
+        let id = self.push_node(NodeKind::Module(inst), Some((parent, label)));
+        if inst.0 as usize >= self.node_of.len() {
+            self.node_of.resize(inst.0 as usize + 1, None);
+        }
+        self.node_of[inst.0 as usize] = Some(id);
+        id
+    }
+
+    /// The module node of an instance, if it is in this tree (view-projected
+    /// trees omit invisible instances).
+    #[inline]
+    pub fn node_of(&self, inst: InstanceId) -> Option<TreeNodeId> {
+        self.node_of.get(inst.0 as usize).copied().flatten()
+    }
+
+    /// Edge labels from the root down to `node` (the port-label path of
+    /// §4.2.2).
+    pub fn path_of(&self, node: TreeNodeId) -> Vec<EdgeLabel> {
+        let mut path = Vec::with_capacity(self.nodes[node.0 as usize].depth as usize);
+        let mut cur = node;
+        while let Some((parent, label)) = self.nodes[cur.0 as usize].parent {
+            path.push(label);
+            cur = parent;
+        }
+        path.reverse();
+        path
+    }
+
+    pub fn depth_of(&self, node: TreeNodeId) -> u32 {
+        self.nodes[node.0 as usize].depth
+    }
+
+    /// Maximum node depth — bounded by `2·|Δ|` + 1 (Lemma 4; +1 for a
+    /// recursive root).
+    pub fn depth(&self) -> u32 {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn root(&self) -> TreeNodeId {
+        self.root
+    }
+
+    /// The instance a module node denotes (`None` for recursive nodes).
+    pub fn instance_of(&self, node: TreeNodeId) -> Option<InstanceId> {
+        match self.nodes[node.0 as usize].kind {
+            NodeKind::Module(i) => Some(i),
+            NodeKind::Recursive { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::Run;
+    use wf_model::fixtures::paper_example;
+
+    /// Drives the Figure 3 derivation prefix and checks the tree against
+    /// Figure 14.
+    #[test]
+    fn figure14_structure() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let pg = ProdGraph::new(g);
+        let mut run = Run::start(g);
+        let mut tree = CompressedTree::new(g, &pg, InstanceId(0));
+        let drive = |run: &mut Run, tree: &mut CompressedTree, inst: u32, prod: usize| {
+            let s = run.apply(g, InstanceId(inst), ex.prods[prod]).unwrap();
+            tree.on_step(&pg, run, s);
+        };
+        // p1 @ S:1 -> children a:1 b:1 A:1 C:1 c:1 d:1 (ids 1..=6).
+        drive(&mut run, &mut tree, 0, 0);
+        // p2 @ A:1 (id 3) -> d:2 B:1 C:2 (ids 7,8,9).
+        drive(&mut run, &mut tree, 3, 1);
+        // p4 @ B:1 (id 8) -> e:1 A:2 (ids 10,11).
+        drive(&mut run, &mut tree, 8, 3);
+        // p2 @ A:2 (id 11) -> d:3 B:2 C:3 (ids 12,13,14).
+        drive(&mut run, &mut tree, 11, 1);
+        // p4 @ B:2 (id 13) -> e:2 A:3 (ids 15,16).
+        drive(&mut run, &mut tree, 13, 3);
+        // p3 @ A:3 (id 16) -> e:3 C:4 (ids 17,18).
+        drive(&mut run, &mut tree, 16, 2);
+        // p5 @ C:4 (id 18) -> b:2 D:1 E:1 c:2 (ids 19..=22).
+        drive(&mut run, &mut tree, 18, 4);
+        // p6 @ D:1 (id 20) -> f:1 D:2 (ids 23,24).
+        drive(&mut run, &mut tree, 20, 5);
+        // p6 @ D:2 (id 24) -> f:2 D:3 (ids 25,26).
+        drive(&mut run, &mut tree, 24, 5);
+        // p7 @ D:3 (id 26) -> f:3 (id 27).
+        drive(&mut run, &mut tree, 26, 6);
+        // p8 @ E:1 (id 21) -> f:4 c:3 (ids 28,29).
+        drive(&mut run, &mut tree, 21, 7);
+
+        // A:1, B:1, A:2, B:2, A:3 are flattened under one recursive node:
+        // their paths all have the same length and share the parent.
+        let path_a1 = tree.path_of(tree.node_of(InstanceId(3)).unwrap());
+        let path_a3 = tree.path_of(tree.node_of(InstanceId(16)).unwrap());
+        assert_eq!(path_a1.len(), 2); // (1,3)-ish plain edge + rec edge
+        assert_eq!(path_a3.len(), 2);
+        // Example 15's path for A:3: {(1,3), (1,1,5)} 1-based =
+        // Plain{p1, 2}, Rec{s:0, t:0, i:4} 0-based.
+        assert_eq!(path_a3[0], EdgeLabel::Plain { k: ex.prods[0], i: 2 });
+        assert_eq!(path_a3[1], EdgeLabel::Rec { s: 0, t: 0, i: 4 });
+        // b:2 under C:4 under A:3: path {(1,3),(1,1,5),(3,2),(5,1)} 1-based.
+        let path_b2 = tree.path_of(tree.node_of(InstanceId(19)).unwrap());
+        assert_eq!(
+            path_b2,
+            vec![
+                EdgeLabel::Plain { k: ex.prods[0], i: 2 },
+                EdgeLabel::Rec { s: 0, t: 0, i: 4 },
+                EdgeLabel::Plain { k: ex.prods[2], i: 1 },
+                EdgeLabel::Plain { k: ex.prods[4], i: 0 },
+            ]
+        );
+        // The D-chain D:1 D:2 D:3 flattens under a second recursive node
+        // with labels (2,1,1..3) 1-based = Rec{s:1,t:0,i:0..2}.
+        let path_d1 = tree.path_of(tree.node_of(InstanceId(20)).unwrap());
+        let path_d3 = tree.path_of(tree.node_of(InstanceId(26)).unwrap());
+        assert_eq!(path_d1.last(), Some(&EdgeLabel::Rec { s: 1, t: 0, i: 0 }));
+        assert_eq!(path_d3.last(), Some(&EdgeLabel::Rec { s: 1, t: 0, i: 2 }));
+        assert_eq!(path_d1.len(), path_d3.len());
+        // f:4 and c:3 under E:1 via plain edges (8,1),(8,2) 1-based.
+        let path_f4 = tree.path_of(tree.node_of(InstanceId(28)).unwrap());
+        assert_eq!(path_f4.last(), Some(&EdgeLabel::Plain { k: ex.prods[7], i: 0 }));
+    }
+
+    /// Lemma 4: tree depth never exceeds 2·|Δ| (+1 for a recursive root).
+    #[test]
+    fn depth_bound_on_deep_recursion() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let pg = ProdGraph::new(g);
+        let mut run = Run::start(g);
+        let mut tree = CompressedTree::new(g, &pg, InstanceId(0));
+        let s = run.apply(g, InstanceId(0), ex.prods[0]).unwrap();
+        tree.on_step(&pg, &run, s);
+        // Unroll the A/B recursion 50 times.
+        for _ in 0..50 {
+            let a = run.nth_open_of(ex.a_mod, 0).unwrap();
+            let s = run.apply(g, a, ex.prods[1]).unwrap();
+            tree.on_step(&pg, &run, s);
+            let b = run.nth_open_of(ex.b_mod, 0).unwrap();
+            let s = run.apply(g, b, ex.prods[3]).unwrap();
+            tree.on_step(&pg, &run, s);
+        }
+        let n_composite = g.composite_modules().count() as u32;
+        assert!(tree.depth() <= 2 * n_composite + 1, "depth {}", tree.depth());
+        // The last A sits at chain index 100.
+        let a_last = run.nth_open_of(ex.a_mod, 0).unwrap();
+        let path = tree.path_of(tree.node_of(a_last).unwrap());
+        assert_eq!(path.last(), Some(&EdgeLabel::Rec { s: 0, t: 0, i: 100 }));
+    }
+}

@@ -1,0 +1,151 @@
+//! Projection of a run onto a view: `R_U` of Definition 9.
+//!
+//! Restricting a derivation to the productions of `Δ′` means: an instance is
+//! *visible* iff every expansion on its ancestor chain rewrote a `Δ′`
+//! module; a step is *projected* iff it expanded a visible `Δ′` instance; a
+//! data item is visible iff the step that created it is projected (the start
+//! module's boundary items are always visible). Visible instances that are
+//! unexpandable-in-view — or simply not yet expanded — are the *leaves* of
+//! the projected run, and carry the view's λ′ dependencies.
+
+use crate::run::{DataId, InstanceId, Run, StepId};
+use wf_model::{Grammar, View};
+
+/// Visibility of a run's instances, steps and items under a view.
+#[derive(Clone, Debug)]
+pub struct RunProjection {
+    visible_instance: Vec<bool>,
+    visible_item: Vec<bool>,
+    projected_step: Vec<bool>,
+}
+
+impl RunProjection {
+    pub fn new(grammar: &Grammar, run: &Run, view: &View) -> Self {
+        let mut visible_instance = vec![false; run.instance_count()];
+        let mut visible_item = vec![false; run.item_count()];
+        let mut projected_step = vec![false; run.step_count()];
+        visible_instance[0] = true;
+        // Boundary items of the start module.
+        for (ix, vis) in visible_item.iter_mut().enumerate() {
+            if run.item(DataId(ix as u32)).step.is_none() {
+                *vis = true;
+            }
+        }
+        // Steps are created in order; a step's parent instance always
+        // precedes its children, so one forward pass settles everything.
+        for s in run.steps() {
+            let st = run.step(s);
+            let parent_visible = visible_instance[st.instance.0 as usize];
+            let parent_module = run.instance(st.instance).module;
+            let projected = parent_visible && view.expands(parent_module);
+            projected_step[s.0 as usize] = projected;
+            if projected {
+                for c in st.children.clone() {
+                    visible_instance[c as usize] = true;
+                }
+                for d in st.items.clone() {
+                    visible_item[d as usize] = true;
+                }
+            }
+        }
+        let _ = grammar;
+        Self { visible_instance, visible_item, projected_step }
+    }
+
+    #[inline]
+    pub fn instance_visible(&self, i: InstanceId) -> bool {
+        self.visible_instance[i.0 as usize]
+    }
+
+    #[inline]
+    pub fn item_visible(&self, d: DataId) -> bool {
+        self.visible_item[d.0 as usize]
+    }
+
+    /// True iff the step survives the projection (its expansion is part of
+    /// the view of the run).
+    #[inline]
+    pub fn step_projected(&self, s: StepId) -> bool {
+        self.projected_step[s.0 as usize]
+    }
+
+    /// A visible instance is a *leaf of the projected run* iff its expansion
+    /// step (if any) is not projected.
+    pub fn is_view_leaf(&self, run: &Run, i: InstanceId) -> bool {
+        self.instance_visible(i)
+            && run.expansion_of(i).is_none_or(|s| !self.step_projected(s))
+    }
+
+    pub fn visible_item_count(&self) -> usize {
+        self.visible_item.iter().filter(|&&v| v).count()
+    }
+
+    pub fn visible_items(&self) -> impl Iterator<Item = DataId> + '_ {
+        self.visible_item
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v)
+            .map(|(i, _)| DataId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure3_run;
+    use wf_model::fixtures::paper_example;
+
+    #[test]
+    fn default_view_sees_everything() {
+        let ex = paper_example();
+        let (run, _) = figure3_run(&ex);
+        let u1 = ex.view_u1();
+        let proj = RunProjection::new(&ex.spec.grammar, &run, &u1);
+        for i in 0..run.instance_count() {
+            assert!(proj.instance_visible(InstanceId(i as u32)));
+        }
+        assert_eq!(proj.visible_item_count(), run.item_count());
+        for s in run.steps() {
+            assert!(proj.step_projected(s));
+        }
+    }
+
+    /// Example 7/8: in U₂ the details of every C are hidden — C instances
+    /// are visible (they appear in W1/W2/W3) but are leaves; everything
+    /// inside them (b:2, D:1, f:1, …, and items d21…) is invisible.
+    #[test]
+    fn u2_hides_c_internals() {
+        let ex = paper_example();
+        let (run, ids) = figure3_run(&ex);
+        let u2 = ex.view_u2();
+        let proj = RunProjection::new(&ex.spec.grammar, &run, &u2);
+        // C:4 itself is visible but is a leaf.
+        assert!(proj.instance_visible(ids.c4));
+        assert!(proj.is_view_leaf(&run, ids.c4));
+        // Its children are not visible.
+        assert!(!proj.instance_visible(ids.b2));
+        assert!(!proj.instance_visible(ids.d1));
+        assert!(!proj.instance_visible(ids.f1));
+        // d21 (the b:2 -> D:1 item) is hidden; d17 (input of C:4, created
+        // at A:3's expansion which is projected) is visible.
+        assert!(!proj.item_visible(ids.d21));
+        assert!(proj.item_visible(ids.d17));
+        // A-instances stay visible and expanded (A ∈ Δ′).
+        assert!(proj.instance_visible(ids.a3));
+        assert!(!proj.is_view_leaf(&run, ids.a3));
+    }
+
+    /// Partial runs: an unexpanded composite is a leaf even in the default
+    /// view.
+    #[test]
+    fn unexpanded_composites_are_leaves() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let mut run = crate::run::Run::start(g);
+        run.apply(g, InstanceId(0), ex.prods[0]).unwrap();
+        let u1 = ex.view_u1();
+        let proj = RunProjection::new(g, &run, &u1);
+        let a1 = run.nth_open_of(ex.a_mod, 0).unwrap();
+        assert!(proj.is_view_leaf(&run, a1));
+    }
+}

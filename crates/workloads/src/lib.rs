@@ -1,0 +1,268 @@
+//! Workload generators for the §6 evaluation.
+//!
+//! * [`bioaid`] — the stand-in for the myExperiment *BioAID* workflow
+//!   (DESIGN.md substitution S1): a strictly linear-recursive grammar with
+//!   the published statistics — 112 modules (16 composite), 23 productions
+//!   (7 recursive), ≤ 19 modules per production, ≤ 4 input and ≤ 7 output
+//!   ports per module.
+//! * [`bioaid_coarse`] — a black-box single-source/single-sink variant of
+//!   comparable shape, used wherever DRL participates (§6.2, §6.4).
+//! * [`synthetic`] — the Figure 26 family, parameterized by workflow size,
+//!   module degree, nesting depth and recursion length (§6.5).
+//! * [`views`] — safe random grey-box views ("enumerating proper subsets of
+//!   composite modules and assigning random input-output dependencies",
+//!   §6.1) and black-box views for the multi-view comparisons.
+//! * [`sample`] — run-size-targeted derivations and query pair sampling.
+
+pub mod gen;
+pub mod sample;
+pub mod views;
+
+use gen::{GenParams, SpecGen};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wf_model::{DepAssignment, ModuleId, ProdId, Spec};
+
+/// A generated specification plus the metadata the view sampler needs.
+pub struct Workload {
+    pub spec: Spec,
+    /// λ\* of every module under the default view (composites included).
+    pub lambda: DepAssignment,
+    /// Per module: the base (non-recursive) production, if any.
+    pub base_prod_of: Vec<Option<ProdId>>,
+    /// Per cycle: (members, entry member with a base production).
+    pub cycles: Vec<(Vec<ModuleId>, ModuleId)>,
+    /// Atomics whose λ′ must stay pinned in views (identity adapters,
+    /// mirrors, duplicators, aggregators, sources).
+    pub pinned: Vec<bool>,
+    /// Composites that must never enter Δ′ (mirror-constrained).
+    pub no_expand: Vec<ModuleId>,
+}
+
+impl Workload {
+    fn from_gen(
+        g: SpecGen,
+        start: ModuleId,
+        cycles: Vec<(Vec<ModuleId>, ModuleId)>,
+        no_expand: Vec<ModuleId>,
+    ) -> Workload {
+        let mut gb = g.gb;
+        gb.start(start);
+        let grammar = gb.finish().expect("generated grammar is valid");
+        // Pinned atomics: everything that is not a random fill atomic.
+        let pinned = grammar
+            .modules()
+            .map(|m| {
+                let name = &grammar.sig(m).name;
+                !grammar.is_composite(m) && !name.starts_with('x')
+            })
+            .collect();
+        let mut base_prod_of = vec![None; grammar.module_count()];
+        for (k, p) in grammar.productions() {
+            // A base production is any whose RHS does not reach back to the
+            // LHS; with the generator's structure that is exactly the
+            // non-adapter productions (mirrors count as bases).
+            let recursive = p.rhs.nodes().iter().any(|&c| {
+                cycles.iter().any(|(members, _)| members.contains(&c) && members.contains(&p.lhs))
+            });
+            if !recursive && base_prod_of[p.lhs.index()].is_none() {
+                base_prod_of[p.lhs.index()] = Some(k);
+            }
+        }
+        let spec = Spec::new(grammar, g.deps).expect("generated spec is valid");
+        Workload { spec, lambda: g.lambda, base_prod_of, cycles, pinned, no_expand }
+    }
+}
+
+/// The BioAID-like workload (see module docs). Deterministic per seed.
+pub fn bioaid(seed: u64) -> Workload {
+    bioaid_with(seed, false)
+}
+
+/// Coarse-grained (black-box, single-source/single-sink) BioAID-like
+/// workload for the DRL comparisons.
+pub fn bioaid_coarse(seed: u64) -> Workload {
+    bioaid_with(seed, true)
+}
+
+fn bioaid_with(seed: u64, coarse: bool) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = GenParams { workflow_size: 0, module_degree: 3, coarse, ..GenParams::default() };
+    // Recursive modules get post-adapters with n_in = their output count;
+    // cap their boundary at 4 so the "≤ 4 input ports" statistic holds.
+    let pr = GenParams { max_out: 4, ..p.clone() };
+    let mut g = SpecGen::new();
+
+    // Seven leaf composites over atomic fill.
+    let leaves: Vec<ModuleId> = (0..7)
+        .map(|i| {
+            let params = if i == 0 || i == 2 { &pr } else { &p };
+            g.base_production(&mut rng, params, &format!("L{}", i + 1), &[], 4)
+        })
+        .collect();
+    // Four mid-level composites.
+    let n1 = g.base_production(&mut rng, &p, "N1", &[leaves[0], leaves[1]], 3);
+    let n2 = g.base_production(&mut rng, &pr, "N2", &[leaves[2]], 4);
+    let n3 = g.base_production(&mut rng, &p, "N3", &[leaves[3], leaves[4]], 3);
+    let n4 = g.base_production(&mut rng, &pr, "N4", &[leaves[5]], 4);
+    // Two upper composites, a pre-start and the start module.
+    let u1 = g.base_production(&mut rng, &pr, "U1", &[n1, n2], 3);
+    let u2 = g.base_production(&mut rng, &p, "U2", &[n3, n4, leaves[6]], 2);
+    let s2 = g.base_production(&mut rng, &pr, "S2", &[u1], 4);
+    let s = g.base_production(&mut rng, &p, "S", &[s2, u2], 3);
+
+    // Five self-recursions (the paper's loops/forks)…
+    let self_rec = [leaves[0], leaves[2], n2, u1, s2];
+    for &m in &self_rec {
+        g.recursive_production(m, m, coarse);
+    }
+    // …and one two-cycle with a mirror partner P (7 recursive productions).
+    let p_mod = g.cycle_member("P", n4);
+    let n4_lambda = g.lambda.get(n4).expect("N4 has λ*").clone();
+    g.mirror_production(p_mod, n4_lambda);
+    g.recursive_production(n4, p_mod, coarse);
+    g.recursive_production(p_mod, n4, coarse);
+
+    let mut cycles: Vec<(Vec<ModuleId>, ModuleId)> =
+        self_rec.iter().map(|&m| (vec![m], m)).collect();
+    cycles.push((vec![n4, p_mod], n4));
+    Workload::from_gen(g, s, cycles, vec![p_mod])
+}
+
+/// Parameters of the Figure 26 synthetic family (§6.5 defaults).
+#[derive(Clone, Debug)]
+pub struct SynthParams {
+    /// Modules per simple workflow (default 40).
+    pub workflow_size: usize,
+    /// Input/output ports per module (default 4).
+    pub module_degree: u8,
+    /// Depth of nested composite modules (default 4).
+    pub nesting_depth: usize,
+    /// Composite modules per recursion cycle (default 2).
+    pub recursion_length: usize,
+    pub coarse: bool,
+    pub seed: u64,
+}
+
+impl Default for SynthParams {
+    fn default() -> Self {
+        Self {
+            workflow_size: 40,
+            module_degree: 4,
+            nesting_depth: 4,
+            recursion_length: 2,
+            coarse: false,
+            seed: 0xB10A1D,
+        }
+    }
+}
+
+/// The synthetic workload of Figure 26: a chain of `nesting_depth` levels,
+/// each carrying one recursion cycle of `recursion_length` composites.
+pub fn synthetic(sp: &SynthParams) -> Workload {
+    let mut rng = StdRng::seed_from_u64(sp.seed);
+    let p = GenParams {
+        workflow_size: sp.workflow_size,
+        module_degree: sp.module_degree,
+        max_in: (sp.module_degree as usize).max(2),
+        max_out: (sp.module_degree as usize).max(2),
+        coarse: sp.coarse,
+        ..GenParams::default()
+    };
+    let mut g = SpecGen::new();
+    let mut cycles = Vec::new();
+    let mut below: Option<ModuleId> = None;
+    for level in (0..sp.nesting_depth).rev() {
+        let inner: Vec<ModuleId> = below.into_iter().collect();
+        let fill = sp.workflow_size.saturating_sub(inner.len()).max(1);
+        let entry =
+            g.base_production(&mut rng, &p, &format!("C{}_{}", level + 1, 1), &inner, fill);
+        // The cycle at this level: entry -> m2 -> … -> m_r -> entry.
+        let mut members = vec![entry];
+        for i in 1..sp.recursion_length {
+            members.push(g.cycle_member(&format!("C{}_{}", level + 1, i + 1), entry));
+        }
+        for i in 0..members.len() {
+            g.recursive_production(members[i], members[(i + 1) % members.len()], sp.coarse);
+        }
+        cycles.push((members, entry));
+        below = Some(entry);
+    }
+    let start = below.expect("nesting_depth >= 1");
+    Workload::from_gen(g, start, cycles, vec![])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_analysis::{classify, is_safe, RecursionClass};
+    use wf_model::ViewSpec;
+
+    #[test]
+    fn bioaid_matches_published_statistics() {
+        let w = bioaid(7);
+        let g = &w.spec.grammar;
+        let composites = g.composite_modules().count();
+        assert_eq!(composites, 16, "16 composite modules");
+        assert_eq!(g.production_count(), 23, "23 productions");
+        // 7 recursive productions = total cycle edges.
+        let rec_prods: usize = w.cycles.iter().map(|(m, _)| m.len()).sum();
+        assert_eq!(rec_prods, 7, "7 recursive productions");
+        // Port caps: ≤ 4 inputs, ≤ 7 outputs.
+        for m in g.modules() {
+            assert!(g.sig(m).inputs() <= 4, "{}: {} inputs", g.sig(m).name, g.sig(m).inputs());
+            assert!(g.sig(m).outputs() <= 7);
+        }
+        // Production RHS sizes ≤ 19 modules.
+        for (_, p) in g.productions() {
+            assert!(p.rhs.node_count() <= 19, "RHS of {} modules", p.rhs.node_count());
+        }
+        // Module count near 112 (the published figure; fills/adapters vary
+        // slightly with the seed).
+        let total = g.module_count();
+        assert!((90..=130).contains(&total), "total modules {total}");
+        assert_eq!(classify(g), RecursionClass::StrictlyLinear);
+        let dv = w.spec.default_view();
+        assert!(is_safe(&ViewSpec::new(&w.spec, &dv)));
+        assert!(!w.spec.is_coarse_grained());
+    }
+
+    #[test]
+    fn bioaid_coarse_is_coarse_and_safe() {
+        let w = bioaid_coarse(7);
+        assert!(w.spec.is_coarse_grained());
+        let dv = w.spec.default_view();
+        assert!(is_safe(&ViewSpec::new(&w.spec, &dv)));
+        assert_eq!(classify(&w.spec.grammar), RecursionClass::StrictlyLinear);
+    }
+
+    #[test]
+    fn synthetic_family_valid_across_parameters() {
+        for depth in [2, 6] {
+            for r in [1, 3] {
+                let w = synthetic(&SynthParams {
+                    workflow_size: 10,
+                    module_degree: 3,
+                    nesting_depth: depth,
+                    recursion_length: r,
+                    coarse: false,
+                    seed: 42,
+                });
+                let g = &w.spec.grammar;
+                assert_eq!(classify(g), RecursionClass::StrictlyLinear, "d={depth} r={r}");
+                assert_eq!(w.cycles.len(), depth);
+                assert!(w.cycles.iter().all(|(m, _)| m.len() == r));
+                let dv = w.spec.default_view();
+                assert!(is_safe(&ViewSpec::new(&w.spec, &dv)));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = bioaid(3);
+        let b = bioaid(3);
+        assert_eq!(a.spec.grammar.module_count(), b.spec.grammar.module_count());
+        assert_eq!(a.spec.grammar.production_count(), b.spec.grammar.production_count());
+    }
+}

@@ -1,0 +1,53 @@
+//! Run and query sampling (§6.1 methodology).
+
+use crate::Workload;
+use rand::Rng;
+use wf_analysis::ProdGraph;
+use wf_run::{random_derivation, DataId, Derivation, Run};
+
+/// A derivation of roughly `target_items` data items.
+pub fn sample_run(w: &Workload, pg: &ProdGraph, rng: &mut impl Rng, target_items: usize) -> (Derivation, Run) {
+    let d = random_derivation(&w.spec.grammar, pg, rng, target_items);
+    let run = d.replay(&w.spec.grammar).expect("sampled derivation replays");
+    (d, run)
+}
+
+/// Uniformly random ordered pairs of data items from a run.
+pub fn sample_query_pairs(run: &Run, rng: &mut impl Rng, count: usize) -> Vec<(DataId, DataId)> {
+    let n = run.item_count() as u32;
+    (0..count)
+        .map(|_| (DataId(rng.gen_range(0..n)), DataId(rng.gen_range(0..n))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bioaid;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn runs_hit_requested_sizes() {
+        let w = bioaid(1);
+        let pg = ProdGraph::new(&w.spec.grammar);
+        let mut rng = StdRng::seed_from_u64(1);
+        for target in [100, 1000, 4000] {
+            let (_, run) = sample_run(&w, &pg, &mut rng, target);
+            assert!(run.item_count() >= target);
+            assert!(run.is_complete());
+        }
+    }
+
+    #[test]
+    fn query_pairs_are_in_range() {
+        let w = bioaid(1);
+        let pg = ProdGraph::new(&w.spec.grammar);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (_, run) = sample_run(&w, &pg, &mut rng, 200);
+        for (a, b) in sample_query_pairs(&run, &mut rng, 1000) {
+            assert!((a.0 as usize) < run.item_count());
+            assert!((b.0 as usize) < run.item_count());
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Security views over a scientific pipeline (the §1 motivation).
+//!
+//! A lab publishes provenance for a BioAID-style analysis pipeline but must
+//! hide a proprietary sub-workflow. Two user groups get different views:
+//! collaborators see true (white-box) dependencies; external reviewers get
+//! a grey-box view where the proprietary module's input→output dependency
+//! matrix is over-approximated to complete — hiding *which* input actually
+//! influenced an output. The same run labels serve both groups; adding the
+//! reviewer view later never touches already-labeled data.
+//!
+//! Run with: `cargo run --release --example security_views`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wfprov::analysis::ProdGraph;
+use wfprov::fvl::{Fvl, VariantKind};
+use wfprov::model::{View, ViewSpec};
+use wfprov::workloads::{bioaid, sample};
+
+fn main() {
+    let w = bioaid(2024);
+    let g = &w.spec.grammar;
+    let fvl = Fvl::new(&w.spec).unwrap();
+    let pg = ProdGraph::new(g);
+
+    // One execution of the pipeline, labeled as it runs.
+    let mut rng = StdRng::seed_from_u64(1);
+    let (_, run) = sample::sample_run(&w, &pg, &mut rng, 2_000);
+    let labels = fvl.labeler(&run);
+    println!("pipeline run: {} data items", run.item_count());
+
+    // The proprietary sub-workflow is composite module N3.
+    let n3 = g.module_named("N3").unwrap();
+
+    // Collaborator view: expand everything (true dependencies).
+    let collaborator = w.spec.default_view();
+
+    // Reviewer view: N3 stays a black box with a complete (over-approximate)
+    // dependency matrix; everything reachable without opening N3 stays
+    // white-box. Δ′ is grown to the derivability closure so the view is
+    // proper (modules living only inside N3 drop out).
+    let hidden = n3;
+    let mut expand = vec![false; g.module_count()];
+    expand[g.start().index()] = true;
+    loop {
+        let derivable = g.derivable_modules(&expand);
+        let added = g.composite_modules().find(|&m| {
+            derivable[m.index()] && !expand[m.index()] && m != hidden && !w.no_expand.contains(&m)
+        });
+        match added {
+            Some(m) => expand[m.index()] = true,
+            None => break,
+        }
+    }
+    let derivable = g.derivable_modules(&expand);
+    let mut deps = w.spec.deps.clone();
+    // Perceived matrices for the derivable unexpandables: true λ* for the
+    // mirror-constrained cycle partner, a complete grey box for N3.
+    for m in g.modules() {
+        if g.is_composite(m) && derivable[m.index()] && !expand[m.index()] {
+            deps.set(m, w.lambda.get(m).expect("λ* known").clone());
+        }
+    }
+    let sig = g.sig(hidden);
+    deps.set(hidden, wfprov::boolmat::BoolMat::complete(sig.inputs(), sig.outputs()));
+    let reviewer = View::new(g, g.modules().filter(|m| expand[m.index()]), deps)
+        .expect("reviewer view is valid");
+    assert!(wfprov::analysis::is_safe(&ViewSpec::new(&w.spec, &reviewer)));
+
+    let vl_collab = fvl.label_view(&collaborator, VariantKind::QueryEfficient).unwrap();
+    let vl_review = fvl.label_view(&reviewer, VariantKind::QueryEfficient).unwrap();
+
+    // Compare answers across the two groups on sampled queries.
+    let pairs = sample::sample_query_pairs(&run, &mut rng, 50_000);
+    let (mut both, mut flips, mut hidden) = (0usize, 0usize, 0usize);
+    for (a, b) in pairs {
+        let qa = fvl.query(&vl_collab, labels.label(a), labels.label(b));
+        let qb = fvl.query(&vl_review, labels.label(a), labels.label(b));
+        match (qa, qb) {
+            (Some(x), Some(y)) => {
+                both += 1;
+                if x != y {
+                    flips += 1;
+                    assert!(y, "grey-boxing only ever *adds* dependencies");
+                }
+            }
+            (_, None) => hidden += 1,
+            _ => {}
+        }
+    }
+    println!("queries answered in both views: {both}");
+    println!("answers flipped by the grey box (false -> true): {flips}");
+    println!("queries touching reviewer-hidden items: {hidden}");
+    println!("view labels: collaborator {}B, reviewer {}B", vl_collab.size_bits() / 8, vl_review.size_bits() / 8);
+}

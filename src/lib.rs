@@ -1,0 +1,52 @@
+//! # wfprov
+//!
+//! A from-scratch Rust reproduction of *Labeling Workflow Views with
+//! Fine-Grained Dependencies* (Bao, Davidson, Milo — VLDB 2012): compact,
+//! view-adaptive reachability labels for provenance graphs of recursive
+//! workflows.
+//!
+//! The crate is a facade over the workspace:
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`model`] | `wf-model` | workflow grammars, dependency assignments, views (§2, §5) |
+//! | [`analysis`] | `wf-analysis` | safety / λ\* (Lemma 1), recursion classes (Thm. 7), production graph (§4.1) |
+//! | [`run`] | `wf-run` | derivations, compressed parse trees, view projection, oracles |
+//! | [`fvl`] | `wf-core` | the FVL labeling scheme: data labels, view labels, π (§4) |
+//! | [`drl`] | `wf-drl` | the black-box baseline of the evaluation (§6) |
+//! | [`workloads`] | `wf-workloads` | BioAID-like and Figure-26 synthetic generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wfprov::fvl::{Fvl, VariantKind};
+//! use wfprov::model::fixtures::paper_example;
+//! use wfprov::run::fixtures::figure3_run;
+//!
+//! // The paper's running example (Figure 2) and its Figure 3 run.
+//! let ex = paper_example();
+//! let fvl = Fvl::new(&ex.spec).unwrap();
+//! let (run, ids) = figure3_run(&ex);
+//!
+//! // Label the run once (dynamically), and two views statically.
+//! let labels = fvl.labeler(&run);
+//! let u1 = ex.view_u1(); // white-box default view
+//! let u2 = ex.view_u2(); // grey-box security view
+//! let vl1 = fvl.label_view(&u1, VariantKind::QueryEfficient).unwrap();
+//! let vl2 = fvl.label_view(&u2, VariantKind::QueryEfficient).unwrap();
+//!
+//! // Example 8: "does d31 depend on d17?" — the answer is view-dependent.
+//! let (d17, d31) = (labels.label(ids.d17), labels.label(ids.d31));
+//! assert_eq!(fvl.query(&vl1, d17, d31), Some(false));
+//! assert_eq!(fvl.query(&vl2, d17, d31), Some(true));
+//! ```
+
+pub use wf_analysis as analysis;
+pub use wf_bitio as bitio;
+pub use wf_boolmat as boolmat;
+pub use wf_core as fvl;
+pub use wf_digraph as digraph;
+pub use wf_drl as drl;
+pub use wf_model as model;
+pub use wf_run as run;
+pub use wf_workloads as workloads;

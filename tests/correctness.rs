@@ -1,0 +1,197 @@
+//! The central correctness property of the whole reproduction (Theorem 9):
+//! for every derivation, every safe view and every pair of visible data
+//! items, the decoding predicate π over (two data labels + one view label)
+//! answers exactly the brute-force port-graph oracle.
+//!
+//! Exercised across: the paper's fixtures, random BioAID-like runs, random
+//! grey-box views, all three view-label variants, partial runs, and the
+//! DRL baseline on coarse-grained workloads.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wfprov::analysis::ProdGraph;
+use wfprov::drl::Drl;
+use wfprov::fvl::{Fvl, VariantKind};
+use wfprov::model::ViewSpec;
+use wfprov::run::{RunOracle, RunProjection};
+use wfprov::workloads::views::{black_box_view, random_safe_view};
+use wfprov::workloads::{bioaid, bioaid_coarse, sample, synthetic, SynthParams};
+
+const VARIANTS: [VariantKind; 3] =
+    [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient];
+
+/// All-pairs π vs oracle on the Figure 3 run under both paper views.
+#[test]
+fn paper_fixture_all_pairs_all_variants() {
+    let ex = wfprov::model::fixtures::paper_example();
+    let fvl = Fvl::new(&ex.spec).unwrap();
+    let (run, _) = wfprov::run::fixtures::figure3_run(&ex);
+    let labels = fvl.labeler(&run);
+    for view in [ex.view_u1(), ex.view_u2()] {
+        let vs = ViewSpec::new(&ex.spec, &view);
+        let oracle = RunOracle::new(&ex.spec.grammar, &vs, &run).unwrap();
+        for kind in VARIANTS {
+            let vl = fvl.label_view(&view, kind).unwrap();
+            for a in run.items() {
+                for b in run.items() {
+                    let got = fvl.query(&vl, labels.label(a), labels.label(b));
+                    let want = oracle.depends_on(a, b);
+                    assert_eq!(got, want, "{kind:?} {a:?}->{b:?} (view size {})", view.size());
+                }
+            }
+        }
+    }
+}
+
+/// Random BioAID-like runs × random grey-box views × all variants, sampled
+/// pairs. This is the Theorem 9 property at scale.
+#[test]
+fn random_runs_and_views_match_oracle() {
+    let w = bioaid(17);
+    let fvl = Fvl::new(&w.spec).unwrap();
+    let pg = ProdGraph::new(&w.spec.grammar);
+    let mut rng = StdRng::seed_from_u64(99);
+    for trial in 0..6 {
+        let (_, run) = sample::sample_run(&w, &pg, &mut rng, 120);
+        let labels = fvl.labeler(&run);
+        for view_size in [3, 8, 16] {
+            let view = random_safe_view(&w, &mut rng, view_size);
+            let vs = ViewSpec::new(&w.spec, &view);
+            let oracle = RunOracle::new(&w.spec.grammar, &vs, &run).unwrap();
+            let vls: Vec<_> =
+                VARIANTS.iter().map(|&k| fvl.label_view(&view, k).unwrap()).collect();
+            for (a, b) in sample::sample_query_pairs(&run, &mut rng, 400) {
+                let want = oracle.depends_on(a, b);
+                for (vl, kind) in vls.iter().zip(VARIANTS) {
+                    let got = fvl.query(vl, labels.label(a), labels.label(b));
+                    assert_eq!(
+                        got, want,
+                        "trial {trial} size {view_size} {kind:?}: {a:?} -> {b:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Partial runs answer identically at every derivation prefix (dynamic
+/// labeling: labels and answers never change as the run grows).
+#[test]
+fn partial_runs_are_queryable_and_stable() {
+    let w = bioaid(5);
+    let fvl = Fvl::new(&w.spec).unwrap();
+    let pg = ProdGraph::new(&w.spec.grammar);
+    let mut rng = StdRng::seed_from_u64(3);
+    let (deriv, _) = sample::sample_run(&w, &pg, &mut rng, 60);
+    let view = random_safe_view(&w, &mut rng, 8);
+    let vl = fvl.label_view(&view, VariantKind::Default).unwrap();
+    let vs = ViewSpec::new(&w.spec, &view);
+
+    // Replay step by step; after each step check a sample of pairs against
+    // the partial-run oracle.
+    let mut run = wfprov::run::Run::start(&w.spec.grammar);
+    let mut labeler = fvl.labeler(&run);
+    for &(inst, prod) in &deriv.steps {
+        let s = run.apply(&w.spec.grammar, inst, prod).unwrap();
+        labeler.on_step(fvl.prod_graph(), &run, s);
+        if s.0 % 7 == 0 {
+            let oracle = RunOracle::new(&w.spec.grammar, &vs, &run).unwrap();
+            for (a, b) in sample::sample_query_pairs(&run, &mut rng, 60) {
+                assert_eq!(
+                    fvl.query(&vl, labeler.label(a), labeler.label(b)),
+                    oracle.depends_on(a, b),
+                    "step {} pair {a:?}->{b:?}",
+                    s.0
+                );
+            }
+        }
+    }
+}
+
+/// Synthetic-family sanity across the §6.5 parameter grid.
+#[test]
+fn synthetic_family_matches_oracle() {
+    let mut rng = StdRng::seed_from_u64(8);
+    for (depth, r, deg) in [(2, 1, 2), (4, 2, 4), (6, 3, 3)] {
+        let w = synthetic(&SynthParams {
+            workflow_size: 8,
+            module_degree: deg,
+            nesting_depth: depth,
+            recursion_length: r,
+            coarse: false,
+            seed: 1000 + depth as u64,
+        });
+        let fvl = Fvl::new(&w.spec).unwrap();
+        let pg = ProdGraph::new(&w.spec.grammar);
+        let (_, run) = sample::sample_run(&w, &pg, &mut rng, 150);
+        let labels = fvl.labeler(&run);
+        let view = random_safe_view(&w, &mut rng, depth);
+        let vs = ViewSpec::new(&w.spec, &view);
+        let oracle = RunOracle::new(&w.spec.grammar, &vs, &run).unwrap();
+        let vl = fvl.label_view(&view, VariantKind::QueryEfficient).unwrap();
+        for (a, b) in sample::sample_query_pairs(&run, &mut rng, 500) {
+            assert_eq!(
+                fvl.query(&vl, labels.label(a), labels.label(b)),
+                oracle.depends_on(a, b),
+                "d={depth} r={r} deg={deg}: {a:?}->{b:?}"
+            );
+        }
+    }
+}
+
+/// On coarse-grained workloads, four answers must coincide: the oracle,
+/// full FVL, Matrix-Free FVL, and DRL (§6.4's fairness requirement).
+#[test]
+fn coarse_grained_fvl_matrixfree_drl_agree() {
+    let w = bioaid_coarse(23);
+    let fvl = Fvl::new(&w.spec).unwrap();
+    let pg = ProdGraph::new(&w.spec.grammar);
+    let mut rng = StdRng::seed_from_u64(12);
+    let (_, run) = sample::sample_run(&w, &pg, &mut rng, 150);
+    let labels = fvl.labeler(&run);
+    for size in [4, 10] {
+        let view = black_box_view(&w, &mut rng, size);
+        let vs = ViewSpec::new(&w.spec, &view);
+        let oracle = RunOracle::new(&w.spec.grammar, &vs, &run).unwrap();
+        let vl = fvl.label_view(&view, VariantKind::QueryEfficient).unwrap();
+        let idx = fvl.structural_index(&view);
+        let drl = Drl::new(&w.spec, &view).unwrap();
+        let drl_labels = drl.label_run(&run);
+        let proj = RunProjection::new(&w.spec.grammar, &run, &view);
+        for (a, b) in sample::sample_query_pairs(&run, &mut rng, 600) {
+            let want = oracle.depends_on(a, b);
+            let full = fvl.query(&vl, labels.label(a), labels.label(b));
+            assert_eq!(full, want, "full FVL {a:?}->{b:?}");
+            if proj.item_visible(a) && proj.item_visible(b) {
+                let mf = fvl.query_structural(&idx, labels.label(a), labels.label(b));
+                assert_eq!(mf, want, "matrix-free {a:?}->{b:?}");
+                let (la, lb) = (drl_labels.label(a).unwrap(), drl_labels.label(b).unwrap());
+                assert_eq!(drl.query(la, lb), want, "DRL {a:?}->{b:?}");
+            }
+        }
+    }
+}
+
+/// Visibility from labels == visibility from the run projection, on random
+/// runs and views.
+#[test]
+fn label_visibility_matches_projection() {
+    let w = bioaid(31);
+    let fvl = Fvl::new(&w.spec).unwrap();
+    let pg = ProdGraph::new(&w.spec.grammar);
+    let mut rng = StdRng::seed_from_u64(7);
+    let (_, run) = sample::sample_run(&w, &pg, &mut rng, 200);
+    let labels = fvl.labeler(&run);
+    for size in [2, 6, 12] {
+        let view = random_safe_view(&w, &mut rng, size);
+        let vl = fvl.label_view(&view, VariantKind::Default).unwrap();
+        let proj = RunProjection::new(&w.spec.grammar, &run, &view);
+        for d in run.items() {
+            assert_eq!(
+                fvl.is_visible(&vl, labels.label(d)),
+                proj.item_visible(d),
+                "item {d:?} view size {size}"
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests (proptest) over randomized specifications, runs and
+//! views: the paper's invariants must hold for *every* seed, not just the
+//! fixtures.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wfprov::analysis::{classify, ProdGraph, RecursionClass};
+use wfprov::fvl::{Fvl, VariantKind};
+use wfprov::model::ViewSpec;
+use wfprov::run::RunOracle;
+use wfprov::workloads::{bioaid, sample, synthetic, views, SynthParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Theorem 9 as a property: π == oracle on random (seeded) worlds.
+    #[test]
+    fn pi_matches_oracle(seed in 0u64..1_000, view_size in 2usize..14, run_size in 50usize..250) {
+        let w = bioaid(seed % 5); // a few distinct grammars
+        let fvl = Fvl::new(&w.spec).unwrap();
+        let pg = ProdGraph::new(&w.spec.grammar);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (_, run) = sample::sample_run(&w, &pg, &mut rng, run_size);
+        let labels = fvl.labeler(&run);
+        let view = views::random_safe_view(&w, &mut rng, view_size);
+        let vs = ViewSpec::new(&w.spec, &view);
+        let oracle = RunOracle::new(&w.spec.grammar, &vs, &run).unwrap();
+        let vl = fvl.label_view(&view, VariantKind::QueryEfficient).unwrap();
+        for (a, b) in sample::sample_query_pairs(&run, &mut rng, 150) {
+            prop_assert_eq!(
+                fvl.query(&vl, labels.label(a), labels.label(b)),
+                oracle.depends_on(a, b),
+                "{:?} -> {:?}", a, b
+            );
+        }
+    }
+
+    /// Every label round-trips through the wire codec bit-exactly.
+    #[test]
+    fn codec_roundtrip(seed in 0u64..1_000, run_size in 50usize..400) {
+        let w = bioaid(seed % 3);
+        let fvl = Fvl::new(&w.spec).unwrap();
+        let pg = ProdGraph::new(&w.spec.grammar);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (_, run) = sample::sample_run(&w, &pg, &mut rng, run_size);
+        let labels = fvl.labeler(&run);
+        for l in labels.labels() {
+            let bits = fvl.codec().encode(l);
+            prop_assert_eq!(&fvl.codec().decode(&bits).unwrap(), l);
+            // Factoring never loses to the unfactored encoding.
+            prop_assert!(bits.len() <= fvl.codec().encoded_bits_unfactored(l) + 8);
+        }
+    }
+
+    /// Lemma 4: compressed-tree depth ≤ 2|Δ| + 1, hence label paths are
+    /// bounded regardless of run size.
+    #[test]
+    fn label_paths_bounded(seed in 0u64..1_000, run_size in 100usize..2_000) {
+        let w = bioaid(seed % 3);
+        let fvl = Fvl::new(&w.spec).unwrap();
+        let pg = ProdGraph::new(&w.spec.grammar);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (_, run) = sample::sample_run(&w, &pg, &mut rng, run_size);
+        let labels = fvl.labeler(&run);
+        let bound = 2 * w.spec.grammar.composite_modules().count() + 1;
+        for l in labels.labels() {
+            for p in l.out.iter().chain(l.inp.iter()) {
+                prop_assert!(p.path.len() <= bound, "path {} > {}", p.path.len(), bound);
+            }
+        }
+    }
+
+    /// The synthetic family is strictly linear-recursive and safe for every
+    /// parameter combination.
+    #[test]
+    fn synthetic_always_wellformed(
+        depth in 1usize..6,
+        degree in 2u8..8,
+        size in 4usize..20,
+        rec in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        let w = synthetic(&SynthParams {
+            workflow_size: size,
+            module_degree: degree,
+            nesting_depth: depth,
+            recursion_length: rec,
+            coarse: false,
+            seed,
+        });
+        prop_assert_eq!(classify(&w.spec.grammar), RecursionClass::StrictlyLinear);
+        let dv = w.spec.default_view();
+        prop_assert!(wfprov::analysis::is_safe(&ViewSpec::new(&w.spec, &dv)));
+        // FVL accepts it.
+        prop_assert!(Fvl::new(&w.spec).is_ok());
+    }
+}
