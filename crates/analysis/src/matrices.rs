@@ -230,7 +230,13 @@ pub fn o_matrix(grammar: &Grammar, k: ProdId, i: usize, lambda: &DepAssignment) 
 }
 
 /// Computes `Z(k, i, j)` alone.
-pub fn z_matrix(grammar: &Grammar, k: ProdId, i: usize, j: usize, lambda: &DepAssignment) -> BoolMat {
+pub fn z_matrix(
+    grammar: &Grammar,
+    k: ProdId,
+    i: usize,
+    j: usize,
+    lambda: &DepAssignment,
+) -> BoolMat {
     let p = grammar.production(k);
     let pg = PortGraph::build(&p.rhs, lambda);
     let si = grammar.sig(p.rhs.nodes()[i]);

@@ -8,7 +8,7 @@ use wf_model::Grammar;
 /// `NonRecursive ⊂ StrictlyLinear ⊂ Linear ⊂ all grammars`; compact dynamic
 /// labeling of fine-grained workflows is feasible exactly up to
 /// `StrictlyLinear` (Theorems 6 and 8), while black-box workflows admit it
-/// up to `Linear` (Theorem 4, from [5]).
+/// up to `Linear` (Theorem 4, from \[5\]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RecursionClass {
     /// The production graph is acyclic: runs have bounded depth.
@@ -121,12 +121,7 @@ mod tests {
         b.production(
             s,
             vec![split, s, s, merge],
-            vec![
-                ((0, 0), (1, 0)),
-                ((0, 1), (2, 0)),
-                ((1, 0), (3, 0)),
-                ((2, 0), (3, 1)),
-            ],
+            vec![((0, 0), (1, 0)), ((0, 1), (2, 0)), ((1, 0), (3, 0)), ((2, 0), (3, 1))],
         );
         b.production(s, vec![a], vec![]);
         let g = b.finish().unwrap();
@@ -223,8 +218,7 @@ mod tests {
             for c in &cycles {
                 for (ix, &v) in c.iter().enumerate() {
                     let w = c[(ix + 1) % c.len()];
-                    let mult =
-                        g.out_edges(NodeId(v)).iter().filter(|&&(_, t)| t.0 == w).count();
+                    let mult = g.out_edges(NodeId(v)).iter().filter(|&&(_, t)| t.0 == w).count();
                     if mult > 1 {
                         return false;
                     }

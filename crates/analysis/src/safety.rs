@@ -11,9 +11,7 @@
 //! exists for it (Theorem 1).
 
 use wf_boolmat::BoolMat;
-use wf_model::{
-    DepAssignment, ModelError, ModuleId, PortGraph, PortRef, ProdId, Spec, ViewSpec,
-};
+use wf_model::{DepAssignment, ModelError, ModuleId, PortGraph, PortRef, ProdId, Spec, ViewSpec};
 
 /// Why a specification or view has no full dependency assignment.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -104,13 +102,8 @@ pub fn full_assignment(vs: &ViewSpec<'_>) -> Result<DepAssignment, SafetyError> 
             // Some expandable module never became verifiable: it has no
             // terminating derivation, i.e. the view is improper.
             let p = grammar.production(still_pending[0]);
-            let missing = p
-                .rhs
-                .nodes()
-                .iter()
-                .copied()
-                .find(|&m| !lambda.is_defined(m))
-                .unwrap_or(p.lhs);
+            let missing =
+                p.rhs.nodes().iter().copied().find(|&m| !lambda.is_defined(m)).unwrap_or(p.lhs);
             return Err(SafetyError::Model(ModelError::Unproductive { module: missing }));
         }
         pending = still_pending;

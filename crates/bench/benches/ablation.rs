@@ -42,11 +42,8 @@ fn bench_prefix_factoring(c: &mut Criterion) {
 
 fn bench_chain_strategies(c: &mut Criterion) {
     // A representative 6x6 reachability step matrix.
-    let x = BoolMat::from_pairs(
-        6,
-        6,
-        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 1), (2, 4)],
-    );
+    let x =
+        BoolMat::from_pairs(6, 6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 1), (2, 4)]);
     let cache = PowerCache::new(x.clone());
     let mut g = c.benchmark_group("chain_power");
     for e in [16u64, 1024, 1 << 20] {

@@ -15,9 +15,7 @@ fn bench_construction(c: &mut Criterion) {
     g.sample_size(10);
     for n in [1_000usize, 8_000] {
         let run = bench.run_of(42, n);
-        g.bench_with_input(BenchmarkId::new("fvl", n), &run, |b, run| {
-            b.iter(|| fvl.labeler(run))
-        });
+        g.bench_with_input(BenchmarkId::new("fvl", n), &run, |b, run| b.iter(|| fvl.labeler(run)));
         g.bench_with_input(BenchmarkId::new("drl", n), &run, |b, run| {
             b.iter(|| drl.label_run(run))
         });

@@ -115,19 +115,27 @@ fn fig18() {
 /// three FVL variants.
 fn fig19() {
     println!("\n== Figure 19: view label length (KB) ==");
-    println!("{:>8} {:>6} {:>14} {:>10} {:>15}", "view", "|Δ'|", "SpaceEfficient", "Default", "QueryEfficient");
+    println!(
+        "{:>8} {:>6} {:>14} {:>10} {:>15}",
+        "view", "|Δ'|", "SpaceEfficient", "Default", "QueryEfficient"
+    );
     let bench = Bench::fine(1);
     let fvl = Fvl::new(&bench.workload.spec).unwrap();
     for (name, size, seed) in [("small", 2usize, 51u64), ("medium", 8, 52), ("large", 16, 53)] {
         let view = bench.safe_view(seed, size);
         let mut row = Vec::new();
-        for kind in [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient] {
+        for kind in [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient]
+        {
             let vl = fvl.label_view(&view, kind).unwrap();
             row.push(vl.size_bits() as f64 / 8.0 / 1024.0);
         }
         println!(
             "{:>8} {:>6} {:>14.4} {:>10.4} {:>15.4}",
-            name, view.size(), row[0], row[1], row[2]
+            name,
+            view.size(),
+            row[0],
+            row[1],
+            row[2]
         );
     }
 }
@@ -148,7 +156,8 @@ fn fig20() {
         let labeler = fvl.labeler(&run);
         let labels = labeler.labels();
         let mut row = Vec::new();
-        for kind in [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient] {
+        for kind in [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient]
+        {
             let vls: Vec<_> = views.iter().map(|v| fvl.label_view(v, kind).unwrap()).collect();
             let q = if kind == VariantKind::SpaceEfficient { QUERIES_SLOW } else { QUERIES };
             let pairs = bench.queries(&run, 400, q);
@@ -358,7 +367,10 @@ fn tab1() {
 /// compressed tree (Definition 18) is what restores O(log n).
 fn ablation_tree() {
     println!("\n== Ablation: compressed vs basic parse-tree label bits ==");
-    println!("{:>8} {:>12} {:>12} {:>10} {:>10}", "items", "compressed", "basic", "cmp-max", "basic-max");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>10}",
+        "items", "compressed", "basic", "cmp-max", "basic-max"
+    );
     let bench = Bench::fine(1);
     let fvl = Fvl::new(&bench.workload.spec).unwrap();
     for &n in &[1_000usize, 4_000, 16_000] {
@@ -371,10 +383,7 @@ fn ablation_tree() {
             let mut path = Vec::new();
             let mut cur = inst;
             while let Some(o) = run.instance(cur).origin {
-                path.push(wf_run::EdgeLabel::Plain {
-                    k: run.step(o.step).prod,
-                    i: o.pos,
-                });
+                path.push(wf_run::EdgeLabel::Plain { k: run.step(o.step).prod, i: o.pos });
                 cur = o.parent;
             }
             path.reverse();
@@ -383,12 +392,8 @@ fn ablation_tree() {
         let (mut tot, mut mx) = (0usize, 0usize);
         for d in run.items() {
             let item = run.item(d);
-            let out = item.producer.map(|(i, p)| {
-                wf_core::label::PortLabel::new(basic_path(i), p)
-            });
-            let inp = item.consumer.map(|(i, p)| {
-                wf_core::label::PortLabel::new(basic_path(i), p)
-            });
+            let out = item.producer.map(|(i, p)| wf_core::label::PortLabel::new(basic_path(i), p));
+            let inp = item.consumer.map(|(i, p)| wf_core::label::PortLabel::new(basic_path(i), p));
             let l = wf_core::DataLabel { out, inp };
             let bits = fvl.codec().encoded_bits(&l);
             tot += bits;

@@ -1,5 +1,23 @@
-//! Shared helpers for the experiment harness (see `src/bin/experiments.rs`)
-//! and the Criterion micro-benches.
+//! Benchmark harness for the paper's §6 evaluation.
+//!
+//! The library is a thin layer of shared fixtures and timers; the actual
+//! experiments live in the crate's binary and bench targets:
+//!
+//! * `src/bin/experiments.rs` — `cargo run --release --bin experiments
+//!   [fig17|…|fig25|tab1|ablation|all]` reprints every figure/table series
+//!   of §6 (label lengths, construction times, query times, multi-view
+//!   scaling) on the BioAID-like and synthetic workloads;
+//! * `benches/label_construction.rs` — Criterion micro-bench of dynamic
+//!   label construction, FVL vs DRL (Figures 17/18's time axis);
+//! * `benches/query.rs` — the constant-time query path across the three
+//!   FVL variants, Matrix-Free FVL and DRL (Figures 20/23);
+//! * `benches/ablation.rs` — prefix factoring of data labels and
+//!   recursion-chain evaluation strategies (power cache vs divide & conquer
+//!   vs naive).
+//!
+//! Exported helpers: [`Bench`] (one prepared workload + production graph,
+//! with seeded runs, views and query pairs), the [`ms`]/[`ns_per`] timers,
+//! and the label-size accessors [`label_bits_stats`] / [`query_ns`].
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -175,10 +175,7 @@ mod tests {
         let enc = |n: u64| {
             let mut w = BitWriter::new();
             w.write_gamma(n);
-            w.finish()
-                .iter()
-                .map(|b| if b { '1' } else { '0' })
-                .collect::<String>()
+            w.finish().iter().map(|b| if b { '1' } else { '0' }).collect::<String>()
         };
         assert_eq!(enc(1), "1");
         assert_eq!(enc(2), "010");
@@ -193,10 +190,7 @@ mod tests {
         let enc = |n: u64| {
             let mut w = BitWriter::new();
             w.write_delta(n);
-            w.finish()
-                .iter()
-                .map(|b| if b { '1' } else { '0' })
-                .collect::<String>()
+            w.finish().iter().map(|b| if b { '1' } else { '0' }).collect::<String>()
         };
         assert_eq!(enc(1), "1");
         assert_eq!(enc(2), "0100");

@@ -14,7 +14,13 @@ enum Field {
 fn field_strategy() -> impl Strategy<Value = Field> {
     prop_oneof![
         (0u32..=64).prop_flat_map(|w| {
-            let max = if w == 0 { 0 } else if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+            let max = if w == 0 {
+                0
+            } else if w == 64 {
+                u64::MAX
+            } else {
+                (1u64 << w) - 1
+            };
             (0..=max).prop_map(move |v| Field::Fixed { value: v, width: w })
         }),
         (1u64..=u64::MAX / 2).prop_map(Field::Gamma),

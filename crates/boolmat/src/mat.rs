@@ -42,7 +42,11 @@ impl BoolMat {
     }
 
     /// Builds a matrix from `(row, col)` pairs.
-    pub fn from_pairs(rows: usize, cols: usize, pairs: impl IntoIterator<Item = (usize, usize)>) -> Self {
+    pub fn from_pairs(
+        rows: usize,
+        cols: usize,
+        pairs: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Self {
         let mut m = Self::zeros(rows, cols);
         for (r, c) in pairs {
             m.set(r, c, true);
@@ -229,7 +233,7 @@ mod tests {
         let m2 = BoolMat::zeros(3, 0);
         assert!(m2.is_empty());
         assert!(m2.is_complete()); // vacuously complete
-        // Products through a zero dimension yield all-false.
+                                   // Products through a zero dimension yield all-false.
         let a = BoolMat::complete(2, 0);
         let b = BoolMat::complete(0, 3);
         let p = a.matmul(&b);

@@ -99,16 +99,17 @@ impl LabelCodec {
         let mut r = BitReader::new(bits);
         let has_out = r.read_bit()?;
         let has_inp = r.read_bit()?;
-        let read_suffix = |r: &mut BitReader<'_>, prefix: &[EdgeLabel]| -> Result<PortLabel, ReadError> {
-            let extra = (r.read_gamma()? - 1) as usize;
-            let mut path = prefix.to_vec();
-            path.reserve(extra);
-            for _ in 0..extra {
-                path.push(self.read_edge(r)?);
-            }
-            let port = r.read_bits(self.port_bits)? as u8;
-            Ok(PortLabel { path, port })
-        };
+        let read_suffix =
+            |r: &mut BitReader<'_>, prefix: &[EdgeLabel]| -> Result<PortLabel, ReadError> {
+                let extra = (r.read_gamma()? - 1) as usize;
+                let mut path = prefix.to_vec();
+                path.reserve(extra);
+                for _ in 0..extra {
+                    path.push(self.read_edge(r)?);
+                }
+                let port = r.read_bits(self.port_bits)? as u8;
+                Ok(PortLabel { path, port })
+            };
         match (has_out, has_inp) {
             (true, true) => {
                 let cp = (r.read_gamma()? - 1) as usize;
@@ -206,10 +207,8 @@ mod tests {
         let c = codec();
         let init = DataLabel::initial_input(PortLabel::new(vec![], 1));
         assert_eq!(c.decode(&c.encode(&init)).unwrap(), init);
-        let fin = DataLabel::final_output(PortLabel::new(
-            vec![EdgeLabel::Rec { s: 0, t: 1, i: 0 }],
-            2,
-        ));
+        let fin =
+            DataLabel::final_output(PortLabel::new(vec![EdgeLabel::Rec { s: 0, t: 1, i: 0 }], 2));
         assert_eq!(c.decode(&c.encode(&fin)).unwrap(), fin);
     }
 

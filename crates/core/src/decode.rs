@@ -36,15 +36,11 @@ impl<'a> DecodeCtx<'a> {
 
     /// Input arity of the module at position `i` of production `k`.
     fn in_dim(&self, k: ProdId, i: u32) -> usize {
-        self.grammar
-            .sig(self.grammar.production(k).rhs.nodes()[i as usize])
-            .inputs()
+        self.grammar.sig(self.grammar.production(k).rhs.nodes()[i as usize]).inputs()
     }
 
     fn out_dim(&self, k: ProdId, i: u32) -> usize {
-        self.grammar
-            .sig(self.grammar.production(k).rhs.nodes()[i as usize])
-            .outputs()
+        self.grammar.sig(self.grammar.production(k).rhs.nodes()[i as usize]).outputs()
     }
 
     /// Input arity of the cycle module at offset `pos` (wrapping).
@@ -223,17 +219,10 @@ fn main_case(ctx: &DecodeCtx<'_>, o1: &PortLabel, i2: &PortLabel) -> Option<bool
                 }
                 let o = ctx.fold_outputs(&l1[div + 2..], ctx.out_dim(kp, ip))?;
                 let z = ctx.vl.z_mat(ctx.grammar, kp, ip, jp)?;
-                let i_chain =
-                    ctx.inputs_chain(s, t as usize + a as usize + 1, b - a - 1)?;
-                let i_fold = ctx.fold_inputs(
-                    &l2[div + 1..],
-                    ctx.cycle_in_dim(s, t as usize + b as usize)?,
-                )?;
-                let res = o
-                    .transpose()
-                    .matmul(z.as_ref())
-                    .matmul(&i_chain)
-                    .matmul(&i_fold);
+                let i_chain = ctx.inputs_chain(s, t as usize + a as usize + 1, b - a - 1)?;
+                let i_fold =
+                    ctx.fold_inputs(&l2[div + 1..], ctx.cycle_in_dim(s, t as usize + b as usize)?)?;
+                let res = o.transpose().matmul(z.as_ref()).matmul(&i_chain).matmul(&i_fold);
                 Some(res.get(o1.port as usize, i2.port as usize))
             } else {
                 // a > b: d2's branch is the ancestor level.
@@ -249,19 +238,12 @@ fn main_case(ctx: &DecodeCtx<'_>, o1: &PortLabel, i2: &PortLabel) -> Option<bool
                 if jq >= iq {
                     return Some(false); // Z(k'', j'', i'') is empty
                 }
-                let o_chain =
-                    ctx.outputs_chain(s, t as usize + b as usize + 1, a - b - 1)?;
-                let o_fold = ctx.fold_outputs(
-                    &l1[div + 1..],
-                    ctx.cycle_out_dim(s, t as usize + a as usize)?,
-                )?;
+                let o_chain = ctx.outputs_chain(s, t as usize + b as usize + 1, a - b - 1)?;
+                let o_fold = ctx
+                    .fold_outputs(&l1[div + 1..], ctx.cycle_out_dim(s, t as usize + a as usize)?)?;
                 let z = ctx.vl.z_mat(ctx.grammar, kq, jq, iq)?;
                 let i_fold = ctx.fold_inputs(&l2[div + 2..], ctx.in_dim(kq, iq))?;
-                let res = o_chain
-                    .matmul(&o_fold)
-                    .transpose()
-                    .matmul(z.as_ref())
-                    .matmul(&i_fold);
+                let res = o_chain.matmul(&o_fold).transpose().matmul(z.as_ref()).matmul(&i_fold);
                 Some(res.get(o1.port as usize, i2.port as usize))
             }
         }
@@ -307,9 +289,7 @@ pub mod structural {
 
         /// Instance `j` reachable from instance `i` within production `k`.
         pub fn reach(&self, k: ProdId, i: u32, j: u32) -> Option<bool> {
-            self.closures[k.index()]
-                .as_ref()
-                .map(|m| m.get(i as usize, j as usize))
+            self.closures[k.index()].as_ref().map(|m| m.get(i as usize, j as usize))
         }
     }
 

@@ -19,10 +19,9 @@ pub enum FvlError {
 impl std::fmt::Display for FvlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FvlError::NotStrictlyLinear { witness } => write!(
-                f,
-                "grammar is not strictly linear-recursive (cycles overlap at {witness})"
-            ),
+            FvlError::NotStrictlyLinear { witness } => {
+                write!(f, "grammar is not strictly linear-recursive (cycles overlap at {witness})")
+            }
             FvlError::Unsafe(e) => write!(f, "view is unsafe: {e}"),
             FvlError::Model(e) => write!(f, "model error: {e}"),
         }

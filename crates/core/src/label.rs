@@ -20,11 +20,7 @@ impl PortLabel {
     /// common prefix the wire encoding factors out ("the size of φr(d) can
     /// be reduced almost by half by factoring out the common prefix").
     pub fn common_prefix_len(&self, other: &PortLabel) -> usize {
-        self.path
-            .iter()
-            .zip(&other.path)
-            .take_while(|(a, b)| a == b)
-            .count()
+        self.path.iter().zip(&other.path).take_while(|(a, b)| a == b).count()
     }
 }
 

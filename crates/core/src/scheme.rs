@@ -31,11 +31,8 @@ impl<'a> Fvl<'a> {
         let pg = ProdGraph::new(&spec.grammar);
         let class = classify_with(&spec.grammar, &pg);
         if !class.is_strictly_linear() {
-            let witness = pg
-                .cycles()
-                .err()
-                .map(|c| ModuleId(c.witness.0))
-                .unwrap_or(spec.grammar.start());
+            let witness =
+                pg.cycles().err().map(|c| ModuleId(c.witness.0)).unwrap_or(spec.grammar.start());
             return Err(FvlError::NotStrictlyLinear { witness });
         }
         let codec = LabelCodec::new(&spec.grammar, &pg);

@@ -81,10 +81,7 @@ pub fn label_user_view(
     let lambda = user_full_assignment(spec, uv, &view)?;
     let lambda_s = lambda.get(grammar.start()).expect("start has λ*").clone();
 
-    let active: Vec<bool> = grammar
-        .productions()
-        .map(|(_, p)| view.expands(p.lhs))
-        .collect();
+    let active: Vec<bool> = grammar.productions().map(|(_, p)| view.expands(p.lhs)).collect();
     let mats: Vec<Option<ProductionMatrices>> = grammar
         .productions()
         .map(|(k, _)| {
@@ -179,17 +176,11 @@ fn grouped_matrices(
         }
         let mat = lambda.get(w.nodes()[i]).expect("λ* covers view modules");
         for (r, c) in mat.iter_ones() {
-            graph.add_edge(
-                NodeId(in_base[i] + r as u32),
-                NodeId(out_base[i] + c as u32),
-            );
+            graph.add_edge(NodeId(in_base[i] + r as u32), NodeId(out_base[i] + c as u32));
         }
     }
     for (r, c) in f_mat.iter_ones() {
-        graph.add_edge(
-            NodeId(in_ix(boundary.f_inputs[r])),
-            NodeId(out_ix(boundary.f_outputs[c])),
-        );
+        graph.add_edge(NodeId(in_ix(boundary.f_inputs[r])), NodeId(out_ix(boundary.f_outputs[c])));
     }
     // Data arcs: everything except intra-group (hidden) edges.
     for e in w.edges() {
@@ -319,13 +310,7 @@ mod tests {
         assert!(is_visible_user(labeler.label(ids.d21), &vl, pg, g, &uv));
         // The D:1 -> E:1 items (W5 edges at positions 2,3: items 31,32) are
         // intra-group: hidden.
-        assert!(!is_visible_user(
-            labeler.label(wf_run::DataId(31)),
-            &vl,
-            pg,
-            g,
-            &uv
-        ));
+        assert!(!is_visible_user(labeler.label(wf_run::DataId(31)), &vl, pg, g, &uv));
         // d17 (enters C:4) is visible.
         assert!(is_visible_user(labeler.label(ids.d17), &vl, pg, g, &uv));
     }

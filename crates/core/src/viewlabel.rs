@@ -62,19 +62,14 @@ pub struct ViewLabel {
 
 impl ViewLabel {
     /// Builds the label of a view (rejecting unsafe views, Theorem 1).
-    pub fn build(
-        vs: &ViewSpec<'_>,
-        pg: &ProdGraph,
-        kind: VariantKind,
-    ) -> Result<Self, FvlError> {
+    pub fn build(vs: &ViewSpec<'_>, pg: &ProdGraph, kind: VariantKind) -> Result<Self, FvlError> {
         let grammar = vs.grammar();
         let lambda = full_assignment(vs)?;
         let lambda_s = lambda
             .get(grammar.start())
             .expect("start module always has a full-assignment matrix")
             .clone();
-        let active: Vec<bool> =
-            grammar.productions().map(|(k, _)| vs.prod_active(k)).collect();
+        let active: Vec<bool> = grammar.productions().map(|(k, _)| vs.prod_active(k)).collect();
 
         let mats: Vec<Option<ProductionMatrices>> = match kind {
             VariantKind::SpaceEfficient => vec![None; grammar.production_count()],
@@ -173,19 +168,10 @@ impl ViewLabel {
         if self.kind == VariantKind::SpaceEfficient {
             // λ* for non-start modules is the "less than 5 bytes per view"
             // residue: it is needed to run graph searches at query time.
-            bits += self
-                .lambda
-                .iter()
-                .map(|(_, m)| m.payload_bits())
-                .sum::<usize>();
+            bits += self.lambda.iter().map(|(_, m)| m.payload_bits()).sum::<usize>();
             return bits;
         }
-        bits += self
-            .mats
-            .iter()
-            .flatten()
-            .map(ProductionMatrices::payload_bits)
-            .sum::<usize>();
+        bits += self.mats.iter().flatten().map(ProductionMatrices::payload_bits).sum::<usize>();
         for c in self.cycles.iter().flatten() {
             bits += c
                 .i_prefix
@@ -212,9 +198,9 @@ fn build_cycle_caches(
     if kind != VariantKind::QueryEfficient {
         return Ok(pg.cycles().map(|c| vec![None; c.len()]).unwrap_or_default());
     }
-    let tables = pg.cycles().map_err(|c| FvlError::NotStrictlyLinear {
-        witness: wf_model::ModuleId(c.witness.0),
-    })?;
+    let tables = pg
+        .cycles()
+        .map_err(|c| FvlError::NotStrictlyLinear { witness: wf_model::ModuleId(c.witness.0) })?;
     Ok(tables
         .iter()
         .map(|cycle| {
@@ -271,7 +257,8 @@ mod tests {
         let (ex, pg) = setup();
         let u1 = ex.view_u1();
         let vs = ViewSpec::new(&ex.spec, &u1);
-        for kind in [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient] {
+        for kind in [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient]
+        {
             let vl = ViewLabel::build(&vs, &pg, kind).unwrap();
             assert_eq!(vl.kind(), kind);
             assert_eq!(vl.lambda_star_s().rows(), 2);

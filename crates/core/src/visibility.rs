@@ -26,8 +26,7 @@ fn port_visible(p: &PortLabel, vl: &ViewLabel, pg: &ProdGraph) -> bool {
 
 /// True iff the data item is part of the view of its run.
 pub fn is_visible(d: &DataLabel, vl: &ViewLabel, pg: &ProdGraph) -> bool {
-    d.out.iter().all(|p| port_visible(p, vl, pg))
-        && d.inp.iter().all(|p| port_visible(p, vl, pg))
+    d.out.iter().all(|p| port_visible(p, vl, pg)) && d.inp.iter().all(|p| port_visible(p, vl, pg))
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! DRL — the state-of-the-art baseline ([5]: Bao, Davidson, Milo, *Labeling
+//! DRL — the state-of-the-art baseline (\[5\]: Bao, Davidson, Milo, *Labeling
 //! Recursive Workflow Executions On-the-Fly*, SIGMOD 2011), reimplemented
 //! interface-equivalently for the §6 comparisons (see DESIGN.md, S3).
 //!
@@ -15,7 +15,7 @@
 //!   (Figure 23).
 //!
 //! Labels are compressed-parse-tree path pairs like FVL's, but encoded
-//! without common-prefix factoring (the [5] encoding stores both endpoint
+//! without common-prefix factoring (the \[5\] encoding stores both endpoint
 //! labels independently) — reproducing the paper's observation that FVL's
 //! data labels come out slightly shorter (Figure 17).
 
@@ -32,7 +32,7 @@ pub enum DrlError {
     /// fine-grained matrices.
     NotBlackBox,
     /// The view grammar is not linear-recursive: even black-box dynamic
-    /// labels must be linear-size (Theorem 3 / [5]).
+    /// labels must be linear-size (Theorem 3 / \[5\]).
     NotLinearRecursive,
 }
 
@@ -63,11 +63,8 @@ impl<'a> Drl<'a> {
         if !view.is_black_box(&spec.grammar) {
             return Err(DrlError::NotBlackBox);
         }
-        let active: Vec<bool> = spec
-            .grammar
-            .productions()
-            .map(|(_, p)| view.expands(p.lhs))
-            .collect();
+        let active: Vec<bool> =
+            spec.grammar.productions().map(|(_, p)| view.expands(p.lhs)).collect();
         let pg = ProdGraph::new_restricted(&spec.grammar, &active);
         if !wf_analysis::recursion::is_linear_recursive(&spec.grammar, &pg) {
             return Err(DrlError::NotLinearRecursive);

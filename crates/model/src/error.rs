@@ -68,17 +68,25 @@ impl std::fmt::Display for ModelError {
             EdgeNotForward { from_node, to_node } => {
                 write!(f, "data edge {from_node} -> {to_node} is not forward in the node listing")
             }
-            LhsNotComposite { prod } => write!(f, "production {prod} rewrites a non-composite module"),
-            BadPortMap { prod, detail } => write!(f, "production {prod} port bijection invalid: {detail}"),
+            LhsNotComposite { prod } => {
+                write!(f, "production {prod} rewrites a non-composite module")
+            }
+            BadPortMap { prod, detail } => {
+                write!(f, "production {prod} port bijection invalid: {detail}")
+            }
             BadStartModule => write!(f, "start module missing or not composite"),
             PortlessModule { module } => write!(f, "module {module} has no inputs or no outputs"),
             Underivable { module } => write!(f, "composite module {module} is underivable"),
             Unproductive { module } => write!(f, "composite module {module} is unproductive"),
             UnitCycle { module } => write!(f, "unit productions form a cycle through {module}"),
             MissingDeps { module } => write!(f, "no dependency assignment for module {module}"),
-            DepsShapeMismatch { module } => write!(f, "dependency matrix shape mismatch for {module}"),
+            DepsShapeMismatch { module } => {
+                write!(f, "dependency matrix shape mismatch for {module}")
+            }
             ImproperDeps { module } => write!(f, "improper dependency assignment for {module}"),
-            ExpandNotComposite { module } => write!(f, "view expands non-composite module {module}"),
+            ExpandNotComposite { module } => {
+                write!(f, "view expands non-composite module {module}")
+            }
             BadGrouping { prod, detail } => write!(f, "invalid grouping on {prod}: {detail}"),
         }
     }

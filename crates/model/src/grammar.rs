@@ -169,8 +169,7 @@ impl Grammar {
     /// Modules that can derive a workflow of terminals only. Terminals under
     /// `expand` are exactly the unexpandable modules.
     pub fn productive_modules(&self, expand: &[bool]) -> Vec<bool> {
-        let mut productive: Vec<bool> =
-            (0..self.modules.len()).map(|m| !expand[m]).collect();
+        let mut productive: Vec<bool> = (0..self.modules.len()).map(|m| !expand[m]).collect();
         loop {
             let mut changed = false;
             for p in &self.productions {
@@ -211,10 +210,7 @@ impl Grammar {
         let mut unit = wf_digraph::DiGraph::with_nodes(self.modules.len());
         for p in &self.productions {
             if expand[p.lhs.index()] && p.rhs.node_count() == 1 {
-                unit.add_edge(
-                    wf_digraph::NodeId(p.lhs.0),
-                    wf_digraph::NodeId(p.rhs.nodes()[0].0),
-                );
+                unit.add_edge(wf_digraph::NodeId(p.lhs.0), wf_digraph::NodeId(p.rhs.nodes()[0].0));
             }
         }
         if unit.is_cyclic() {
@@ -390,10 +386,7 @@ mod tests {
         b.production(s, vec![x], vec![]);
         b.production(x, vec![x], vec![]);
         let g = b.finish().unwrap();
-        assert!(matches!(
-            g.check_proper(&g.full_expand()),
-            Err(ModelError::Unproductive { .. })
-        ));
+        assert!(matches!(g.check_proper(&g.full_expand()), Err(ModelError::Unproductive { .. })));
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //! projects the user-defined view back onto the *original* production
 //! structure, computing reachability matrices over the original positions
 //! with the hidden ports masked out ("the first column is undefined",
-//! Example 19). [`Grouping::boundary`] and [`Grouping::is_hidden_in`],
-//! consumed by the labeler, provide exactly that projection;
+//! Example 19). [`Grouping::boundary`], [`Grouping::input_hidden`] and
+//! [`Grouping::output_hidden`], consumed by the labeler, provide exactly
+//! that projection;
 //! [`Grouping::materialize`] builds the formal `W₉`/`W₁₀` pair for tests and
 //! documentation.
 
@@ -47,7 +48,11 @@ pub struct GroupBoundary {
 }
 
 impl Grouping {
-    pub fn new(prod: ProdId, members: impl IntoIterator<Item = NodeIx>, name: impl Into<String>) -> Self {
+    pub fn new(
+        prod: ProdId,
+        members: impl IntoIterator<Item = NodeIx>,
+        name: impl Into<String>,
+    ) -> Self {
         let mut members: Vec<NodeIx> = members.into_iter().collect();
         members.sort();
         members.dedup();
@@ -72,7 +77,10 @@ impl Grouping {
             return Err(ModelError::BadGrouping { prod: self.prod, detail: "empty member set" });
         }
         if self.members.last().unwrap().index() >= w.node_count() {
-            return Err(ModelError::BadGrouping { prod: self.prod, detail: "position out of range" });
+            return Err(ModelError::BadGrouping {
+                prod: self.prod,
+                detail: "position out of range",
+            });
         }
         if self.members.len() == w.node_count() {
             return Err(ModelError::BadGrouping {
@@ -111,18 +119,15 @@ impl Grouping {
             let sig = &sigs[w.module_at(m).index()];
             for p in 0..sig.inputs() as u8 {
                 let port = InPortRef { node: m, port: p };
-                let fed_internally = w
-                    .edge_into(port)
-                    .is_some_and(|e| self.is_member(e.from.node));
+                let fed_internally = w.edge_into(port).is_some_and(|e| self.is_member(e.from.node));
                 if !fed_internally {
                     f_inputs.push(port);
                 }
             }
             for p in 0..sig.outputs() as u8 {
                 let port = OutPortRef { node: m, port: p };
-                let consumed_internally = w
-                    .edge_out_of(port)
-                    .is_some_and(|e| self.is_member(e.to.node));
+                let consumed_internally =
+                    w.edge_out_of(port).is_some_and(|e| self.is_member(e.to.node));
                 if !consumed_internally {
                     f_outputs.push(port);
                 }
@@ -185,10 +190,8 @@ impl Grouping {
 
         // ---- W9: the outer workflow with F replacing the members. ----
         // Abstract nodes: non-members (keyed by original position) plus F.
-        let outer: Vec<NodeIx> = (0..w.node_count() as u32)
-            .map(NodeIx)
-            .filter(|n| !self.is_member(*n))
-            .collect();
+        let outer: Vec<NodeIx> =
+            (0..w.node_count() as u32).map(NodeIx).filter(|n| !self.is_member(*n)).collect();
         // Order: topological over the contracted graph.
         let n_outer = outer.len();
         let f_abstract = n_outer; // abstract index of F
@@ -333,7 +336,10 @@ mod tests {
         let grp = Grouping::new(p, [NodeIx(0), NodeIx(2)], "F");
         assert!(matches!(
             grp.validate(&g),
-            Err(ModelError::BadGrouping { detail: "group is not convex: a path exits and re-enters it", .. })
+            Err(ModelError::BadGrouping {
+                detail: "group is not convex: a path exits and re-enters it",
+                ..
+            })
         ));
     }
 
@@ -363,6 +369,9 @@ mod tests {
         assert_eq!(f_sig.outputs(), 1);
         assert_eq!(p_c.rhs.node_count(), 3);
         // C's input map now points at F's input.
-        assert_eq!(p_c.input_map[0].node, p_c.rhs.nodes().iter().position(|&m| m == f_id).map(|i| NodeIx(i as u32)).unwrap());
+        assert_eq!(
+            p_c.input_map[0].node,
+            p_c.rhs.nodes().iter().position(|&m| m == f_id).map(|i| NodeIx(i as u32)).unwrap()
+        );
     }
 }

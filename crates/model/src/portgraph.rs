@@ -54,10 +54,7 @@ impl PortGraph {
         for (n, &m) in w.nodes().iter().enumerate() {
             let mat = deps.get(m).unwrap();
             for (i, o) in mat.iter_ones() {
-                graph.add_edge(
-                    NodeId(in_base[n] + i as u32),
-                    NodeId(out_base[n] + o as u32),
-                );
+                graph.add_edge(NodeId(in_base[n] + i as u32), NodeId(out_base[n] + o as u32));
             }
         }
         for e in w.edges() {
@@ -213,11 +210,7 @@ mod tests {
         ports.push(PortRef::In(InPortRef { node: NodeIx(1), port: 1 }));
         ports.push(PortRef::Out(OutPortRef { node: NodeIx(1), port: 0 }));
         for &p in &ports {
-            assert_eq!(
-                set.contains(pg.ix(p) as usize),
-                pg.reaches(PortRef::In(from), p),
-                "{p:?}"
-            );
+            assert_eq!(set.contains(pg.ix(p) as usize), pg.reaches(PortRef::In(from), p), "{p:?}");
         }
         // x.in0 reaches everything in this tiny workflow.
         assert_eq!(set.len(), pg.port_count());

@@ -88,9 +88,9 @@ mod tests {
 
     fn setup() -> (Vec<ModuleSig>, SimpleWorkflow) {
         let sigs = vec![
-            ModuleSig::new("M", 2, 1),  // m0: composite LHS
-            ModuleSig::new("a", 1, 1),  // m1
-            ModuleSig::new("b", 2, 1),  // m2
+            ModuleSig::new("M", 2, 1), // m0: composite LHS
+            ModuleSig::new("a", 1, 1), // m1
+            ModuleSig::new("b", 2, 1), // m2
         ];
         let mut b = WorkflowBuilder::new();
         let n0 = b.node(ModuleId(1));

@@ -112,10 +112,7 @@ mod tests {
         b.start(s);
         b.production(s, vec![x], vec![]);
         let g = b.finish().unwrap();
-        assert!(matches!(
-            Spec::new(g, DepAssignment::new()),
-            Err(ModelError::MissingDeps { .. })
-        ));
+        assert!(matches!(Spec::new(g, DepAssignment::new()), Err(ModelError::MissingDeps { .. })));
     }
 
     #[test]

@@ -142,11 +142,7 @@ impl<'a> ViewSpec<'a> {
     /// Productions active in this view.
     pub fn active_productions(&self) -> impl Iterator<Item = ProdId> + 'a {
         let view = self.view;
-        self.spec
-            .grammar
-            .productions()
-            .filter(move |(_, p)| view.expands(p.lhs))
-            .map(|(k, _)| k)
+        self.spec.grammar.productions().filter(move |(_, p)| view.expands(p.lhs)).map(|(k, _)| k)
     }
 
     #[inline]

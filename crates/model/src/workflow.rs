@@ -93,22 +93,38 @@ impl SimpleWorkflow {
                 return Err(ModelError::EdgeNotForward { from_node: fi, to_node: ti });
             }
             if e.from.port as usize >= sig_of(e.from.node).outputs() {
-                return Err(ModelError::PortOutOfRange { node: fi, port: e.from.port, is_input: false });
+                return Err(ModelError::PortOutOfRange {
+                    node: fi,
+                    port: e.from.port,
+                    is_input: false,
+                });
             }
             if e.to.port as usize >= sig_of(e.to.node).inputs() {
-                return Err(ModelError::PortOutOfRange { node: ti, port: e.to.port, is_input: true });
+                return Err(ModelError::PortOutOfRange {
+                    node: ti,
+                    port: e.to.port,
+                    is_input: true,
+                });
             }
             if fi >= ti {
                 return Err(ModelError::EdgeNotForward { from_node: fi, to_node: ti });
             }
             let out_slot = &mut out_edge[fi][e.from.port as usize];
             if out_slot.is_some() {
-                return Err(ModelError::AdjacentEdges { node: fi, port: e.from.port, is_input: false });
+                return Err(ModelError::AdjacentEdges {
+                    node: fi,
+                    port: e.from.port,
+                    is_input: false,
+                });
             }
             *out_slot = Some(ei as u32);
             let in_slot = &mut in_edge[ti][e.to.port as usize];
             if in_slot.is_some() {
-                return Err(ModelError::AdjacentEdges { node: ti, port: e.to.port, is_input: true });
+                return Err(ModelError::AdjacentEdges {
+                    node: ti,
+                    port: e.to.port,
+                    is_input: true,
+                });
             }
             *in_slot = Some(ei as u32);
         }
@@ -274,10 +290,7 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert_eq!(
-            SimpleWorkflow::new(vec![], vec![], &sigs()),
-            Err(ModelError::EmptyWorkflow)
-        );
+        assert_eq!(SimpleWorkflow::new(vec![], vec![], &sigs()), Err(ModelError::EmptyWorkflow));
     }
 
     #[test]
@@ -288,10 +301,7 @@ mod tests {
         let n1 = b.node(ModuleId(1));
         b.edge((n0, 0), (n1, 0));
         b.edge((n0, 0), (n1, 1)); // same output port twice
-        assert!(matches!(
-            b.finish(&sigs),
-            Err(ModelError::AdjacentEdges { is_input: false, .. })
-        ));
+        assert!(matches!(b.finish(&sigs), Err(ModelError::AdjacentEdges { is_input: false, .. })));
     }
 
     #[test]
@@ -302,10 +312,7 @@ mod tests {
         let n1 = b.node(ModuleId(1));
         b.edge((n0, 0), (n1, 0));
         b.edge((n0, 1), (n1, 0)); // same input port twice
-        assert!(matches!(
-            b.finish(&sigs),
-            Err(ModelError::AdjacentEdges { is_input: true, .. })
-        ));
+        assert!(matches!(b.finish(&sigs), Err(ModelError::AdjacentEdges { is_input: true, .. })));
     }
 
     #[test]

@@ -57,12 +57,7 @@ fn terminating_productions(grammar: &Grammar) -> Vec<Option<ProdId>> {
     loop {
         let mut changed = false;
         for (k, p) in grammar.productions() {
-            let total: u64 = p
-                .rhs
-                .nodes()
-                .iter()
-                .map(|c| cost[c.index()].saturating_add(1))
-                .sum();
+            let total: u64 = p.rhs.nodes().iter().map(|c| cost[c.index()].saturating_add(1)).sum();
             if total < cost[p.lhs.index()] {
                 cost[p.lhs.index()] = total;
                 best[p.lhs.index()] = Some(k);
@@ -96,8 +91,8 @@ pub fn random_derivation(
     let on_cycle: Vec<bool> = {
         let mut on_cycle = vec![false; grammar.module_count()];
         for scc in pg.graph().sccs() {
-            let cyclic = scc.len() > 1
-                || pg.graph().out_edges(scc[0]).iter().any(|&(_, t)| t == scc[0]);
+            let cyclic =
+                scc.len() > 1 || pg.graph().out_edges(scc[0]).iter().any(|&(_, t)| t == scc[0]);
             if cyclic {
                 for n in scc {
                     on_cycle[n.0 as usize] = true;
@@ -109,9 +104,8 @@ pub fn random_derivation(
     // dist[m] = production steps needed before an on-cycle instance exists
     // below an instance of m (0 when m itself is on a cycle).
     const INF: u64 = u64::MAX / 4;
-    let mut dist: Vec<u64> = (0..grammar.module_count())
-        .map(|m| if on_cycle[m] { 0 } else { INF })
-        .collect();
+    let mut dist: Vec<u64> =
+        (0..grammar.module_count()).map(|m| if on_cycle[m] { 0 } else { INF }).collect();
     let mut toward_cycle: Vec<Option<ProdId>> = vec![None; grammar.module_count()];
     loop {
         let mut changed = false;
@@ -226,11 +220,7 @@ mod tests {
             let d = random_derivation(g, &pg, &mut rng, target);
             let run = d.replay(g).unwrap();
             assert!(run.is_complete());
-            assert!(
-                run.item_count() >= target,
-                "target {target}, got {}",
-                run.item_count()
-            );
+            assert!(run.item_count() >= target, "target {target}, got {}", run.item_count());
             // Wind-down keeps overshoot moderate: the biggest single
             // production adds ≤ max |W| items per step, and termination is
             // cheapest-first; allow a generous structural bound.

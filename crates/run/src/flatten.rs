@@ -109,14 +109,10 @@ impl FlatRun {
             vec![None; run.item_count()];
         for (ix, r) in resolved_raw.iter().enumerate() {
             let Some((prod, cons)) = r else { continue };
-            let out = prod.map(|(i, p)| OutPortRef {
-                node: node_of_leaf[i.0 as usize].unwrap(),
-                port: p,
-            });
-            let inp = cons.map(|(i, p)| InPortRef {
-                node: node_of_leaf[i.0 as usize].unwrap(),
-                port: p,
-            });
+            let out = prod
+                .map(|(i, p)| OutPortRef { node: node_of_leaf[i.0 as usize].unwrap(), port: p });
+            let inp =
+                cons.map(|(i, p)| InPortRef { node: node_of_leaf[i.0 as usize].unwrap(), port: p });
             if let (Some(from), Some(to)) = (out, inp) {
                 edges.push(DataEdge { from, to });
             }
@@ -265,11 +261,7 @@ mod tests {
         let outputs: Vec<_> = run.final_outputs().collect();
         for (x, &di) in inputs.iter().enumerate() {
             for (y, &do_) in outputs.iter().enumerate() {
-                assert_eq!(
-                    oracle.depends_on(di, do_),
-                    Some(s_mat.get(x, y)),
-                    "S in{x} -> out{y}"
-                );
+                assert_eq!(oracle.depends_on(di, do_), Some(s_mat.get(x, y)), "S in{x} -> out{y}");
             }
         }
     }

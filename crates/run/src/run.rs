@@ -83,7 +83,11 @@ impl std::fmt::Display for RunError {
             RunError::NoSuchInstance(i) => write!(f, "no such instance {}", i.0),
             RunError::AlreadyExpanded(i) => write!(f, "instance {} already expanded", i.0),
             RunError::WrongModule { instance, expected, prod } => {
-                write!(f, "production {prod} does not rewrite module {expected} of instance {}", instance.0)
+                write!(
+                    f,
+                    "production {prod} does not rewrite module {expected} of instance {}",
+                    instance.0
+                )
             }
         }
     }
@@ -136,10 +140,8 @@ impl Run {
         instance: InstanceId,
         prod: ProdId,
     ) -> Result<StepId, RunError> {
-        let inst = self
-            .instances
-            .get(instance.0 as usize)
-            .ok_or(RunError::NoSuchInstance(instance))?;
+        let inst =
+            self.instances.get(instance.0 as usize).ok_or(RunError::NoSuchInstance(instance))?;
         if self.expanded_by[instance.0 as usize].is_some() {
             return Err(RunError::AlreadyExpanded(instance));
         }
@@ -251,11 +253,7 @@ impl Run {
     /// Finds the `n`-th unexpanded instance of a module — handy in tests to
     /// say "expand the second C".
     pub fn nth_open_of(&self, module: ModuleId, n: usize) -> Option<InstanceId> {
-        self.open
-            .iter()
-            .copied()
-            .filter(|&i| self.instance(i).module == module)
-            .nth(n)
+        self.open.iter().copied().filter(|&i| self.instance(i).module == module).nth(n)
     }
 }
 
@@ -330,7 +328,7 @@ mod tests {
         run.apply(g, InstanceId(0), ex.prods[0]).unwrap();
         let a1 = run.nth_open_of(ex.a_mod, 0).unwrap();
         run.apply(g, a1, ex.prods[1]).unwrap(); // A -> (d, B, C)
-        // Two C's now: C:1 from W1 and C:2 from W2.
+                                                // Two C's now: C:1 from W1 and C:2 from W2.
         assert!(run.nth_open_of(ex.c_mod, 1).is_some());
         assert!(run.nth_open_of(ex.c_mod, 2).is_none());
     }

@@ -83,11 +83,7 @@ impl CompressedTree {
                 });
             }
             None => {
-                nodes.push(Node {
-                    kind: NodeKind::Module(root_instance),
-                    parent: None,
-                    depth: 0,
-                });
+                nodes.push(Node { kind: NodeKind::Module(root_instance), parent: None, depth: 0 });
                 root = TreeNodeId(0);
             }
         }

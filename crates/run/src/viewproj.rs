@@ -72,8 +72,7 @@ impl RunProjection {
     /// A visible instance is a *leaf of the projected run* iff its expansion
     /// step (if any) is not projected.
     pub fn is_view_leaf(&self, run: &Run, i: InstanceId) -> bool {
-        self.instance_visible(i)
-            && run.expansion_of(i).is_none_or(|s| !self.step_projected(s))
+        self.instance_visible(i) && run.expansion_of(i).is_none_or(|s| !self.step_projected(s))
     }
 
     pub fn visible_item_count(&self) -> usize {
@@ -81,11 +80,7 @@ impl RunProjection {
     }
 
     pub fn visible_items(&self) -> impl Iterator<Item = DataId> + '_ {
-        self.visible_item
-            .iter()
-            .enumerate()
-            .filter(|(_, &v)| v)
-            .map(|(i, _)| DataId(i as u32))
+        self.visible_item.iter().enumerate().filter(|(_, &v)| v).map(|(i, _)| DataId(i as u32))
     }
 }
 

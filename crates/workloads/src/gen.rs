@@ -156,12 +156,8 @@ impl SpecGen {
         if p.coarse {
             let n_in = rng.gen_range(1..=p.max_in.min(p.module_degree as usize)) as u8;
             let k = rng.gen_range(1..=p.module_degree);
-            let src = self.special_atomic(
-                "src",
-                n_in,
-                k,
-                BoolMat::complete(n_in as usize, k as usize),
-            );
+            let src =
+                self.special_atomic("src", n_in, k, BoolMat::complete(n_in as usize, k as usize));
             mids.insert(0, src);
         }
 
@@ -217,11 +213,8 @@ impl SpecGen {
             placed.push(m);
             for port in connects {
                 // Prefer recent outputs (chains) half the time.
-                let pick = if rng.gen_bool(0.5) {
-                    open.len() - 1
-                } else {
-                    rng.gen_range(0..open.len())
-                };
+                let pick =
+                    if rng.gen_bool(0.5) { open.len() - 1 } else { rng.gen_range(0..open.len()) };
                 let (sn, sp) = open.swap_remove(pick);
                 edges.push(((sn, sp), (ix, port)));
             }
@@ -236,12 +229,7 @@ impl SpecGen {
         let max_out = p.max_out;
         while open.len() > max_out || (p.coarse && open.len() > 1) {
             let take = open.len().min(4);
-            let agg = self.special_atomic(
-                "agg",
-                take as u8,
-                1,
-                BoolMat::complete(take, 1),
-            );
+            let agg = self.special_atomic("agg", take as u8, 1, BoolMat::complete(take, 1));
             let node_ix = mids.len();
             mids.push(agg);
             for port in 0..take {
@@ -330,11 +318,7 @@ impl SpecGen {
         mat
     }
 
-    fn materialize(
-        &self,
-        nodes: &[ModuleId],
-        edges: &RawEdges,
-    ) -> (SimpleWorkflow, usize, usize) {
+    fn materialize(&self, nodes: &[ModuleId], edges: &RawEdges) -> (SimpleWorkflow, usize, usize) {
         let data_edges: Vec<wf_model::DataEdge> = edges
             .iter()
             .map(|&((fp, fo), (tp, ti))| wf_model::DataEdge {

@@ -175,8 +175,7 @@ pub fn synthetic(sp: &SynthParams) -> Workload {
     for level in (0..sp.nesting_depth).rev() {
         let inner: Vec<ModuleId> = below.into_iter().collect();
         let fill = sp.workflow_size.saturating_sub(inner.len()).max(1);
-        let entry =
-            g.base_production(&mut rng, &p, &format!("C{}_{}", level + 1, 1), &inner, fill);
+        let entry = g.base_production(&mut rng, &p, &format!("C{}_{}", level + 1, 1), &inner, fill);
         // The cycle at this level: entry -> m2 -> … -> m_r -> entry.
         let mut members = vec![entry];
         for i in 1..sp.recursion_length {

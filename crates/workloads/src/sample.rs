@@ -6,7 +6,12 @@ use wf_analysis::ProdGraph;
 use wf_run::{random_derivation, DataId, Derivation, Run};
 
 /// A derivation of roughly `target_items` data items.
-pub fn sample_run(w: &Workload, pg: &ProdGraph, rng: &mut impl Rng, target_items: usize) -> (Derivation, Run) {
+pub fn sample_run(
+    w: &Workload,
+    pg: &ProdGraph,
+    rng: &mut impl Rng,
+    target_items: usize,
+) -> (Derivation, Run) {
     let d = random_derivation(&w.spec.grammar, pg, rng, target_items);
     let run = d.replay(&w.spec.grammar).expect("sampled derivation replays");
     (d, run)
@@ -15,9 +20,7 @@ pub fn sample_run(w: &Workload, pg: &ProdGraph, rng: &mut impl Rng, target_items
 /// Uniformly random ordered pairs of data items from a run.
 pub fn sample_query_pairs(run: &Run, rng: &mut impl Rng, count: usize) -> Vec<(DataId, DataId)> {
     let n = run.item_count() as u32;
-    (0..count)
-        .map(|_| (DataId(rng.gen_range(0..n)), DataId(rng.gen_range(0..n))))
-        .collect()
+    (0..count).map(|_| (DataId(rng.gen_range(0..n)), DataId(rng.gen_range(0..n)))).collect()
 }
 
 #[cfg(test)]

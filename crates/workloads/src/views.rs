@@ -26,9 +26,7 @@ pub fn random_safe_view(w: &Workload, rng: &mut impl Rng, target_size: usize) ->
         let derivable = grammar.derivable_modules(&expand);
         let candidates: Vec<ModuleId> = grammar
             .composite_modules()
-            .filter(|&m| {
-                derivable[m.index()] && !expand[m.index()] && !w.no_expand.contains(&m)
-            })
+            .filter(|&m| derivable[m.index()] && !expand[m.index()] && !w.no_expand.contains(&m))
             .collect();
         if candidates.is_empty() {
             break;
@@ -70,12 +68,8 @@ pub fn random_safe_view(w: &Workload, rng: &mut impl Rng, target_size: usize) ->
         }
     }
 
-    let view = View::new(
-        grammar,
-        grammar.modules().filter(|m| expand[m.index()]),
-        deps,
-    )
-    .expect("sampled view is proper and fully assigned");
+    let view = View::new(grammar, grammar.modules().filter(|m| expand[m.index()]), deps)
+        .expect("sampled view is proper and fully assigned");
     debug_assert!(
         wf_analysis::is_safe(&ViewSpec::new(&w.spec, &view)),
         "sampled view must be safe"
@@ -177,7 +171,8 @@ mod tests {
 
     #[test]
     fn synthetic_views_are_safe() {
-        let w = synthetic(&SynthParams { workflow_size: 8, nesting_depth: 5, ..Default::default() });
+        let w =
+            synthetic(&SynthParams { workflow_size: 8, nesting_depth: 5, ..Default::default() });
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..10 {
             let v = random_safe_view(&w, &mut rng, 4);

@@ -31,11 +31,7 @@ fn main() {
     let labels = fvl.labeler(&run);
     println!("run: {} data items, {} steps", run.item_count(), run.step_count());
     let d21 = labels.label(ids.d21);
-    println!(
-        "φr(d21) = {:?}  ({} bits on the wire)",
-        d21,
-        fvl.codec().encoded_bits(d21)
-    );
+    println!("φr(d21) = {:?}  ({} bits on the wire)", d21, fvl.codec().encoded_bits(d21));
 
     // Label two views statically: U1 (white-box default) and U2 (grey-box
     // security view where C's internals are hidden and over-approximated).

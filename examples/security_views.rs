@@ -91,5 +91,9 @@ fn main() {
     println!("queries answered in both views: {both}");
     println!("answers flipped by the grey box (false -> true): {flips}");
     println!("queries touching reviewer-hidden items: {hidden}");
-    println!("view labels: collaborator {}B, reviewer {}B", vl_collab.size_bits() / 8, vl_review.size_bits() / 8);
+    println!(
+        "view labels: collaborator {}B, reviewer {}B",
+        vl_collab.size_bits() / 8,
+        vl_review.size_bits() / 8
+    );
 }

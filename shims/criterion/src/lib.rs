@@ -1,0 +1,193 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build container cannot reach crates.io, so the workspace path-replaces
+//! `criterion` with this package. Bench sources stay source-compatible: the
+//! subset they use — [`Criterion`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`criterion_group!`] and
+//! [`criterion_main!`] — is implemented here.
+//!
+//! Measurement is deliberately simple: each benchmark's closure is run in
+//! doubling batches until a batch exceeds the measurement window (~50 ms, or
+//! ~1 ms when the binary is invoked with `--test` — handy for manually
+//! smoke-running a bench without waiting for real measurements), then the
+//! mean ns/iteration of the final batch is printed. No warm-up discipline,
+//! outlier rejection or regression statistics — good enough for the relative
+//! comparisons the `wf-bench` targets make, and trivially replaceable by the
+//! real criterion once a registry is reachable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn quick_mode() -> bool {
+    // Manual smoke flag (the wf-bench targets set `test = false`, so cargo
+    // never passes this itself): run each bench in ~1 ms instead of ~50 ms.
+    std::env::args().any(|a| a == "--test")
+}
+
+fn measurement_window() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(1)
+    } else {
+        Duration::from_millis(50)
+    }
+}
+
+/// Times one benchmark body. Handed to the closures of
+/// [`Criterion::bench_function`] and friends.
+pub struct Bencher {
+    label: String,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and report its mean wall-clock time.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let window = measurement_window();
+        let mut n: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= window || n >= 1 << 28 {
+                let ns = elapsed.as_secs_f64() * 1e9 / n as f64;
+                println!("{:<48} {:>14.1} ns/iter  ({n} iterations)", self.label, ns);
+                return;
+            }
+            // Grow toward the window without overshooting wildly.
+            let factor = (window.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).min(16.0);
+            n = ((n as f64 * factor).ceil() as u64).max(n + 1);
+        }
+    }
+}
+
+/// A `name/parameter` benchmark label.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Label a parameterized benchmark, rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+/// The benchmark driver passed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+fn run_bench(label: String, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { label };
+    f(&mut b);
+}
+
+impl Criterion {
+    /// Open a named group; member benchmarks print as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.into() }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id.into(), &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for source compatibility; sampling is adaptive here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run `f` as `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(format!("{}/{}", self.name, id.into()), &mut f);
+        self
+    }
+
+    /// Run `f` as `group/name/parameter` with a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.full);
+        let mut b = Bencher { label };
+        f(&mut b, input);
+        self
+    }
+
+    /// End the group (a no-op; present for source compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group, as the real criterion
+/// does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        let mut total = 0u64;
+        g.bench_with_input(BenchmarkId::new("sum", 3), &3u64, |b, &x| {
+            b.iter(|| total = total.wrapping_add(x))
+        });
+        g.finish();
+        assert!(total > 0);
+    }
+}

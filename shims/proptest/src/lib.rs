@@ -1,0 +1,241 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build container cannot reach crates.io, so the workspace path-replaces
+//! `proptest` with this package. It keeps the workspace's property tests
+//! source-compatible by reimplementing the subset they use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]` and
+//!   `arg in strategy` bindings), [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`] and [`prop_oneof!`];
+//! * the [`Strategy`] trait with `prop_map` /
+//!   `prop_flat_map`, integer-range strategies, [`any`],
+//!   [`collection::vec`] and [`ProptestConfig`].
+//!
+//! Semantics: each test runs `cases` times against pseudo-random inputs drawn
+//! from the strategies, with a deterministic per-test seed (FNV-1a of the
+//! test name), so failures are reproducible run-to-run. Unlike the real
+//! proptest there is **no shrinking** and no persisted failure file — a
+//! failing case panics with the current iteration's values via the normal
+//! assert messages. That is a strictly weaker failure report but an identical
+//! pass/fail verdict, which is all the tier-1 suite relies on.
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Strategy};
+
+/// Test-runner plumbing: the deterministic RNG handed to strategies.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Deterministic source of randomness for strategy sampling.
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeded from a stable FNV-1a hash of `name` (the test function
+        /// name), so every test draws the same case sequence on every run.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { inner: StdRng::seed_from_u64(h) }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.inner.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.inner.fill_bytes(dest)
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Default configuration overridden to run `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// `Vec` strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::{Range, RangeInclusive};
+    use rand::Rng;
+
+    /// Admissible element-count specifiers for [`vec()`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: `size` elements (a count, `lo..hi` or `lo..=hi`),
+    /// each drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Runs each contained `#[test] fn name(arg in strategy, ...) { body }`
+/// against `cases` sampled inputs. Accepts an optional leading
+/// `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut runner_rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut runner_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Like `assert!`, inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Like `assert_eq!`, inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Like `assert_ne!`, inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among several strategies with the same `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3u32..9, b in 0usize..=4, c in 1u64..=u64::MAX / 2) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!(b <= 4);
+            prop_assert!((1..=u64::MAX / 2).contains(&c));
+        }
+
+        #[test]
+        fn maps_and_vecs(v in crate::collection::vec((0u8..10).prop_map(|x| x * 2), 0..16)) {
+            prop_assert!(v.len() < 16);
+            prop_assert!(v.iter().all(|&x| x % 2 == 0 && x < 20));
+        }
+
+        #[test]
+        fn oneof_and_flat_map(
+            x in prop_oneof![
+                (0u32..4).prop_flat_map(|hi| (0u32..=hi).prop_map(|v| (false, v))),
+                (10u32..20).prop_map(|v| (true, v)),
+            ],
+        ) {
+            let (big, v) = x;
+            if big { prop_assert!((10..20).contains(&v)); } else { prop_assert!(v < 4); }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = 0u64..1_000_000;
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let va: Vec<u64> = (0..32).map(|_| s.sample(&mut a)).collect();
+        let vb: Vec<u64> = (0..32).map(|_| s.sample(&mut b)).collect();
+        assert_eq!(va, vb);
+    }
+}

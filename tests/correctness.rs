@@ -58,8 +58,7 @@ fn random_runs_and_views_match_oracle() {
             let view = random_safe_view(&w, &mut rng, view_size);
             let vs = ViewSpec::new(&w.spec, &view);
             let oracle = RunOracle::new(&w.spec.grammar, &vs, &run).unwrap();
-            let vls: Vec<_> =
-                VARIANTS.iter().map(|&k| fvl.label_view(&view, k).unwrap()).collect();
+            let vls: Vec<_> = VARIANTS.iter().map(|&k| fvl.label_view(&view, k).unwrap()).collect();
             for (a, b) in sample::sample_query_pairs(&run, &mut rng, 400) {
                 let want = oracle.depends_on(a, b);
                 for (vl, kind) in vls.iter().zip(VARIANTS) {

@@ -1,0 +1,132 @@
+//! Workspace-wiring smoke test: every crate the `wfprov` facade re-exports
+//! is reachable through it and usable end-to-end. This is deliberately
+//! shallow — deep behavior lives in `tests/correctness.rs` and the
+//! per-crate suites — but it pins the facade's module names and one
+//! load-bearing type from each, so a broken re-export or a manifest that
+//! drops a member crate fails here first.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `wfprov::digraph` — build a graph, sort it, close it.
+#[test]
+fn digraph_reachable_through_facade() {
+    use wfprov::digraph::{DiGraph, NodeId};
+    let mut g = DiGraph::with_nodes(4);
+    g.add_edge(NodeId(0), NodeId(1));
+    g.add_edge(NodeId(1), NodeId(2));
+    g.add_edge(NodeId(2), NodeId(3));
+    assert_eq!(g.topo_sort().unwrap().len(), 4);
+}
+
+/// `wfprov::boolmat` — matrix algebra and the power cache agree.
+#[test]
+fn boolmat_reachable_through_facade() {
+    use wfprov::boolmat::{pow, BoolMat, PowerCache};
+    let x = BoolMat::from_pairs(3, 3, [(0, 1), (1, 2), (2, 0)]);
+    let cache = PowerCache::new(x.clone());
+    assert_eq!(*cache.power(7), pow(&x, 7));
+}
+
+/// `wfprov::bitio` — a value survives the wire.
+#[test]
+fn bitio_reachable_through_facade() {
+    use wfprov::bitio::{min_width, BitReader, BitWriter};
+    let mut w = BitWriter::new();
+    w.write_bits(0b1011, min_width(15));
+    w.write_gamma(42);
+    let bits = w.finish();
+    let mut r = BitReader::new(&bits);
+    assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+    assert_eq!(r.read_gamma().unwrap(), 42);
+    assert_eq!(r.remaining(), 0);
+}
+
+/// `wfprov::model` — the paper's running example validates.
+#[test]
+fn model_reachable_through_facade() {
+    use wfprov::model::fixtures::paper_example;
+    let ex = paper_example();
+    assert!(ex.spec.grammar.module_count() > 0);
+    assert!(ex.spec.grammar.production_count() > 0);
+}
+
+/// `wfprov::analysis` — safety and recursion classification run.
+#[test]
+fn analysis_reachable_through_facade() {
+    use wfprov::analysis::{classify, is_safe, ProdGraph, RecursionClass};
+    use wfprov::model::fixtures::paper_example;
+    use wfprov::model::ViewSpec;
+    let ex = paper_example();
+    assert_eq!(classify(&ex.spec.grammar), RecursionClass::StrictlyLinear);
+    let dv = ex.spec.default_view();
+    assert!(is_safe(&ViewSpec::new(&ex.spec, &dv)));
+    let pg = ProdGraph::new(&ex.spec.grammar);
+    assert!(!pg.cycles().unwrap().is_empty());
+}
+
+/// `wfprov::run` — the Figure 3 run exists and is oracle-queryable.
+#[test]
+fn run_reachable_through_facade() {
+    use wfprov::model::fixtures::paper_example;
+    use wfprov::model::ViewSpec;
+    use wfprov::run::fixtures::figure3_run;
+    use wfprov::run::RunOracle;
+    let ex = paper_example();
+    let (run, ids) = figure3_run(&ex);
+    let u1 = ex.view_u1();
+    let vs = ViewSpec::new(&ex.spec, &u1);
+    let oracle = RunOracle::new(&ex.spec.grammar, &vs, &run).unwrap();
+    assert_eq!(oracle.depends_on(ids.d17, ids.d31), Some(false));
+}
+
+/// `wfprov::fvl` — label a run and a view, ask Example 8's question.
+#[test]
+fn fvl_reachable_through_facade() {
+    use wfprov::fvl::{Fvl, VariantKind};
+    use wfprov::model::fixtures::paper_example;
+    use wfprov::run::fixtures::figure3_run;
+    let ex = paper_example();
+    let fvl = Fvl::new(&ex.spec).unwrap();
+    let (run, ids) = figure3_run(&ex);
+    let labels = fvl.labeler(&run);
+    let vl = fvl.label_view(&ex.view_u2(), VariantKind::QueryEfficient).unwrap();
+    assert_eq!(fvl.query(&vl, labels.label(ids.d17), labels.label(ids.d31)), Some(true));
+}
+
+/// `wfprov::drl` — the baseline labels a coarse run and answers like FVL.
+#[test]
+fn drl_reachable_through_facade() {
+    use wfprov::analysis::ProdGraph;
+    use wfprov::drl::Drl;
+    use wfprov::workloads::{bioaid_coarse, sample, views};
+    let w = bioaid_coarse(2);
+    let pg = ProdGraph::new(&w.spec.grammar);
+    let mut rng = StdRng::seed_from_u64(6);
+    let (_, run) = sample::sample_run(&w, &pg, &mut rng, 60);
+    let view = views::black_box_view(&w, &mut rng, 4);
+    let drl = Drl::new(&w.spec, &view).unwrap();
+    let labels = drl.label_run(&run);
+    let visible: Vec<_> = labels.iter().map(|(d, _)| d).collect();
+    assert!(visible.len() >= 2);
+    let (a, b) = (visible[0], visible[1]);
+    let _ = drl.query(labels.label(a).unwrap(), labels.label(b).unwrap());
+}
+
+/// `wfprov::workloads` — generators are deterministic per seed.
+#[test]
+fn workloads_reachable_through_facade() {
+    use wfprov::workloads::{bioaid, synthetic, SynthParams};
+    let a = bioaid(4);
+    let b = bioaid(4);
+    assert_eq!(a.spec.grammar.module_count(), b.spec.grammar.module_count());
+    let s = synthetic(&SynthParams {
+        workflow_size: 6,
+        module_degree: 2,
+        nesting_depth: 2,
+        recursion_length: 1,
+        coarse: false,
+        seed: 3,
+    });
+    assert!(s.spec.grammar.production_count() > 0);
+}
