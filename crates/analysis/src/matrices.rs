@@ -101,90 +101,6 @@ pub fn production_matrices(
     ProductionMatrices { i_mats, o_mats, z_mats }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::safety::full_assignment_default;
-    use wf_model::fixtures::paper_example;
-
-    /// Example 16's function shapes on the running example (values are
-    /// specific to this transcription's wiring; the *shapes* and the
-    /// trivially-checkable entries are asserted).
-    #[test]
-    fn running_example_matrices() {
-        let ex = paper_example();
-        let g = &ex.spec.grammar;
-        let lambda = full_assignment_default(&ex.spec).unwrap();
-        let m = production_matrices(g, ex.prods[0], &lambda);
-
-        // I(1,5) of the paper = i_mats[4] here (production p1, module c):
-        // rows = inputs of S (2), cols = inputs of c (3).
-        assert_eq!(m.i_mats[4].rows(), 2);
-        assert_eq!(m.i_mats[4].cols(), 3);
-        // S.in0 reaches c.in0 (through A); S.in1 does not reach c.in0.
-        assert!(m.i_mats[4].get(0, 0));
-        assert!(!m.i_mats[4].get(1, 0));
-
-        // O(1,2) = o_mats[1] (module b): rows = outputs of S (3), cols = 2.
-        assert_eq!(m.o_mats[1].rows(), 3);
-        assert_eq!(m.o_mats[1].cols(), 2);
-        // S's first output (c.out1) is reachable from both b outputs; the d
-        // outputs are not.
-        assert!(m.o_mats[1].get(0, 0));
-        assert!(m.o_mats[1].get(0, 1));
-        assert!(!m.o_mats[1].get(1, 0));
-        assert!(!m.o_mats[1].get(2, 1));
-
-        // Z(1,2,5) = z_mats[1][4] (b -> c): 2x3; b reaches c's inputs 1 and
-        // 2 through C, but not c.in0 (fed only by A).
-        assert_eq!(m.z_mats[1][4].rows(), 2);
-        assert_eq!(m.z_mats[1][4].cols(), 3);
-        assert!(!m.z_mats[1][4].get(0, 0));
-        assert!(m.z_mats[1][4].get(0, 1));
-        assert!(m.z_mats[1][4].get(0, 2));
-
-        // Z is empty for i >= j.
-        assert!(m.z_mats[4][1].is_empty());
-        assert!(m.z_mats[2][2].is_empty());
-    }
-
-    /// Identity sanity: I(k, i) for a node whose inputs *are* initial inputs
-    /// contains the identity-like mapping.
-    #[test]
-    fn initial_input_positions_are_reflexively_reachable() {
-        let ex = paper_example();
-        let g = &ex.spec.grammar;
-        let lambda = full_assignment_default(&ex.spec).unwrap();
-        // p3 = A -> (e, C): A.in0 ↦ e.in0, A.in1 ↦ C.in1.
-        let m = production_matrices(g, ex.prods[2], &lambda);
-        assert!(m.i_mats[0].get(0, 0)); // A.in0 reaches e.in0 (it *is* it)
-        assert!(m.i_mats[1].get(1, 1)); // A.in1 reaches C.in1
-        assert!(!m.i_mats[0].get(1, 0)); // A.in1 does not reach e.in0
-    }
-
-    /// The composed matrices agree with λ*: multiplying I up to a node and
-    /// its λ* and O back down can never produce a dependency λ*(M) lacks.
-    #[test]
-    fn ioz_consistent_with_full_assignment() {
-        let ex = paper_example();
-        let g = &ex.spec.grammar;
-        let lambda = full_assignment_default(&ex.spec).unwrap();
-        for (k, p) in g.productions() {
-            let m = production_matrices(g, k, &lambda);
-            let lhs = lambda.get(p.lhs).unwrap();
-            for (i, &child) in p.rhs.nodes().iter().enumerate() {
-                let child_mat = lambda.get(child).unwrap();
-                // I(k,i) ; λ*(child) ; O(k,i)ᵀ ⊆ λ*(lhs)
-                let through = m.i_mats[i].matmul(child_mat).matmul(&m.o_mats[i].transpose());
-                assert!(
-                    through.is_subset_of(lhs),
-                    "production {k}: path through child {i} exceeds λ*"
-                );
-            }
-        }
-    }
-}
-
 // ---------------------------------------------------------------------
 // On-demand single matrices (Space-Efficient FVL computes these by graph
 // search at query time instead of materializing them, §4.3) and the
@@ -278,4 +194,88 @@ pub fn rhs_closure(grammar: &Grammar, k: ProdId) -> BoolMat {
         mat.set_row_bits(i, acc);
     }
     mat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::safety::full_assignment_default;
+    use wf_model::fixtures::paper_example;
+
+    /// Example 16's function shapes on the running example (values are
+    /// specific to this transcription's wiring; the *shapes* and the
+    /// trivially-checkable entries are asserted).
+    #[test]
+    fn running_example_matrices() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let lambda = full_assignment_default(&ex.spec).unwrap();
+        let m = production_matrices(g, ex.prods[0], &lambda);
+
+        // I(1,5) of the paper = i_mats[4] here (production p1, module c):
+        // rows = inputs of S (2), cols = inputs of c (3).
+        assert_eq!(m.i_mats[4].rows(), 2);
+        assert_eq!(m.i_mats[4].cols(), 3);
+        // S.in0 reaches c.in0 (through A); S.in1 does not reach c.in0.
+        assert!(m.i_mats[4].get(0, 0));
+        assert!(!m.i_mats[4].get(1, 0));
+
+        // O(1,2) = o_mats[1] (module b): rows = outputs of S (3), cols = 2.
+        assert_eq!(m.o_mats[1].rows(), 3);
+        assert_eq!(m.o_mats[1].cols(), 2);
+        // S's first output (c.out1) is reachable from both b outputs; the d
+        // outputs are not.
+        assert!(m.o_mats[1].get(0, 0));
+        assert!(m.o_mats[1].get(0, 1));
+        assert!(!m.o_mats[1].get(1, 0));
+        assert!(!m.o_mats[1].get(2, 1));
+
+        // Z(1,2,5) = z_mats[1][4] (b -> c): 2x3; b reaches c's inputs 1 and
+        // 2 through C, but not c.in0 (fed only by A).
+        assert_eq!(m.z_mats[1][4].rows(), 2);
+        assert_eq!(m.z_mats[1][4].cols(), 3);
+        assert!(!m.z_mats[1][4].get(0, 0));
+        assert!(m.z_mats[1][4].get(0, 1));
+        assert!(m.z_mats[1][4].get(0, 2));
+
+        // Z is empty for i >= j.
+        assert!(m.z_mats[4][1].is_empty());
+        assert!(m.z_mats[2][2].is_empty());
+    }
+
+    /// Identity sanity: I(k, i) for a node whose inputs *are* initial inputs
+    /// contains the identity-like mapping.
+    #[test]
+    fn initial_input_positions_are_reflexively_reachable() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let lambda = full_assignment_default(&ex.spec).unwrap();
+        // p3 = A -> (e, C): A.in0 ↦ e.in0, A.in1 ↦ C.in1.
+        let m = production_matrices(g, ex.prods[2], &lambda);
+        assert!(m.i_mats[0].get(0, 0)); // A.in0 reaches e.in0 (it *is* it)
+        assert!(m.i_mats[1].get(1, 1)); // A.in1 reaches C.in1
+        assert!(!m.i_mats[0].get(1, 0)); // A.in1 does not reach e.in0
+    }
+
+    /// The composed matrices agree with λ*: multiplying I up to a node and
+    /// its λ* and O back down can never produce a dependency λ*(M) lacks.
+    #[test]
+    fn ioz_consistent_with_full_assignment() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let lambda = full_assignment_default(&ex.spec).unwrap();
+        for (k, p) in g.productions() {
+            let m = production_matrices(g, k, &lambda);
+            let lhs = lambda.get(p.lhs).unwrap();
+            for (i, &child) in p.rhs.nodes().iter().enumerate() {
+                let child_mat = lambda.get(child).unwrap();
+                // I(k,i) ; λ*(child) ; O(k,i)ᵀ ⊆ λ*(lhs)
+                let through = m.i_mats[i].matmul(child_mat).matmul(&m.o_mats[i].transpose());
+                assert!(
+                    through.is_subset_of(lhs),
+                    "production {k}: path through child {i} exceeds λ*"
+                );
+            }
+        }
+    }
 }

@@ -1,0 +1,124 @@
+//! Serving-layer throughput: per-call vs scratch-reused (session) vs
+//! batched querying, across the three §6.3 variants.
+//!
+//! The per-call path rebuilds the decode context and scratch every query
+//! (the seed repo's only mode); the session path reuses one
+//! [`wf_core::FvlSession`]; the batched path goes through the `wf-engine`
+//! registry + interned label store. Besides the Criterion printout, the
+//! run writes `BENCH_query_throughput.json` into the working directory
+//! (the workspace root under `cargo bench`) so the numbers accumulate a
+//! perf trajectory across commits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use wf_bench::{ns_per, Bench};
+use wf_core::{Fvl, VariantKind};
+use wf_engine::QueryEngine;
+use wf_workloads::queries::{sample_pairs, PairDist};
+
+const PAIRS: usize = 4096;
+
+fn bench_query_throughput(c: &mut Criterion) {
+    let bench = Bench::fine(1);
+    let fvl = Fvl::new(&bench.workload.spec).unwrap();
+    let run = bench.run_of(42, 8_000);
+    let labeler = fvl.labeler(&run);
+    let labels = labeler.labels();
+    let view = bench.safe_view(7, 8);
+
+    // Hot-key skew: the serving shape the engine is built for.
+    let mut rng = StdRng::seed_from_u64(9);
+    let dist = PairDist::HotKey { hot_items: 64, hot_prob: 0.5 };
+    let pairs = sample_pairs(&run, &mut rng, PAIRS, dist);
+
+    let mut engine = QueryEngine::new(&fvl);
+    let items = engine.insert_labels(labels);
+    let id_pairs: Vec<_> =
+        pairs.iter().map(|&(a, b)| (items[a.0 as usize], items[b.0 as usize])).collect();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"query_throughput\",");
+    let _ = writeln!(json, "  \"pairs\": {PAIRS},");
+    let _ = writeln!(json, "  \"unit\": \"ns_per_query\",");
+    let _ = writeln!(json, "  \"variants\": {{");
+
+    let mut g = c.benchmark_group("query_throughput");
+    let variants = [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient];
+    for (vi, kind) in variants.into_iter().enumerate() {
+        let vl = fvl.label_view(&view, kind).unwrap();
+        let vref = engine.register_view(view.clone(), kind).unwrap();
+
+        // Guard: the fast paths must agree with the reference before any
+        // number is reported.
+        let batch = engine.query_batch(vref, &id_pairs);
+        let mut session_check = fvl.session(&vl);
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            let reference = fvl.query(&vl, &labels[a.0 as usize], &labels[b.0 as usize]);
+            assert_eq!(batch[i], reference, "{kind:?} batch diverges at pair {i}");
+            let s = session_check.query(&labels[a.0 as usize], &labels[b.0 as usize]);
+            assert_eq!(s, reference, "{kind:?} session diverges at pair {i}");
+        }
+
+        // JSON numbers via the shared timer (independent of Criterion's
+        // adaptive batching), then the Criterion printout.
+        let per_call = ns_per(pairs.len(), |i| {
+            let (a, b) = pairs[i % pairs.len()];
+            fvl.query(&vl, &labels[a.0 as usize], &labels[b.0 as usize])
+        });
+        let mut session = fvl.session(&vl);
+        let session_ns = ns_per(pairs.len(), |i| {
+            let (a, b) = pairs[i % pairs.len()];
+            session.query(&labels[a.0 as usize], &labels[b.0 as usize])
+        });
+        let mut out = Vec::with_capacity(id_pairs.len());
+        engine.query_batch_into(vref, &id_pairs, &mut out); // warm the scratch
+        let rounds = 8usize;
+        let batch_ns = ns_per(rounds, |_| engine.query_batch_into(vref, &id_pairs, &mut out))
+            / id_pairs.len() as f64;
+
+        let _ = writeln!(
+            json,
+            "    \"{kind:?}\": {{ \"per_call\": {per_call:.1}, \"session\": {session_ns:.1}, \"batched\": {batch_ns:.1} }}{}",
+            if vi + 1 < variants.len() { "," } else { "" }
+        );
+
+        let mut i = 0usize;
+        g.bench_function(format!("{kind:?}/per_call"), |b| {
+            b.iter(|| {
+                let (a, d) = pairs[i % pairs.len()];
+                i += 1;
+                fvl.query(&vl, &labels[a.0 as usize], &labels[d.0 as usize])
+            })
+        });
+        let mut session = fvl.session(&vl);
+        let mut i = 0usize;
+        g.bench_function(format!("{kind:?}/session"), |b| {
+            b.iter(|| {
+                let (a, d) = pairs[i % pairs.len()];
+                i += 1;
+                session.query(&labels[a.0 as usize], &labels[d.0 as usize])
+            })
+        });
+        g.bench_function(format!("{kind:?}/batch{PAIRS}"), |b| {
+            b.iter(|| engine.query_batch_into(vref, &id_pairs, &mut out))
+        });
+    }
+    g.finish();
+
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    // Anchor at the workspace root regardless of the bench's working
+    // directory (cargo runs benches from the package dir).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query_throughput.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench_query_throughput);
+criterion_main!(benches);

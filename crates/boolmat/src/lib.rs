@@ -9,16 +9,24 @@
 //!
 //! This crate provides:
 //! * [`BoolMat`] — a dense boolean matrix with one `u64` bitset per row
-//!   (every workload in the paper has ≤ 10 ports per module; we support 64);
+//!   (every workload in the paper has ≤ 10 ports per module; we support 64),
+//!   with in-place `*_into` variants of the hot operations that reuse
+//!   caller-owned buffers;
+//! * [`MatPool`] — a free list of such buffers, making query evaluation
+//!   allocation-free in steady state;
 //! * [`PowerCache`] — the `Xᵃ = Xᵇ` cycle detection behind constant-time
 //!   evaluation of long recursion chains (Query-Efficient FVL);
-//! * [`pow`] — logarithmic-time exponentiation (Default FVL's fallback).
+//! * [`pow`] / [`pow_into`] — logarithmic-time exponentiation (Default
+//!   FVL's fallback), and [`PowMemo`] — a lazy squaring-ladder memo that
+//!   computes each distinct chain exponent once per serving session.
 
 mod mat;
+mod pool;
 mod power;
 
 pub use mat::BoolMat;
-pub use power::{pow, PowerCache};
+pub use pool::MatPool;
+pub use power::{pow, pow_into, PowMemo, PowerCache};
 
 #[cfg(test)]
 mod tests {

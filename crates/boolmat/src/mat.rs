@@ -41,6 +41,38 @@ impl BoolMat {
         m
     }
 
+    /// Re-dimensions the matrix to an all-false `rows × cols`, reusing the
+    /// existing row storage (no allocation once capacity suffices) — the
+    /// workhorse behind the `*_into` operations and [`crate::MatPool`].
+    #[inline]
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        assert!(cols <= 64, "BoolMat supports at most 64 columns (got {cols})");
+        assert!(rows <= u16::MAX as usize);
+        self.rows = rows as u16;
+        self.cols = cols as u16;
+        self.data.clear();
+        self.data.resize(rows, 0);
+    }
+
+    /// Turns the matrix into the `n × n` identity in place (cf.
+    /// [`BoolMat::identity`], without the allocation).
+    #[inline]
+    pub fn assign_identity(&mut self, n: usize) {
+        self.reset(n, n);
+        for i in 0..n {
+            self.data[i] = 1u64 << i;
+        }
+    }
+
+    /// Makes `self` a copy of `other`, reusing storage.
+    #[inline]
+    pub fn copy_from(&mut self, other: &BoolMat) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Builds a matrix from `(row, col)` pairs.
     pub fn from_pairs(
         rows: usize,
@@ -66,6 +98,13 @@ impl BoolMat {
     #[inline]
     pub fn rows(&self) -> usize {
         self.rows as usize
+    }
+
+    /// Allocated row capacity — lets callers (and tests) check that the
+    /// in-place operations really reuse storage.
+    #[inline]
+    pub fn row_capacity(&self) -> usize {
+        self.data.capacity()
     }
 
     #[inline]
@@ -133,6 +172,27 @@ impl BoolMat {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = BoolMat::zeros(self.rows as usize, other.cols as usize);
+        self.matmul_bits(other, &mut out);
+        out
+    }
+
+    /// [`BoolMat::matmul`] writing into a caller-owned matrix (the query hot
+    /// path reuses one scratch matrix per product instead of allocating).
+    /// `out` is re-dimensioned to `self.rows × other.cols`; it must not
+    /// alias `self` or `other` (guaranteed by `&mut` exclusivity).
+    #[inline]
+    pub fn matmul_into(&self, other: &BoolMat, out: &mut BoolMat) {
+        debug_assert_eq!(
+            self.cols, other.rows,
+            "dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.reset(self.rows as usize, other.cols as usize);
+        self.matmul_bits(other, out);
+    }
+
+    #[inline]
+    fn matmul_bits(&self, other: &BoolMat, out: &mut BoolMat) {
         for (i, &row) in self.data.iter().enumerate() {
             let mut bits = row;
             let mut acc = 0u64;
@@ -143,13 +203,26 @@ impl BoolMat {
             }
             out.data[i] = acc;
         }
-        out
     }
 
     /// Matrix transpose. Algorithm 2 transposes the accumulated `Outputs`
     /// chain (`Oᵀ × Z × I`).
     pub fn transpose(&self) -> BoolMat {
         let mut out = BoolMat::zeros(self.cols as usize, self.rows as usize);
+        self.transpose_bits(&mut out);
+        out
+    }
+
+    /// [`BoolMat::transpose`] into a caller-owned matrix (re-dimensioned to
+    /// `cols × rows`; must not alias `self`).
+    #[inline]
+    pub fn transpose_into(&self, out: &mut BoolMat) {
+        out.reset(self.cols as usize, self.rows as usize);
+        self.transpose_bits(out);
+    }
+
+    #[inline]
+    fn transpose_bits(&self, out: &mut BoolMat) {
         for r in 0..self.rows as usize {
             let mut bits = self.data[r];
             while bits != 0 {
@@ -158,7 +231,6 @@ impl BoolMat {
                 bits &= bits - 1;
             }
         }
-        out
     }
 
     /// Element-wise OR, in place. Used when accumulating reachability.
@@ -194,6 +266,14 @@ impl BoolMat {
     /// label sizes, Figure 19).
     pub fn payload_bits(&self) -> usize {
         self.rows as usize * self.cols as usize
+    }
+}
+
+/// The empty `0 × 0` matrix — what [`crate::MatPool::take`] hands out when
+/// the pool is dry (every `*_into` operation re-dimensions its output).
+impl Default for BoolMat {
+    fn default() -> Self {
+        BoolMat::zeros(0, 0)
     }
 }
 
@@ -304,6 +384,42 @@ mod tests {
         acc.or_assign(&BoolMat::from_pairs(2, 2, [(0, 1)]));
         acc.or_assign(&BoolMat::from_pairs(2, 2, [(1, 0)]));
         assert_eq!(acc.count_ones(), 2);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_and_reuses_storage() {
+        let a = BoolMat::from_pairs(3, 4, [(0, 1), (1, 3), (2, 0)]);
+        let b = BoolMat::from_pairs(4, 5, [(1, 2), (3, 4), (0, 0)]);
+        let mut out = BoolMat::zeros(7, 7); // wrong dims on purpose
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // Stale contents never leak through a reset.
+        let mut dirty = BoolMat::complete(3, 5);
+        a.matmul_into(&b, &mut dirty);
+        assert_eq!(dirty, a.matmul(&b));
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose() {
+        let m = BoolMat::from_pairs(3, 5, [(0, 4), (1, 0), (2, 3)]);
+        let mut out = BoolMat::complete(1, 1);
+        m.transpose_into(&mut out);
+        assert_eq!(out, m.transpose());
+    }
+
+    #[test]
+    fn reset_and_assign_identity_reuse_capacity() {
+        let mut m = BoolMat::complete(8, 8);
+        let cap = m.row_capacity();
+        m.reset(4, 6);
+        assert_eq!((m.rows(), m.cols()), (4, 6));
+        assert!(m.is_empty());
+        assert_eq!(m.row_capacity(), cap, "reset must not shrink capacity");
+        m.assign_identity(5);
+        assert_eq!(m, BoolMat::identity(5));
+        let mut c = BoolMat::default();
+        c.copy_from(&m);
+        assert_eq!(c, m);
     }
 
     #[test]

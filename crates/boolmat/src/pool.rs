@@ -1,0 +1,69 @@
+//! A free list of [`BoolMat`] scratch buffers.
+//!
+//! The decoding predicate π evaluates a handful of small matrix products per
+//! query; allocating a fresh matrix per product dominates the "constant
+//! time" core at serving rates. A [`MatPool`] amortizes that away: buffers
+//! are taken out as plain owned [`BoolMat`]s (so there is no aliasing to
+//! reason about), written through the `*_into` operations — which
+//! re-dimension but keep row capacity — and returned when done. In steady
+//! state every `take` is a `Vec::pop` and no allocation happens anywhere in
+//! a query.
+
+use crate::BoolMat;
+
+/// A stack of reusable matrices. `take` hands out an owned buffer (an empty
+/// `0 × 0` matrix when the pool is dry); `put` returns it for reuse.
+#[derive(Default)]
+pub struct MatPool {
+    free: Vec<BoolMat>,
+}
+
+impl MatPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pops a reusable buffer (or a fresh empty matrix when dry). The
+    /// caller owns it; pass it to a `*_into` operation to dimension it.
+    #[inline]
+    pub fn take(&mut self) -> BoolMat {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool for later reuse.
+    #[inline]
+    pub fn put(&mut self, m: BoolMat) {
+        self.free.push(m);
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_cycle_reuses_buffers() {
+        let mut pool = MatPool::new();
+        let mut a = pool.take();
+        a.reset(8, 8);
+        let cap = a.row_capacity();
+        assert!(cap >= 8);
+        pool.put(a);
+        assert_eq!(pool.pooled(), 1);
+        let b = pool.take();
+        assert_eq!(b.row_capacity(), cap, "the same buffer must come back");
+        assert_eq!(pool.pooled(), 0);
+    }
+
+    #[test]
+    fn dry_pool_hands_out_empty_matrices() {
+        let mut pool = MatPool::new();
+        let m = pool.take();
+        assert_eq!((m.rows(), m.cols()), (0, 0));
+    }
+}

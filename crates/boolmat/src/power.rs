@@ -9,7 +9,7 @@
 //! cycle: there exist `a < b ≤ 2^(c²)+1` with `Xᵃ = Xᵇ`. [`PowerCache`]
 //! finds `(a, b)` once and afterwards answers `Xᵉ` for any `e ≥ 1` in O(1).
 
-use crate::BoolMat;
+use crate::{BoolMat, MatPool};
 use std::collections::HashMap;
 
 /// Computes `x^e` for `e >= 0` by binary exponentiation (`x⁰ = I`).
@@ -17,20 +17,173 @@ use std::collections::HashMap;
 /// This is the "divide and conquer … runs in O(log i) time" fallback of
 /// §4.4.3, used by Default FVL which does not materialize power caches.
 pub fn pow(x: &BoolMat, e: u64) -> BoolMat {
+    let mut out = BoolMat::default();
+    let mut pool = MatPool::new();
+    pow_into(x, e, &mut out, &mut pool);
+    out
+}
+
+/// [`pow`] writing into a caller-owned matrix, with scratch buffers drawn
+/// from (and returned to) `pool` — allocation-free in steady state.
+///
+/// The accumulator starts from the lowest *set* bit of `e` rather than the
+/// identity, so when `e` is a power of two the whole computation is exactly
+/// `log₂ e` squarings plus one copy — no trailing `I · x^e` multiply.
+pub fn pow_into(x: &BoolMat, e: u64, out: &mut BoolMat, pool: &mut MatPool) {
     assert_eq!(x.rows(), x.cols(), "pow requires a square matrix");
-    let mut result = BoolMat::identity(x.rows());
-    let mut base = x.clone();
+    if e == 0 {
+        out.assign_identity(x.rows());
+        return;
+    }
+    let mut base = pool.take();
+    base.copy_from(x);
+    let mut tmp = pool.take();
     let mut e = e;
+    // Square past the trailing zero bits without touching the accumulator.
+    while e & 1 == 0 {
+        base.matmul_into(&base, &mut tmp);
+        std::mem::swap(&mut base, &mut tmp);
+        e >>= 1;
+    }
+    out.copy_from(&base);
+    e >>= 1;
     while e > 0 {
+        base.matmul_into(&base, &mut tmp);
+        std::mem::swap(&mut base, &mut tmp);
         if e & 1 == 1 {
-            result = result.matmul(&base);
+            out.matmul_into(&base, &mut tmp);
+            std::mem::swap(out, &mut tmp);
         }
         e >>= 1;
-        if e > 0 {
-            base = base.matmul(&base);
+    }
+    pool.put(base);
+    pool.put(tmp);
+}
+
+/// A lazy memo of powers of one square matrix: a squaring ladder
+/// `x, x², x⁴, …` shared across exponents plus a per-exponent result map.
+///
+/// Default FVL has no materialized [`PowerCache`], so every query against a
+/// long recursion chain used to rerun binary exponentiation from scratch.
+/// A serving session keeps one `PowMemo` per (cycle, offset, direction)
+/// instead: each distinct exponent is computed once — reusing whatever
+/// ladder steps earlier exponents already paid for — and each repeat lookup
+/// is a single hash probe.
+///
+/// The memo identifies the base matrix by *position*, not by value: callers
+/// must pass the same `x` on every [`PowMemo::power`] call (the query
+/// scratch guarantees this by keying memos by view uid).
+///
+/// Storage is bounded: after a threshold number of distinct exponents
+/// (`PROMOTE_AT`, currently 16) the memo *promotes* itself to a
+/// [`PowerCache`] — the `Xᵃ = Xᵇ` periodic cache —
+/// which answers every exponent in O(1) from at most `b − 1` matrices, and
+/// recycles the ladder and per-exponent results back into the pool. So a
+/// long-lived session never accumulates more than `PROMOTE_AT` result
+/// matrices plus the (small, period-bounded) cache.
+#[derive(Default)]
+pub struct PowMemo {
+    /// `sq[i] = x^(2^i)`, extended lazily (pre-promotion).
+    sq: Vec<BoolMat>,
+    /// Finished results per exponent, including `0 → I` (pre-promotion).
+    results: HashMap<u64, BoolMat>,
+    /// Post-promotion periodic cache; answers every exponent once set.
+    cache: Option<PowerCache>,
+}
+
+/// Distinct-exponent count at which a [`PowMemo`] switches to the periodic
+/// [`PowerCache`] representation.
+const PROMOTE_AT: usize = 16;
+
+impl PowMemo {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The memoized `x^e`, if this exponent is already answerable in O(1).
+    #[inline]
+    pub fn cached(&self, e: u64) -> Option<&BoolMat> {
+        if let Some(cache) = &self.cache {
+            return Some(cache.power(e));
+        }
+        self.results.get(&e)
+    }
+
+    /// Returns `x^e`, computing and memoizing it on first sight. Scratch
+    /// and ladder buffers come from `pool`; steady state allocates nothing.
+    pub fn power(&mut self, x: &BoolMat, e: u64, pool: &mut MatPool) -> &BoolMat {
+        debug_assert_eq!(x.rows(), x.cols(), "PowMemo requires a square matrix");
+        // Mutate first, borrow last (NLL cannot return a borrow from an
+        // early branch and still allow mutation below it).
+        if self.cache.is_none() && !self.results.contains_key(&e) {
+            if self.results.len() >= PROMOTE_AT {
+                // Enough distinct exponents to pay for the periodic cache:
+                // bounded storage, every future exponent O(1).
+                for m in self.sq.drain(..) {
+                    pool.put(m);
+                }
+                for (_, m) in self.results.drain() {
+                    pool.put(m);
+                }
+                self.cache = Some(PowerCache::new(x.clone()));
+            } else {
+                let mut out = pool.take();
+                if e == 0 {
+                    out.assign_identity(x.rows());
+                } else {
+                    if self.sq.is_empty() {
+                        let mut first = pool.take();
+                        first.copy_from(x);
+                        self.sq.push(first);
+                    }
+                    let high = 63 - e.leading_zeros() as usize;
+                    while self.sq.len() <= high {
+                        let mut next = pool.take();
+                        let last = self.sq.last().expect("ladder is non-empty");
+                        last.matmul_into(last, &mut next);
+                        self.sq.push(next);
+                    }
+                    let first = e.trailing_zeros() as usize;
+                    out.copy_from(&self.sq[first]);
+                    let mut tmp = pool.take();
+                    for i in (first + 1)..=high {
+                        if (e >> i) & 1 == 1 {
+                            out.matmul_into(&self.sq[i], &mut tmp);
+                            std::mem::swap(&mut out, &mut tmp);
+                        }
+                    }
+                    pool.put(tmp);
+                }
+                self.results.insert(e, out);
+            }
+        }
+        match &self.cache {
+            Some(cache) => cache.power(e),
+            None => &self.results[&e],
         }
     }
-    result
+
+    /// Number of matrices held for O(1) answers (per-exponent results, or
+    /// the periodic cache's stored powers after promotion).
+    pub fn memoized(&self) -> usize {
+        match &self.cache {
+            Some(cache) => cache.stored() + 1, // + identity
+            None => self.results.len(),
+        }
+    }
+
+    /// Drains every recyclable buffer (ladder and results) back into
+    /// `pool` and drops the periodic cache, leaving the memo empty — used
+    /// when a scratch is cleared.
+    pub fn recycle_into(&mut self, pool: &mut MatPool) {
+        for m in self.sq.drain(..) {
+            pool.put(m);
+        }
+        for (_, m) in self.results.drain() {
+            pool.put(m);
+        }
+        self.cache = None;
+    }
 }
 
 /// Materialized powers `X¹ … X^(b−1)` of a square boolean matrix together
@@ -179,6 +332,71 @@ mod tests {
                 assert_eq!(*cache.power(e), pow(&x, e), "trial={trial} e={e}");
             }
         }
+    }
+
+    #[test]
+    fn pow_into_matches_pow_and_recycles_buffers() {
+        let x = BoolMat::from_pairs(4, 4, [(0, 1), (1, 2), (2, 3), (3, 0), (1, 1)]);
+        let mut pool = MatPool::new();
+        let mut out = BoolMat::default();
+        for e in [0u64, 1, 2, 4, 8, 1024, 3, 7, 13, 100, 12345] {
+            pow_into(&x, e, &mut out, &mut pool);
+            assert_eq!(out, pow(&x, e), "e={e}");
+        }
+        // Both scratch buffers return to the pool after every call.
+        assert_eq!(pool.pooled(), 2);
+    }
+
+    #[test]
+    fn pow_of_power_of_two_matches_iterated_product() {
+        // The power-of-two fast path (squarings + copy, no identity
+        // multiply) must stay value-correct.
+        let x = BoolMat::from_pairs(3, 3, [(0, 1), (1, 2), (2, 0), (0, 0)]);
+        for k in 0..9u64 {
+            let mut m = BoolMat::identity(3);
+            for _ in 0..(1u64 << k) {
+                m = m.matmul(&x);
+            }
+            assert_eq!(pow(&x, 1 << k), m, "e=2^{k}");
+        }
+    }
+
+    #[test]
+    fn pow_memo_agrees_with_pow_and_caches() {
+        let x = BoolMat::from_pairs(5, 5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (2, 2)]);
+        let mut memo = PowMemo::new();
+        let mut pool = MatPool::new();
+        for e in [0u64, 1, 5, 2, 5, 1_000_003, 64, 5] {
+            assert_eq!(*memo.power(&x, e, &mut pool), pow(&x, e), "e={e}");
+        }
+        assert_eq!(memo.memoized(), 6, "repeat exponents hit the cache");
+        assert!(memo.cached(5).is_some());
+        assert!(memo.cached(6).is_none());
+        let before = memo.memoized();
+        memo.power(&x, 5, &mut pool);
+        assert_eq!(memo.memoized(), before);
+        memo.recycle_into(&mut pool);
+        assert_eq!(memo.memoized(), 0);
+        assert!(pool.pooled() > 0, "recycling returns buffers to the pool");
+    }
+
+    #[test]
+    fn pow_memo_promotes_to_bounded_cache() {
+        let x = BoolMat::from_pairs(4, 4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut memo = PowMemo::new();
+        let mut pool = MatPool::new();
+        // Feed more distinct exponents than the promotion threshold.
+        for e in 0..100u64 {
+            assert_eq!(*memo.power(&x, e, &mut pool), pow(&x, e), "e={e}");
+        }
+        // Post-promotion storage is bounded by the X^a = X^b period, not
+        // by the number of distinct exponents seen.
+        assert!(memo.memoized() < 20, "memoized {} matrices", memo.memoized());
+        assert!(memo.cached(77).is_some(), "promotion answers every exponent");
+        // Still exact after promotion, including huge exponents.
+        assert_eq!(*memo.power(&x, 1_000_000_007, &mut pool), pow(&x, 1_000_000_007));
+        memo.recycle_into(&mut pool);
+        assert_eq!(memo.memoized(), 0);
     }
 
     #[test]

@@ -13,16 +13,65 @@
 //! to productions outside the view (the item is invisible, §5); callers
 //! that pre-check visibility can unwrap.
 
-use crate::label::{DataLabel, PortLabel};
+use crate::label::{DataLabel, LabelRef, PortRef};
 use crate::viewlabel::ViewLabel;
 use std::borrow::Cow;
+use std::collections::HashMap;
 use wf_analysis::ProdGraph;
-use wf_boolmat::{pow, BoolMat};
+use wf_boolmat::{BoolMat, MatPool, PowMemo};
 use wf_model::{Grammar, ProdId};
 use wf_run::EdgeLabel;
 
+/// Reusable per-session query state: a [`MatPool`] of matrix buffers plus a
+/// memo of recursion-chain powers, so that in steady state π allocates
+/// nothing and each distinct Default-variant chain exponent is exponentiated
+/// once per session rather than once per query.
+///
+/// The memo is keyed by `(view uid, cycle, offset, direction)` — the uid
+/// ([`ViewLabel::uid`]) is process-unique, so one scratch serves any
+/// interleaving of views without cross-view poisoning, and every view's
+/// memo stays warm. Long-lived multi-view sessions can bound memo memory
+/// with [`QueryScratch::clear_memo`] (per-memo storage is itself bounded:
+/// see [`PowMemo`]'s promotion to a periodic power cache).
+pub struct QueryScratch {
+    pool: MatPool,
+    memo: HashMap<(u64, u32, u32, bool), PowMemo>,
+}
+
+impl QueryScratch {
+    pub fn new() -> Self {
+        Self { pool: MatPool::new(), memo: HashMap::new() }
+    }
+
+    /// Empties the chain-power memo, recycling its matrices into the pool.
+    pub fn clear_memo(&mut self) {
+        for memo in self.memo.values_mut() {
+            memo.recycle_into(&mut self.pool);
+        }
+        self.memo.clear();
+    }
+
+    /// Number of memoized chain-power entries (diagnostic).
+    pub fn memoized_powers(&self) -> usize {
+        self.memo.values().map(PowMemo::memoized).sum()
+    }
+
+    /// Number of pooled scratch matrices (diagnostic).
+    pub fn pooled_mats(&self) -> usize {
+        self.pool.pooled()
+    }
+}
+
+impl Default for QueryScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Everything a query needs: the (static) grammar and production graph plus
-/// one view label.
+/// one view label. Construction is split from evaluation: build one per
+/// (view, session) — e.g. via [`crate::Fvl::session`] — and reuse it across
+/// queries instead of rebuilding per call.
 pub struct DecodeCtx<'a> {
     pub grammar: &'a Grammar,
     pub pg: &'a ProdGraph,
@@ -54,8 +103,18 @@ impl<'a> DecodeCtx<'a> {
         Some(self.grammar.sig(cycle.modules[pos % cycle.len()]).outputs())
     }
 
+    /// The `I` or `O` matrix of one cycle edge (borrowed for materialized
+    /// variants; Space-Efficient recomputes, hence the `Cow`).
+    fn step_mat(&self, k: ProdId, i: u32, inputs: bool) -> Option<Cow<'_, BoolMat>> {
+        if inputs {
+            self.vl.i_mat(self.grammar, k, i)
+        } else {
+            self.vl.o_mat(self.grammar, k, i)
+        }
+    }
+
     /// Algorithm 1, `Inputs`: the reachability matrix selected by one edge
-    /// label.
+    /// label. Allocating convenience wrapper over the scratch-threaded path.
     pub fn inputs_of(&self, e: &EdgeLabel) -> Option<Cow<'_, BoolMat>> {
         match *e {
             EdgeLabel::Plain { k, i } => self.vl.i_mat(self.grammar, k, i),
@@ -74,21 +133,65 @@ impl<'a> DecodeCtx<'a> {
     /// `P_t(count)` for the I-chain of cycle `s`: the product of `count`
     /// per-step matrices starting at offset `t`.
     pub fn inputs_chain(&self, s: u32, t: usize, count: u64) -> Option<BoolMat> {
-        self.chain(s, t, count, true)
+        let mut scratch = QueryScratch::new();
+        let mut out = BoolMat::default();
+        self.chain_into(&mut scratch, s, t, count, true, &mut out)?;
+        Some(out)
     }
 
     /// `P_t(count)` for the (reversed) O-chain.
     pub fn outputs_chain(&self, s: u32, t: usize, count: u64) -> Option<BoolMat> {
-        self.chain(s, t, count, false)
+        let mut scratch = QueryScratch::new();
+        let mut out = BoolMat::default();
+        self.chain_into(&mut scratch, s, t, count, false, &mut out)?;
+        Some(out)
     }
 
-    fn chain(&self, s: u32, t: usize, count: u64, inputs: bool) -> Option<BoolMat> {
+    /// Product of `n` consecutive per-step matrices starting at cycle
+    /// offset `from`, written into `out`.
+    fn partial_into(
+        &self,
+        scratch: &mut QueryScratch,
+        s: u32,
+        from: usize,
+        n: usize,
+        inputs: bool,
+        out: &mut BoolMat,
+    ) -> Option<()> {
+        let cycle = self.pg.cycles().ok()?.get(s as usize)?;
+        let dim = if inputs { self.cycle_in_dim(s, from)? } else { self.cycle_out_dim(s, from)? };
+        out.assign_identity(dim);
+        let mut tmp = scratch.pool.take();
+        for a in 0..n {
+            let (k, i) = cycle.edge_at(from + a);
+            let Some(m) = self.step_mat(k, i, inputs) else {
+                scratch.pool.put(tmp);
+                return None;
+            };
+            out.matmul_into(m.as_ref(), &mut tmp);
+            std::mem::swap(out, &mut tmp);
+        }
+        scratch.pool.put(tmp);
+        Some(())
+    }
+
+    /// The chain product `P_t(count)`, written into `out`.
+    fn chain_into(
+        &self,
+        scratch: &mut QueryScratch,
+        s: u32,
+        t: usize,
+        count: u64,
+        inputs: bool,
+        out: &mut BoolMat,
+    ) -> Option<()> {
         let cycle = self.pg.cycles().ok()?.get(s as usize)?;
         let l = cycle.len();
         let t = t % l;
-        let dim = if inputs { self.cycle_in_dim(s, t)? } else { self.cycle_out_dim(s, t)? };
         if count == 0 {
-            return Some(BoolMat::identity(dim));
+            let dim = if inputs { self.cycle_in_dim(s, t)? } else { self.cycle_out_dim(s, t)? };
+            out.assign_identity(dim);
+            return Some(());
         }
         // Query-Efficient: O(1) via prefix products + power cache (§4.4.3).
         if let Some(cache) = self.vl.cycle_cache(s) {
@@ -99,87 +202,131 @@ impl<'a> DecodeCtx<'a> {
             } else {
                 (cache.o_power[t].power(q), &cache.o_prefix[t][r])
             };
-            return Some(power.matmul(prefix));
+            power.matmul_into(prefix, out);
+            return Some(());
         }
-        // Default / Space-Efficient: assemble per-step matrices, then use
-        // divide-and-conquer exponentiation for the full-cycle part.
-        let step = |pos: usize| -> Option<Cow<'_, BoolMat>> {
-            let (k, i) = cycle.edge_at(pos);
-            if inputs {
-                self.vl.i_mat(self.grammar, k, i)
-            } else {
-                self.vl.o_mat(self.grammar, k, i)
-            }
-        };
-        let partial = |from: usize, n: usize| -> Option<BoolMat> {
-            let mut acc = BoolMat::identity(if inputs {
-                self.cycle_in_dim(s, from)?
-            } else {
-                self.cycle_out_dim(s, from)?
-            });
-            for a in 0..n {
-                acc = acc.matmul(step(from + a)?.as_ref());
-            }
-            Some(acc)
-        };
+        // Default / Space-Efficient: assemble per-step matrices; the
+        // full-cycle part X_t^q comes from the session's power memo, so
+        // each distinct q is exponentiated once per session.
         if count < l as u64 {
-            return partial(t, count as usize);
+            return self.partial_into(scratch, s, t, count as usize, inputs, out);
         }
-        let x_t = partial(t, l)?;
         let q = count / l as u64;
         let r = (count % l as u64) as usize;
-        Some(pow(&x_t, q).matmul(&partial(t, r)?))
+        let key = (self.vl.uid(), s, t as u32, inputs);
+        // Ensure X_t^q is memoized, computing X_t only on a miss.
+        if scratch.memo.get(&key).and_then(|m| m.cached(q)).is_none() {
+            let mut x_t = scratch.pool.take();
+            let built = self.partial_into(scratch, s, t, l, inputs, &mut x_t).map(|()| {
+                let QueryScratch { pool, memo } = scratch;
+                memo.entry(key).or_default().power(&x_t, q, pool);
+            });
+            scratch.pool.put(x_t);
+            built?;
+        }
+        let mut prefix = scratch.pool.take();
+        let res = self.partial_into(scratch, s, t, r, inputs, &mut prefix).map(|()| {
+            let power = scratch.memo[&key].cached(q).expect("exponent was just memoized");
+            power.matmul_into(&prefix, out);
+        });
+        scratch.pool.put(prefix);
+        res
     }
 
-    /// Left-fold of `Inputs` matrices over a path suffix, starting from the
-    /// identity on `init_dim` ports.
-    fn fold_inputs(&self, labels: &[EdgeLabel], init_dim: usize) -> Option<BoolMat> {
-        let mut acc = BoolMat::identity(init_dim);
-        for e in labels {
-            acc = acc.matmul(self.inputs_of(e)?.as_ref());
-        }
-        Some(acc)
-    }
-
-    fn fold_outputs(&self, labels: &[EdgeLabel], init_dim: usize) -> Option<BoolMat> {
-        let mut acc = BoolMat::identity(init_dim);
-        for e in labels {
-            acc = acc.matmul(self.outputs_of(e)?.as_ref());
-        }
-        Some(acc)
+    /// Left-fold of `Inputs` (`inputs = true`) or `Outputs` matrices over a
+    /// path suffix, starting from the identity on `init_dim` ports.
+    fn fold_into(
+        &self,
+        scratch: &mut QueryScratch,
+        labels: &[EdgeLabel],
+        init_dim: usize,
+        inputs: bool,
+        out: &mut BoolMat,
+    ) -> Option<()> {
+        out.assign_identity(init_dim);
+        let mut tmp = scratch.pool.take();
+        let mut chain = scratch.pool.take();
+        let res = (|| {
+            for e in labels {
+                match *e {
+                    EdgeLabel::Plain { k, i } => {
+                        let m = self.step_mat(k, i, inputs)?;
+                        out.matmul_into(m.as_ref(), &mut tmp);
+                    }
+                    EdgeLabel::Rec { s, t, i } => {
+                        self.chain_into(scratch, s, t as usize, i, inputs, &mut chain)?;
+                        out.matmul_into(&chain, &mut tmp);
+                    }
+                }
+                std::mem::swap(out, &mut tmp);
+            }
+            Some(())
+        })();
+        scratch.pool.put(tmp);
+        scratch.pool.put(chain);
+        res
     }
 }
 
 /// Algorithm 2: `π(φr(d1), φr(d2), φv(U))` — true iff `d2` depends on `d1`
 /// w.r.t. the view. `None` when a label refers outside the view.
+///
+/// Convenience wrapper building a throwaway [`QueryScratch`]; serving paths
+/// use [`pi_with`] (via [`crate::FvlSession`] or the `wf-engine` batch
+/// engine) to reuse buffers and the chain-power memo across queries.
 pub fn pi(ctx: &DecodeCtx<'_>, d1: &DataLabel, d2: &DataLabel) -> Option<bool> {
+    let mut scratch = QueryScratch::new();
+    pi_with(ctx, &mut scratch, d1.to_ref(), d2.to_ref())
+}
+
+/// Algorithm 2 over borrowed labels with caller-owned scratch state — the
+/// allocation-free (in steady state) serving form of [`pi`].
+pub fn pi_with(
+    ctx: &DecodeCtx<'_>,
+    scratch: &mut QueryScratch,
+    d1: LabelRef<'_>,
+    d2: LabelRef<'_>,
+) -> Option<bool> {
     // Case I: d1 is a final output or d2 is an initial input.
-    let Some(i1) = &d1.inp else { return Some(false) };
-    let Some(o2) = &d2.out else { return Some(false) };
-    match (&d1.out, &d2.inp) {
+    let Some(i1) = d1.inp else { return Some(false) };
+    let Some(o2) = d2.out else { return Some(false) };
+    match (d1.out, d2.inp) {
         // Case II: initial input -> final output: λ*(S) decides directly.
         (None, None) => Some(ctx.vl.lambda_star_s().get(i1.port as usize, o2.port as usize)),
         // Case III: initial input -> intermediate: chain the I-matrices
         // down d2's consumer path.
         (None, Some(i2)) => {
-            let m = ctx.fold_inputs(&i2.path, ctx.vl.lambda_star_s().rows())?;
-            Some(m.get(i1.port as usize, i2.port as usize))
+            let mut m = scratch.pool.take();
+            let res = ctx
+                .fold_into(scratch, i2.path, ctx.vl.lambda_star_s().rows(), true, &mut m)
+                .map(|()| m.get(i1.port as usize, i2.port as usize));
+            scratch.pool.put(m);
+            res
         }
         // Case IV: intermediate -> final output: chain O-matrices down d1's
         // producer path (reversed orientation).
         (Some(o1), None) => {
-            let m = ctx.fold_outputs(&o1.path, ctx.vl.lambda_star_s().cols())?;
-            Some(m.get(o2.port as usize, o1.port as usize))
+            let mut m = scratch.pool.take();
+            let res = ctx
+                .fold_into(scratch, o1.path, ctx.vl.lambda_star_s().cols(), false, &mut m)
+                .map(|()| m.get(o2.port as usize, o1.port as usize));
+            scratch.pool.put(m);
+            res
         }
         // Main cases: both intermediate.
-        (Some(o1), Some(i2)) => main_case(ctx, o1, i2),
+        (Some(o1), Some(i2)) => main_case(ctx, scratch, o1, i2),
     }
 }
 
-fn main_case(ctx: &DecodeCtx<'_>, o1: &PortLabel, i2: &PortLabel) -> Option<bool> {
-    let l1 = &o1.path;
-    let l2 = &i2.path;
-    let div = o1.common_prefix_len(i2);
+fn main_case(
+    ctx: &DecodeCtx<'_>,
+    scratch: &mut QueryScratch,
+    o1: PortRef<'_>,
+    i2: PortRef<'_>,
+) -> Option<bool> {
+    let l1 = o1.path;
+    let l2 = i2.path;
+    let div = o1.common_prefix_len(&i2);
     // Case 1: same node or ancestor/descendant — an output port never
     // reaches back inside its own module's expansion.
     if div == l1.len() || div == l2.len() {
@@ -192,17 +339,31 @@ fn main_case(ctx: &DecodeCtx<'_>, o1: &PortLabel, i2: &PortLabel) -> Option<bool
             if i >= j {
                 return Some(false); // Z(k,i,j) is empty for i ≥ j
             }
-            let o = ctx.fold_outputs(&l1[div + 1..], ctx.out_dim(k, i))?;
             let z = ctx.vl.z_mat(ctx.grammar, k, i, j)?;
-            let im = ctx.fold_inputs(&l2[div + 1..], ctx.in_dim(k, j))?;
-            let res = o.transpose().matmul(z.as_ref()).matmul(&im);
-            Some(res.get(o1.port as usize, i2.port as usize))
+            let mut o = scratch.pool.take();
+            let mut im = scratch.pool.take();
+            let mut t1 = scratch.pool.take();
+            let mut t2 = scratch.pool.take();
+            // Oᵀ × Z × I, evaluated through pooled temporaries; the closure
+            // keeps every taken buffer on the put path even when a fold
+            // bails out of the view.
+            let res = (|| {
+                ctx.fold_into(scratch, &l1[div + 1..], ctx.out_dim(k, i), false, &mut o)?;
+                ctx.fold_into(scratch, &l2[div + 1..], ctx.in_dim(k, j), true, &mut im)?;
+                o.transpose_into(&mut t1);
+                t1.matmul_into(z.as_ref(), &mut t2);
+                t2.matmul_into(&im, &mut t1);
+                Some(t1.get(o1.port as usize, i2.port as usize))
+            })();
+            for m in [o, im, t1, t2] {
+                scratch.pool.put(m);
+            }
+            res
         }
         // Case 2b: the least common ancestor is a recursive node.
         (EdgeLabel::Rec { s, t, i: a }, EdgeLabel::Rec { s: s2, t: t2, i: b }) => {
             debug_assert_eq!((s, t), (s2, t2), "chain siblings share their recursion");
             let cycle = ctx.pg.cycles().ok()?.get(s as usize)?;
-            let _l = cycle.len();
             if a < b {
                 // d1's branch is an ancestor level of d2's chain position.
                 if l1.len() == div + 1 {
@@ -217,13 +378,29 @@ fn main_case(ctx: &DecodeCtx<'_>, o1: &PortLabel, i2: &PortLabel) -> Option<bool
                 if ip >= jp {
                     return Some(false); // Z(k', i', j') is empty
                 }
-                let o = ctx.fold_outputs(&l1[div + 2..], ctx.out_dim(kp, ip))?;
                 let z = ctx.vl.z_mat(ctx.grammar, kp, ip, jp)?;
-                let i_chain = ctx.inputs_chain(s, t as usize + a as usize + 1, b - a - 1)?;
-                let i_fold =
-                    ctx.fold_inputs(&l2[div + 1..], ctx.cycle_in_dim(s, t as usize + b as usize)?)?;
-                let res = o.transpose().matmul(z.as_ref()).matmul(&i_chain).matmul(&i_fold);
-                Some(res.get(o1.port as usize, i2.port as usize))
+                let in_dim = ctx.cycle_in_dim(s, t as usize + b as usize)?;
+                let mut o = scratch.pool.take();
+                let mut i_chain = scratch.pool.take();
+                let mut i_fold = scratch.pool.take();
+                let mut t1 = scratch.pool.take();
+                let mut t2 = scratch.pool.take();
+                // Oᵀ × Z × chain × I (buffers pooled on every exit path).
+                let res = (|| {
+                    ctx.fold_into(scratch, &l1[div + 2..], ctx.out_dim(kp, ip), false, &mut o)?;
+                    let start = t as usize + a as usize + 1;
+                    ctx.chain_into(scratch, s, start, b - a - 1, true, &mut i_chain)?;
+                    ctx.fold_into(scratch, &l2[div + 1..], in_dim, true, &mut i_fold)?;
+                    o.transpose_into(&mut t1);
+                    t1.matmul_into(z.as_ref(), &mut t2);
+                    t2.matmul_into(&i_chain, &mut t1);
+                    t1.matmul_into(&i_fold, &mut t2);
+                    Some(t2.get(o1.port as usize, i2.port as usize))
+                })();
+                for m in [o, i_chain, i_fold, t1, t2] {
+                    scratch.pool.put(m);
+                }
+                res
             } else {
                 // a > b: d2's branch is the ancestor level.
                 if l2.len() == div + 1 {
@@ -238,13 +415,29 @@ fn main_case(ctx: &DecodeCtx<'_>, o1: &PortLabel, i2: &PortLabel) -> Option<bool
                 if jq >= iq {
                     return Some(false); // Z(k'', j'', i'') is empty
                 }
-                let o_chain = ctx.outputs_chain(s, t as usize + b as usize + 1, a - b - 1)?;
-                let o_fold = ctx
-                    .fold_outputs(&l1[div + 1..], ctx.cycle_out_dim(s, t as usize + a as usize)?)?;
                 let z = ctx.vl.z_mat(ctx.grammar, kq, jq, iq)?;
-                let i_fold = ctx.fold_inputs(&l2[div + 2..], ctx.in_dim(kq, iq))?;
-                let res = o_chain.matmul(&o_fold).transpose().matmul(z.as_ref()).matmul(&i_fold);
-                Some(res.get(o1.port as usize, i2.port as usize))
+                let out_dim = ctx.cycle_out_dim(s, t as usize + a as usize)?;
+                let mut o_chain = scratch.pool.take();
+                let mut o_fold = scratch.pool.take();
+                let mut i_fold = scratch.pool.take();
+                let mut t1 = scratch.pool.take();
+                let mut t2 = scratch.pool.take();
+                // (chain × O)ᵀ × Z × I (buffers pooled on every exit path).
+                let res = (|| {
+                    let start = t as usize + b as usize + 1;
+                    ctx.chain_into(scratch, s, start, a - b - 1, false, &mut o_chain)?;
+                    ctx.fold_into(scratch, &l1[div + 1..], out_dim, false, &mut o_fold)?;
+                    ctx.fold_into(scratch, &l2[div + 2..], ctx.in_dim(kq, iq), true, &mut i_fold)?;
+                    o_chain.matmul_into(&o_fold, &mut t1);
+                    t1.transpose_into(&mut t2);
+                    t2.matmul_into(z.as_ref(), &mut t1);
+                    t1.matmul_into(&i_fold, &mut t2);
+                    Some(t2.get(o1.port as usize, i2.port as usize))
+                })();
+                for m in [o_chain, o_fold, i_fold, t1, t2] {
+                    scratch.pool.put(m);
+                }
+                res
             }
         }
         _ => {

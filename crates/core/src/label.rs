@@ -22,6 +22,29 @@ impl PortLabel {
     pub fn common_prefix_len(&self, other: &PortLabel) -> usize {
         self.path.iter().zip(&other.path).take_while(|(a, b)| a == b).count()
     }
+
+    /// A borrowed view of this port label for the slice-based query path.
+    #[inline]
+    pub fn to_ref(&self) -> PortRef<'_> {
+        PortRef { path: &self.path, port: self.port }
+    }
+}
+
+/// A borrowed port label: the form the decoding predicate actually
+/// evaluates. Owning [`PortLabel`]s convert via [`PortLabel::to_ref`];
+/// interned stores (the `wf-engine` label store) build these directly over
+/// their own path storage, so querying never materializes owned labels.
+#[derive(Clone, Copy, Debug)]
+pub struct PortRef<'a> {
+    pub path: &'a [EdgeLabel],
+    pub port: u8,
+}
+
+impl PortRef<'_> {
+    /// See [`PortLabel::common_prefix_len`].
+    pub fn common_prefix_len(&self, other: &PortRef<'_>) -> usize {
+        self.path.iter().zip(other.path).take_while(|(a, b)| a == b).count()
+    }
 }
 
 /// The label of a data item: producer-side and consumer-side port labels.
@@ -55,6 +78,23 @@ impl DataLabel {
     pub fn is_final_output(&self) -> bool {
         self.inp.is_none()
     }
+
+    /// A borrowed view of this label for the slice-based query path.
+    #[inline]
+    pub fn to_ref(&self) -> LabelRef<'_> {
+        LabelRef {
+            out: self.out.as_ref().map(PortLabel::to_ref),
+            inp: self.inp.as_ref().map(PortLabel::to_ref),
+        }
+    }
+}
+
+/// A borrowed data label ([`DataLabel`] is the owning form). `Copy`, so the
+/// query entry points take it by value.
+#[derive(Clone, Copy, Debug)]
+pub struct LabelRef<'a> {
+    pub out: Option<PortRef<'a>>,
+    pub inp: Option<PortRef<'a>>,
 }
 
 #[cfg(test)]

@@ -40,8 +40,10 @@ pub mod viewlabel;
 pub mod visibility;
 
 pub use codec::LabelCodec;
+pub use decode::{pi, pi_with, DecodeCtx, QueryScratch};
 pub use error::FvlError;
-pub use label::{DataLabel, PortLabel};
+pub use label::{DataLabel, LabelRef, PortLabel, PortRef};
 pub use labeler::RunLabeler;
-pub use scheme::Fvl;
+pub use scheme::{Fvl, FvlSession};
 pub use viewlabel::{VariantKind, ViewLabel};
+pub use visibility::{is_visible, is_visible_ref};

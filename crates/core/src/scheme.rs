@@ -2,12 +2,12 @@
 //! view labeling and querying.
 
 use crate::codec::LabelCodec;
-use crate::decode::{pi, structural, DecodeCtx};
+use crate::decode::{pi_with, structural, DecodeCtx, QueryScratch};
 use crate::error::FvlError;
-use crate::label::DataLabel;
+use crate::label::{DataLabel, LabelRef};
 use crate::labeler::RunLabeler;
 use crate::viewlabel::{VariantKind, ViewLabel};
-use crate::visibility::is_visible;
+use crate::visibility::{is_visible, is_visible_ref};
 use wf_analysis::{classify_with, ProdGraph, RecursionClass};
 use wf_model::{ModuleId, Spec, View, ViewSpec};
 use wf_run::Run;
@@ -62,26 +62,69 @@ impl<'a> Fvl<'a> {
     }
 
     /// Statically labels a view (§4.3). Fails on unsafe views (Theorem 1).
-    pub fn label_view(&self, view: &'a View, kind: VariantKind) -> Result<ViewLabel, FvlError> {
+    pub fn label_view(&self, view: &View, kind: VariantKind) -> Result<ViewLabel, FvlError> {
         let vs = ViewSpec::new(self.spec, view);
         ViewLabel::build(&vs, &self.pg, kind)
     }
 
+    /// Opens a query session against one view label: the [`DecodeCtx`] is
+    /// built once and a [`QueryScratch`] is reused across every query, so
+    /// steady-state querying allocates nothing. This is the serving path;
+    /// [`Fvl::query`] is the one-shot convenience form.
+    pub fn session<'s>(&'s self, vl: &'s ViewLabel) -> FvlSession<'s> {
+        FvlSession {
+            ctx: DecodeCtx::new(&self.spec.grammar, &self.pg, vl),
+            scratch: QueryScratch::new(),
+        }
+    }
+
     /// π with a visibility pre-check: `None` iff either item is invisible
     /// in the view; otherwise the (constant-time) dependency answer.
+    ///
+    /// Convenience wrapper: rebuilds the decode context and scratch per
+    /// call. Many-query workloads should hold an [`FvlSession`] (or pass a
+    /// scratch to [`Fvl::query_with`]) instead.
     pub fn query(&self, vl: &ViewLabel, d1: &DataLabel, d2: &DataLabel) -> Option<bool> {
+        let mut scratch = QueryScratch::new();
+        self.query_with(vl, &mut scratch, d1, d2)
+    }
+
+    /// [`Fvl::query`] with caller-owned scratch state. One scratch may be
+    /// shared across any mix of view labels: its chain memo is keyed by
+    /// [`ViewLabel::uid`], so views can never poison each other's entries
+    /// ([`QueryScratch::clear_memo`] merely bounds long-session memory).
+    pub fn query_with(
+        &self,
+        vl: &ViewLabel,
+        scratch: &mut QueryScratch,
+        d1: &DataLabel,
+        d2: &DataLabel,
+    ) -> Option<bool> {
         if !is_visible(d1, vl, &self.pg) || !is_visible(d2, vl, &self.pg) {
             return None;
         }
         let ctx = DecodeCtx::new(&self.spec.grammar, &self.pg, vl);
-        pi(&ctx, d1, d2)
+        pi_with(&ctx, scratch, d1.to_ref(), d2.to_ref())
     }
 
     /// Raw π without the visibility pre-check (benchmark hot path; only
-    /// meaningful for visible items).
+    /// meaningful for visible items). One-shot convenience form.
     pub fn query_unchecked(&self, vl: &ViewLabel, d1: &DataLabel, d2: &DataLabel) -> Option<bool> {
+        let mut scratch = QueryScratch::new();
+        self.query_unchecked_with(vl, &mut scratch, d1, d2)
+    }
+
+    /// [`Fvl::query_unchecked`] with caller-owned scratch state (same
+    /// share-freely semantics as [`Fvl::query_with`]).
+    pub fn query_unchecked_with(
+        &self,
+        vl: &ViewLabel,
+        scratch: &mut QueryScratch,
+        d1: &DataLabel,
+        d2: &DataLabel,
+    ) -> Option<bool> {
         let ctx = DecodeCtx::new(&self.spec.grammar, &self.pg, vl);
-        pi(&ctx, d1, d2)
+        pi_with(&ctx, scratch, d1.to_ref(), d2.to_ref())
     }
 
     /// Builds the Matrix-Free structural index for a black-box view (§6.4).
@@ -104,6 +147,48 @@ impl<'a> Fvl<'a> {
 
     pub fn is_visible(&self, vl: &ViewLabel, d: &DataLabel) -> bool {
         is_visible(d, vl, &self.pg)
+    }
+}
+
+/// A query session: one [`DecodeCtx`] (built once per view) plus one
+/// [`QueryScratch`] reused across queries. In steady state — once the pool
+/// has warmed up and every distinct recursion-chain exponent has been seen —
+/// a query performs no allocation at all.
+pub struct FvlSession<'s> {
+    ctx: DecodeCtx<'s>,
+    scratch: QueryScratch,
+}
+
+impl<'s> FvlSession<'s> {
+    /// The view label this session serves.
+    pub fn view_label(&self) -> &'s ViewLabel {
+        self.ctx.vl
+    }
+
+    /// π with the visibility pre-check (see [`Fvl::query`]).
+    pub fn query(&mut self, d1: &DataLabel, d2: &DataLabel) -> Option<bool> {
+        self.query_ref(d1.to_ref(), d2.to_ref())
+    }
+
+    /// Raw π without the visibility pre-check.
+    pub fn query_unchecked(&mut self, d1: &DataLabel, d2: &DataLabel) -> Option<bool> {
+        pi_with(&self.ctx, &mut self.scratch, d1.to_ref(), d2.to_ref())
+    }
+
+    /// [`FvlSession::query`] over borrowed labels (what interned label
+    /// stores feed in without materializing owned labels).
+    pub fn query_ref(&mut self, d1: LabelRef<'_>, d2: LabelRef<'_>) -> Option<bool> {
+        if !is_visible_ref(d1, self.ctx.vl, self.ctx.pg)
+            || !is_visible_ref(d2, self.ctx.vl, self.ctx.pg)
+        {
+            return None;
+        }
+        pi_with(&self.ctx, &mut self.scratch, d1, d2)
+    }
+
+    /// Session scratch diagnostics: (pooled matrices, memoized powers).
+    pub fn scratch_stats(&self) -> (usize, usize) {
+        (self.scratch.pooled_mats(), self.scratch.memoized_powers())
     }
 }
 
@@ -141,5 +226,44 @@ mod tests {
         let d21 = labeler.label(ids.d21);
         assert_eq!(fvl.query(&vl2, d21, d31), None);
         assert!(fvl.query(&vl1, d21, d31).is_some());
+    }
+
+    /// A session must answer exactly like the one-shot path, for every pair
+    /// of the Figure 3 run under all three variants, and settle into an
+    /// allocation-free steady state (pool/memo sizes stop growing).
+    #[test]
+    fn session_agrees_with_one_shot_queries() {
+        let ex = paper_example();
+        let fvl = Fvl::new(&ex.spec).unwrap();
+        let (run, _) = figure3_run(&ex);
+        let labeler = fvl.labeler(&run);
+        let labels = labeler.labels();
+        let u1 = ex.view_u1();
+        for kind in [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient]
+        {
+            let vl = fvl.label_view(&u1, kind).unwrap();
+            let mut session = fvl.session(&vl);
+            for d1 in labels {
+                for d2 in labels {
+                    assert_eq!(session.query(d1, d2), fvl.query(&vl, d1, d2), "{kind:?}");
+                }
+            }
+            // One more sweep finishes warm-up (memo insertions during the
+            // first sweep move pool buffers into the memo, so the pool can
+            // still top up once); after that the scratch must be at a fixed
+            // point — no growth, i.e. no allocations, in steady state.
+            for d1 in labels {
+                for d2 in labels {
+                    session.query(d1, d2);
+                }
+            }
+            let warm = session.scratch_stats();
+            for d1 in labels {
+                for d2 in labels {
+                    session.query(d1, d2);
+                }
+            }
+            assert_eq!(session.scratch_stats(), warm, "{kind:?} steady state");
+        }
     }
 }

@@ -23,7 +23,7 @@ use wf_boolmat::{BoolMat, PowerCache};
 use wf_model::{DepAssignment, Grammar, ProdId, ViewSpec};
 
 /// Which §6.3 variant a view label was built as.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum VariantKind {
     SpaceEfficient,
     Default,
@@ -44,8 +44,16 @@ pub struct CycleCache {
     pub o_power: Vec<PowerCache>,
 }
 
+/// Process-unique label ids (see [`ViewLabel::uid`]).
+static NEXT_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn fresh_uid() -> u64 {
+    NEXT_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// The label of one view.
 pub struct ViewLabel {
+    uid: u64,
     kind: VariantKind,
     /// λ\* of the view — covers every derivable module.
     lambda: DepAssignment,
@@ -81,7 +89,7 @@ impl ViewLabel {
         };
 
         let cycles = build_cycle_caches(grammar, pg, kind, &active, &mats)?;
-        Ok(Self { kind, lambda, lambda_s, active, mats, cycles })
+        Ok(Self { uid: fresh_uid(), kind, lambda, lambda_s, active, mats, cycles })
     }
 
     /// Assembles a view label from externally computed parts — used by the
@@ -97,7 +105,16 @@ impl ViewLabel {
     ) -> Self {
         let cycles = build_cycle_caches(grammar, pg, kind, &active, &mats)
             .expect("caller guarantees strict linearity");
-        Self { kind, lambda, lambda_s, active, mats, cycles }
+        Self { uid: fresh_uid(), kind, lambda, lambda_s, active, mats, cycles }
+    }
+
+    /// A process-unique id of this label. Session scratch keys its
+    /// recursion-chain power memo by this, so one scratch can serve any
+    /// interleaving of views without cross-view poisoning (and without an
+    /// address-based tag, which the allocator could recycle).
+    #[inline]
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     #[inline]

@@ -7,13 +7,13 @@
 //! position `i` requires the cycle productions along its first `min(i, l)`
 //! steps to be active.
 
-use crate::label::{DataLabel, PortLabel};
+use crate::label::{DataLabel, LabelRef};
 use crate::viewlabel::ViewLabel;
 use wf_analysis::ProdGraph;
 use wf_run::EdgeLabel;
 
-fn port_visible(p: &PortLabel, vl: &ViewLabel, pg: &ProdGraph) -> bool {
-    p.path.iter().all(|e| match *e {
+fn path_visible(path: &[EdgeLabel], vl: &ViewLabel, pg: &ProdGraph) -> bool {
+    path.iter().all(|e| match *e {
         EdgeLabel::Plain { k, .. } => vl.prod_active(k),
         EdgeLabel::Rec { s, t, i } => {
             let Ok(cycles) = pg.cycles() else { return false };
@@ -26,7 +26,13 @@ fn port_visible(p: &PortLabel, vl: &ViewLabel, pg: &ProdGraph) -> bool {
 
 /// True iff the data item is part of the view of its run.
 pub fn is_visible(d: &DataLabel, vl: &ViewLabel, pg: &ProdGraph) -> bool {
-    d.out.iter().all(|p| port_visible(p, vl, pg)) && d.inp.iter().all(|p| port_visible(p, vl, pg))
+    is_visible_ref(d.to_ref(), vl, pg)
+}
+
+/// [`is_visible`] over a borrowed label (the serving-path form).
+pub fn is_visible_ref(d: LabelRef<'_>, vl: &ViewLabel, pg: &ProdGraph) -> bool {
+    d.out.iter().all(|p| path_visible(p.path, vl, pg))
+        && d.inp.iter().all(|p| path_visible(p.path, vl, pg))
 }
 
 #[cfg(test)]

@@ -1,0 +1,178 @@
+//! The batched query engine tying registry, store and scratch together.
+
+use crate::registry::{ViewId, ViewRef, ViewRegistry};
+use crate::store::{ItemId, LabelStore};
+use wf_core::{
+    is_visible_ref, pi_with, DataLabel, DecodeCtx, Fvl, FvlError, LabelRef, QueryScratch,
+    VariantKind,
+};
+use wf_model::View;
+use wf_run::EdgeLabel;
+
+/// A query-serving engine over one [`Fvl`] scheme: many views, one interned
+/// label store, one reusable scratch.
+///
+/// The serving shape the paper's constant-time bound actually pays off in
+/// is *many queries against one view* — repository search, lineage
+/// tracing, per-view provenance feeds. `QueryEngine` serves that shape
+/// allocation-free in steady state: the [`DecodeCtx`] per view is implicit
+/// in the registry, path buffers and matrix scratch are engine-owned, and
+/// the chain-power memo is keyed by each compiled label's process-unique
+/// uid — so arbitrarily interleaved views stay warm and can never poison
+/// one another.
+pub struct QueryEngine<'a> {
+    fvl: &'a Fvl<'a>,
+    registry: ViewRegistry,
+    store: LabelStore,
+    scratch: QueryScratch,
+    buf_o1: Vec<EdgeLabel>,
+    buf_i1: Vec<EdgeLabel>,
+    buf_o2: Vec<EdgeLabel>,
+    buf_i2: Vec<EdgeLabel>,
+}
+
+impl<'a> QueryEngine<'a> {
+    pub fn new(fvl: &'a Fvl<'a>) -> Self {
+        Self {
+            fvl,
+            registry: ViewRegistry::new(),
+            store: LabelStore::new(),
+            scratch: QueryScratch::new(),
+            buf_o1: Vec::new(),
+            buf_i1: Vec::new(),
+            buf_o2: Vec::new(),
+            buf_i2: Vec::new(),
+        }
+    }
+
+    pub fn fvl(&self) -> &'a Fvl<'a> {
+        self.fvl
+    }
+
+    pub fn store(&self) -> &LabelStore {
+        &self.store
+    }
+
+    pub fn registry(&self) -> &ViewRegistry {
+        &self.registry
+    }
+
+    /// Registers a view without compiling any variant yet.
+    pub fn add_view(&mut self, view: View) -> ViewId {
+        self.registry.add_view(view)
+    }
+
+    /// Compiles one `(view, variant)` label (idempotent); the returned
+    /// handle is what queries are issued against.
+    pub fn compile(&mut self, id: ViewId, kind: VariantKind) -> Result<ViewRef, FvlError> {
+        self.registry.compile(self.fvl, id, kind)
+    }
+
+    /// Register + compile in one step.
+    pub fn register_view(&mut self, view: View, kind: VariantKind) -> Result<ViewRef, FvlError> {
+        let id = self.registry.add_view(view);
+        self.registry.compile(self.fvl, id, kind)
+    }
+
+    /// Interns one data label.
+    pub fn insert_label(&mut self, d: &DataLabel) -> ItemId {
+        self.store.insert(d)
+    }
+
+    /// Interns a run's labels in order (so ids align with `DataId`s).
+    pub fn insert_labels(&mut self, labels: &[DataLabel]) -> Vec<ItemId> {
+        self.store.insert_all(labels)
+    }
+
+    /// One dependency query: does `b` depend on `a` under the view?
+    /// `None` iff either item is invisible in the view. Semantics match
+    /// [`Fvl::query`] exactly; only the cost model differs.
+    ///
+    /// Panics if `view` was never compiled in this engine.
+    pub fn query(&mut self, view: ViewRef, a: ItemId, b: ItemId) -> Option<bool> {
+        let vl = self.registry.label(view).expect("view compiled in this engine");
+        let ctx = DecodeCtx::new(&self.fvl.spec().grammar, self.fvl.prod_graph(), vl);
+        let r1 = self.store.label_ref(a, &mut self.buf_o1, &mut self.buf_i1);
+        let r2 = self.store.label_ref(b, &mut self.buf_o2, &mut self.buf_i2);
+        query_one(&ctx, &mut self.scratch, r1, r2)
+    }
+
+    /// Answers a batch of pairs into a caller-owned buffer (cleared first);
+    /// steady state performs no allocation. One visibility check + π per
+    /// pair, context setup and memo warm-up amortized across the batch.
+    pub fn query_batch_into(
+        &mut self,
+        view: ViewRef,
+        pairs: &[(ItemId, ItemId)],
+        out: &mut Vec<Option<bool>>,
+    ) {
+        out.clear();
+        let vl = self.registry.label(view).expect("view compiled in this engine");
+        let ctx = DecodeCtx::new(&self.fvl.spec().grammar, self.fvl.prod_graph(), vl);
+        for &(a, b) in pairs {
+            let r1 = self.store.label_ref(a, &mut self.buf_o1, &mut self.buf_i1);
+            let r2 = self.store.label_ref(b, &mut self.buf_o2, &mut self.buf_i2);
+            out.push(query_one(&ctx, &mut self.scratch, r1, r2));
+        }
+    }
+
+    /// Allocating convenience form of [`QueryEngine::query_batch_into`].
+    pub fn query_batch(&mut self, view: ViewRef, pairs: &[(ItemId, ItemId)]) -> Vec<Option<bool>> {
+        let mut out = Vec::with_capacity(pairs.len());
+        self.query_batch_into(view, pairs, &mut out);
+        out
+    }
+
+    /// Sweeps every ordered pair of `items`, collecting the dependent ones
+    /// (`query == Some(true)`) into `out` (cleared first).
+    pub fn all_pairs_into(
+        &mut self,
+        view: ViewRef,
+        items: &[ItemId],
+        out: &mut Vec<(ItemId, ItemId)>,
+    ) {
+        out.clear();
+        let vl = self.registry.label(view).expect("view compiled in this engine");
+        let ctx = DecodeCtx::new(&self.fvl.spec().grammar, self.fvl.prod_graph(), vl);
+        for &a in items {
+            let r1 = self.store.label_ref(a, &mut self.buf_o1, &mut self.buf_i1);
+            if !is_visible_ref(r1, ctx.vl, ctx.pg) {
+                continue;
+            }
+            for &b in items {
+                let r2 = self.store.label_ref(b, &mut self.buf_o2, &mut self.buf_i2);
+                if !is_visible_ref(r2, ctx.vl, ctx.pg) {
+                    continue;
+                }
+                if pi_with(&ctx, &mut self.scratch, r1, r2) == Some(true) {
+                    out.push((a, b));
+                }
+            }
+        }
+    }
+
+    /// Allocating convenience form of [`QueryEngine::all_pairs_into`].
+    pub fn all_pairs(&mut self, view: ViewRef, items: &[ItemId]) -> Vec<(ItemId, ItemId)> {
+        let mut out = Vec::new();
+        self.all_pairs_into(view, items, &mut out);
+        out
+    }
+
+    /// Scratch diagnostics: (pooled matrices, memoized chain powers).
+    pub fn scratch_stats(&self) -> (usize, usize) {
+        (self.scratch.pooled_mats(), self.scratch.memoized_powers())
+    }
+}
+
+/// Visibility pre-check + π — the shared per-pair kernel.
+fn query_one(
+    ctx: &DecodeCtx<'_>,
+    scratch: &mut QueryScratch,
+    r1: LabelRef<'_>,
+    r2: LabelRef<'_>,
+) -> Option<bool> {
+    if !is_visible_ref(r1, ctx.vl, ctx.pg) || !is_visible_ref(r2, ctx.vl, ctx.pg) {
+        return None;
+    }
+    pi_with(ctx, scratch, r1, r2)
+}

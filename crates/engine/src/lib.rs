@@ -1,0 +1,49 @@
+//! `wf-engine` — the batched, allocation-free query-serving layer over FVL.
+//!
+//! The paper proves π answers a dependency query in constant time from
+//! compact labels (§4.4, Theorem 10); this crate makes that constant small
+//! under the workload shape a provenance service actually faces: *many
+//! queries against few views over one labeled run*. Three pieces:
+//!
+//! * [`ViewRegistry`] — views registered once, their [`wf_core::ViewLabel`]s
+//!   precompiled per §6.3 variant and addressed by dense [`ViewRef`]s;
+//! * [`LabelStore`] — data labels interned with trie-shared path prefixes
+//!   and addressed by dense [`ItemId`]s;
+//! * [`QueryEngine`] — `query` / `query_batch` / `all_pairs` entry points
+//!   threading one reusable [`wf_core::QueryScratch`] through the
+//!   scratch-aware decode path ([`wf_core::pi_with`]), so steady-state
+//!   serving performs no heap allocation and Default-variant recursion
+//!   chains are exponentiated once per distinct exponent, not per query.
+//!
+//! Semantics are identical to [`wf_core::Fvl::query`] — the agreement is
+//! enforced by the engine tests here and by the workspace-level property
+//! tests; only the cost model changes.
+//!
+//! ```
+//! use wf_core::{Fvl, VariantKind};
+//! use wf_engine::QueryEngine;
+//! use wf_model::fixtures::paper_example;
+//! use wf_run::fixtures::figure3_run;
+//!
+//! let ex = paper_example();
+//! let fvl = Fvl::new(&ex.spec).unwrap();
+//! let (run, ids) = figure3_run(&ex);
+//! let labeler = fvl.labeler(&run);
+//!
+//! let mut engine = QueryEngine::new(&fvl);
+//! let items = engine.insert_labels(labeler.labels());
+//! let u2 = engine.register_view(ex.view_u2(), VariantKind::Default).unwrap();
+//!
+//! // Example 8 as a batch of one:
+//! let d17 = items[ids.d17.0 as usize];
+//! let d31 = items[ids.d31.0 as usize];
+//! assert_eq!(engine.query_batch(u2, &[(d17, d31)]), vec![Some(true)]);
+//! ```
+
+mod engine;
+mod registry;
+mod store;
+
+pub use engine::QueryEngine;
+pub use registry::{ViewId, ViewRef, ViewRegistry};
+pub use store::{ItemId, LabelStore};

@@ -1,0 +1,133 @@
+//! The view registry: precompiled [`ViewLabel`]s keyed by view id + variant.
+//!
+//! View labels are static per view (§4.3) but expensive relative to a query
+//! — building one walks every active production and, for Query-Efficient,
+//! materializes chain caches. A serving layer therefore compiles each
+//! `(view, variant)` combination exactly once and addresses it by a dense
+//! [`ViewRef`] afterwards. (Scratch-memo soundness across views is carried
+//! by [`ViewLabel::uid`], which every compiled label gets at build time.)
+
+use wf_core::{Fvl, FvlError, VariantKind, ViewLabel};
+use wf_model::View;
+
+/// Dense id of a registered view (assigned by [`ViewRegistry::add_view`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ViewId(pub u32);
+
+/// A compiled `(view, variant)` pair — the handle queries are issued
+/// against.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ViewRef {
+    pub id: ViewId,
+    pub kind: VariantKind,
+}
+
+const VARIANTS: usize = 3;
+
+fn slot(kind: VariantKind) -> usize {
+    match kind {
+        VariantKind::SpaceEfficient => 0,
+        VariantKind::Default => 1,
+        VariantKind::QueryEfficient => 2,
+    }
+}
+
+/// Registered views plus their per-variant compiled labels.
+pub struct ViewRegistry {
+    views: Vec<View>,
+    compiled: Vec<[Option<ViewLabel>; VARIANTS]>,
+}
+
+impl ViewRegistry {
+    pub fn new() -> Self {
+        Self { views: Vec::new(), compiled: Vec::new() }
+    }
+
+    /// Registers a view (uncompiled). The registry owns its copy, so
+    /// engines outlive caller-side view values.
+    pub fn add_view(&mut self, view: View) -> ViewId {
+        let id = ViewId(self.views.len() as u32);
+        self.views.push(view);
+        self.compiled.push([None, None, None]);
+        id
+    }
+
+    pub fn view(&self, id: ViewId) -> &View {
+        &self.views[id.0 as usize]
+    }
+
+    /// Compiles (or reuses) the label of `(id, kind)`. Idempotent: the
+    /// interned label is built at most once per combination.
+    pub fn compile(
+        &mut self,
+        fvl: &Fvl<'_>,
+        id: ViewId,
+        kind: VariantKind,
+    ) -> Result<ViewRef, FvlError> {
+        let cell = &mut self.compiled[id.0 as usize][slot(kind)];
+        if cell.is_none() {
+            *cell = Some(fvl.label_view(&self.views[id.0 as usize], kind)?);
+        }
+        Ok(ViewRef { id, kind })
+    }
+
+    /// The compiled label of a handle (`None` if never compiled).
+    pub fn label(&self, r: ViewRef) -> Option<&ViewLabel> {
+        self.compiled[r.id.0 as usize][slot(r.kind)].as_ref()
+    }
+
+    /// Number of registered views.
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Number of compiled `(view, variant)` labels.
+    pub fn compiled_count(&self) -> usize {
+        self.compiled.iter().flatten().filter(|c| c.is_some()).count()
+    }
+}
+
+impl Default for ViewRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::fixtures::paper_example;
+
+    #[test]
+    fn compile_is_idempotent_and_keyed_by_variant() {
+        let ex = paper_example();
+        let fvl = Fvl::new(&ex.spec).unwrap();
+        let mut reg = ViewRegistry::new();
+        let u1 = reg.add_view(ex.view_u1());
+        let u2 = reg.add_view(ex.view_u2());
+        assert_eq!(reg.view_count(), 2);
+        assert_eq!(reg.compiled_count(), 0);
+
+        let r1 = reg.compile(&fvl, u1, VariantKind::Default).unwrap();
+        let r1b = reg.compile(&fvl, u1, VariantKind::Default).unwrap();
+        assert_eq!(r1, r1b);
+        assert_eq!(reg.compiled_count(), 1, "recompiling the same pair is a no-op");
+
+        let r1q = reg.compile(&fvl, u1, VariantKind::QueryEfficient).unwrap();
+        let r2 = reg.compile(&fvl, u2, VariantKind::Default).unwrap();
+        assert_eq!(reg.compiled_count(), 3);
+        assert!(reg.label(r1).is_some());
+        assert!(reg.label(r1q).is_some());
+        assert!(reg.label(r2).is_some());
+        assert!(reg.label(ViewRef { id: u2, kind: VariantKind::QueryEfficient }).is_none());
+
+        // Compiled labels carry pairwise-distinct uids — what keeps one
+        // scratch's chain-power memo sound across interleaved views.
+        let uids = [
+            reg.label(r1).unwrap().uid(),
+            reg.label(r1q).unwrap().uid(),
+            reg.label(r2).unwrap().uid(),
+        ];
+        assert!(uids[0] != uids[1] && uids[1] != uids[2] && uids[0] != uids[2]);
+    }
+}

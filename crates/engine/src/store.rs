@@ -1,0 +1,211 @@
+//! The interned data-label store: dense [`ItemId`]s over trie-shared paths.
+//!
+//! A provenance service holds the labels of *every* item of a run (often
+//! millions) and serves queries against arbitrary pairs of them. Owning
+//! [`DataLabel`]s store each parse-tree path as its own `Vec<EdgeLabel>`,
+//! even though sibling labels share almost all of their edges — the paper
+//! itself observes that "the size of φr(d) can be reduced almost by half by
+//! factoring out the common prefix" (§4.2.2), and a run's labels
+//! collectively share far more than pairwise prefixes.
+//!
+//! [`LabelStore`] exploits that: paths are interned into a trie keyed by
+//! `(parent node, edge label)`, so every shared prefix — within one label,
+//! across labels, across the whole run — is stored exactly once. A stored
+//! label is then two `(path node, port)` pairs, and an [`ItemId`] is a dense
+//! index suitable for slicing, batching and bitmap bookkeeping.
+
+use std::collections::HashMap;
+use wf_core::{DataLabel, LabelRef, PortLabel, PortRef};
+use wf_run::EdgeLabel;
+
+/// Dense id of a stored data label (assigned in insertion order).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ItemId(pub u32);
+
+/// Sentinel parent of the trie root (the empty path).
+const ROOT: u32 = u32::MAX;
+
+/// One stored label: `(path node, port)` per side, `None` mirroring
+/// [`DataLabel`]'s boundary cases.
+#[derive(Clone, Copy, Debug)]
+struct StoredLabel {
+    out: Option<(u32, u8)>,
+    inp: Option<(u32, u8)>,
+}
+
+/// Interned label storage with shared-prefix paths and dense item ids.
+pub struct LabelStore {
+    /// Trie node → (parent node, edge). Node ids are creation-ordered.
+    nodes: Vec<(u32, EdgeLabel)>,
+    /// `(parent, edge) → node` — the interning index.
+    intern: HashMap<(u32, EdgeLabel), u32>,
+    labels: Vec<StoredLabel>,
+    /// Total edges across all inserted labels *before* sharing (metric).
+    raw_edges: usize,
+}
+
+impl LabelStore {
+    pub fn new() -> Self {
+        Self { nodes: Vec::new(), intern: HashMap::new(), labels: Vec::new(), raw_edges: 0 }
+    }
+
+    /// Interns one label; returns its dense id. Insertion order defines the
+    /// id sequence, so inserting a run's labels in data-item order makes
+    /// `ItemId(i)` coincide with the run's `DataId(i)`.
+    pub fn insert(&mut self, d: &DataLabel) -> ItemId {
+        let id = ItemId(self.labels.len() as u32);
+        let out = d.out.as_ref().map(|p| (self.intern_path(&p.path), p.port));
+        let inp = d.inp.as_ref().map(|p| (self.intern_path(&p.path), p.port));
+        self.labels.push(StoredLabel { out, inp });
+        id
+    }
+
+    /// Interns a slice of labels, returning their ids (in order).
+    pub fn insert_all(&mut self, labels: &[DataLabel]) -> Vec<ItemId> {
+        labels.iter().map(|d| self.insert(d)).collect()
+    }
+
+    fn intern_path(&mut self, path: &[EdgeLabel]) -> u32 {
+        self.raw_edges += path.len();
+        let mut cur = ROOT;
+        for &e in path {
+            cur = match self.intern.get(&(cur, e)) {
+                Some(&n) => n,
+                None => {
+                    let n = self.nodes.len() as u32;
+                    assert!(n < ROOT, "label store trie overflow");
+                    self.nodes.push((cur, e));
+                    self.intern.insert((cur, e), n);
+                    n
+                }
+            };
+        }
+        cur
+    }
+
+    /// Number of stored labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// `(stored trie edges, raw label edges)` — how much the shared-prefix
+    /// trie saved over per-label path storage.
+    pub fn edge_stats(&self) -> (usize, usize) {
+        (self.nodes.len(), self.raw_edges)
+    }
+
+    /// Writes the root→node path into `buf` (cleared first). Reusable-buffer
+    /// form: the serving path materializes into per-engine scratch vectors.
+    fn write_path(&self, mut node: u32, buf: &mut Vec<EdgeLabel>) {
+        buf.clear();
+        while node != ROOT {
+            let (parent, e) = self.nodes[node as usize];
+            buf.push(e);
+            node = parent;
+        }
+        buf.reverse();
+    }
+
+    /// A borrowed [`LabelRef`] over caller-owned path buffers — the form
+    /// [`wf_core::pi_with`] consumes. Ports are copied; paths are
+    /// materialized into `out_buf` / `inp_buf` (tiny: label paths are
+    /// `O(|Δ|)` long, Lemma 4 — reachability matrices dwarf this).
+    pub fn label_ref<'b>(
+        &self,
+        id: ItemId,
+        out_buf: &'b mut Vec<EdgeLabel>,
+        inp_buf: &'b mut Vec<EdgeLabel>,
+    ) -> LabelRef<'b> {
+        let stored = self.labels[id.0 as usize];
+        let out = stored.out.map(|(node, port)| {
+            self.write_path(node, out_buf);
+            PortRef { path: &*out_buf, port }
+        });
+        let inp = stored.inp.map(|(node, port)| {
+            self.write_path(node, inp_buf);
+            PortRef { path: &*inp_buf, port }
+        });
+        LabelRef { out, inp }
+    }
+
+    /// Rebuilds the owning [`DataLabel`] (allocates; diagnostics and tests).
+    pub fn materialize(&self, id: ItemId) -> DataLabel {
+        let stored = self.labels[id.0 as usize];
+        let port = |(node, port): (u32, u8)| {
+            let mut path = Vec::new();
+            self.write_path(node, &mut path);
+            PortLabel::new(path, port)
+        };
+        DataLabel { out: stored.out.map(port), inp: stored.inp.map(port) }
+    }
+}
+
+impl Default for LabelStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_core::Fvl;
+    use wf_model::fixtures::paper_example;
+    use wf_run::fixtures::figure3_run;
+
+    #[test]
+    fn roundtrips_every_figure3_label() {
+        let ex = paper_example();
+        let fvl = Fvl::new(&ex.spec).unwrap();
+        let (run, _) = figure3_run(&ex);
+        let labeler = fvl.labeler(&run);
+        let mut store = LabelStore::new();
+        let ids = store.insert_all(labeler.labels());
+        assert_eq!(store.len(), run.item_count());
+        for (i, d) in labeler.labels().iter().enumerate() {
+            assert_eq!(&store.materialize(ids[i]), d, "item {i}");
+        }
+    }
+
+    #[test]
+    fn label_refs_match_owned_refs() {
+        let ex = paper_example();
+        let fvl = Fvl::new(&ex.spec).unwrap();
+        let (run, _) = figure3_run(&ex);
+        let labeler = fvl.labeler(&run);
+        let mut store = LabelStore::new();
+        let ids = store.insert_all(labeler.labels());
+        let (mut ob, mut ib) = (Vec::new(), Vec::new());
+        for (i, d) in labeler.labels().iter().enumerate() {
+            let r = store.label_ref(ids[i], &mut ob, &mut ib);
+            assert_eq!(r.out.is_some(), d.out.is_some());
+            if let (Some(stored), Some(owned)) = (r.out, d.out.as_ref()) {
+                assert_eq!(stored.path, &owned.path[..]);
+                assert_eq!(stored.port, owned.port);
+            }
+            if let (Some(stored), Some(owned)) = (r.inp, d.inp.as_ref()) {
+                assert_eq!(stored.path, &owned.path[..]);
+                assert_eq!(stored.port, owned.port);
+            }
+        }
+    }
+
+    #[test]
+    fn trie_shares_prefixes() {
+        let ex = paper_example();
+        let fvl = Fvl::new(&ex.spec).unwrap();
+        let (run, _) = figure3_run(&ex);
+        let labeler = fvl.labeler(&run);
+        let mut store = LabelStore::new();
+        store.insert_all(labeler.labels());
+        let (stored, raw) = store.edge_stats();
+        assert!(
+            stored * 2 < raw,
+            "trie should at least halve path storage: {stored} stored vs {raw} raw"
+        );
+    }
+}

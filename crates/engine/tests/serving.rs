@@ -1,0 +1,130 @@
+//! Serving-layer integration: the engine must answer byte-for-byte like the
+//! reference per-call path, under realistic (generated) workloads, across
+//! variants, and with views interleaved arbitrarily.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wf_analysis::ProdGraph;
+use wf_core::{Fvl, VariantKind};
+use wf_engine::QueryEngine;
+use wf_workloads::{bioaid, sample, views};
+
+const VARIANTS: [VariantKind; 3] =
+    [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient];
+
+#[test]
+fn batch_agrees_with_reference_across_variants() {
+    let w = bioaid(11);
+    let fvl = Fvl::new(&w.spec).unwrap();
+    let pg = ProdGraph::new(&w.spec.grammar);
+    let mut rng = StdRng::seed_from_u64(11);
+    let (_, run) = sample::sample_run(&w, &pg, &mut rng, 600);
+    let labeler = fvl.labeler(&run);
+    let view = views::random_safe_view(&w, &mut rng, 8);
+
+    let mut engine = QueryEngine::new(&fvl);
+    let items = engine.insert_labels(labeler.labels());
+    let pairs = sample::sample_query_pairs(&run, &mut rng, 500);
+    let id_pairs: Vec<_> =
+        pairs.iter().map(|&(a, b)| (items[a.0 as usize], items[b.0 as usize])).collect();
+
+    let vid = engine.add_view(view.clone());
+    for kind in VARIANTS {
+        let vref = engine.compile(vid, kind).unwrap();
+        let vl = fvl.label_view(&view, kind).unwrap();
+        let batch = engine.query_batch(vref, &id_pairs);
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            let reference = fvl.query(&vl, labeler.label(a), labeler.label(b));
+            assert_eq!(batch[i], reference, "{kind:?} pair {i}: {a:?} -> {b:?}");
+        }
+    }
+}
+
+/// Interleaving queries across different views must not poison the
+/// chain-power memo (the retag mechanism recycles it on every switch).
+#[test]
+fn interleaved_views_stay_sound() {
+    let w = bioaid(3);
+    let fvl = Fvl::new(&w.spec).unwrap();
+    let pg = ProdGraph::new(&w.spec.grammar);
+    let mut rng = StdRng::seed_from_u64(3);
+    let (_, run) = sample::sample_run(&w, &pg, &mut rng, 400);
+    let labeler = fvl.labeler(&run);
+    let view_a = views::random_safe_view(&w, &mut rng, 6);
+    let view_b = views::random_safe_view(&w, &mut rng, 12);
+
+    let mut engine = QueryEngine::new(&fvl);
+    let items = engine.insert_labels(labeler.labels());
+    let ra = engine.register_view(view_a.clone(), VariantKind::Default).unwrap();
+    let rb = engine.register_view(view_b.clone(), VariantKind::Default).unwrap();
+    let vla = fvl.label_view(&view_a, VariantKind::Default).unwrap();
+    let vlb = fvl.label_view(&view_b, VariantKind::Default).unwrap();
+
+    let pairs = sample::sample_query_pairs(&run, &mut rng, 300);
+    for (i, &(a, b)) in pairs.iter().enumerate() {
+        let (vref, vl) = if i % 2 == 0 { (ra, &vla) } else { (rb, &vlb) };
+        let got = engine.query(vref, items[a.0 as usize], items[b.0 as usize]);
+        let want = fvl.query(vl, labeler.label(a), labeler.label(b));
+        assert_eq!(got, want, "query {i} on view {}", if i % 2 == 0 { "A" } else { "B" });
+    }
+}
+
+#[test]
+fn all_pairs_matches_pairwise_queries() {
+    let w = bioaid(5);
+    let fvl = Fvl::new(&w.spec).unwrap();
+    let pg = ProdGraph::new(&w.spec.grammar);
+    let mut rng = StdRng::seed_from_u64(5);
+    let (_, run) = sample::sample_run(&w, &pg, &mut rng, 120);
+    let labeler = fvl.labeler(&run);
+    let view = views::random_safe_view(&w, &mut rng, 8);
+    let vl = fvl.label_view(&view, VariantKind::Default).unwrap();
+
+    let mut engine = QueryEngine::new(&fvl);
+    let items = engine.insert_labels(labeler.labels());
+    let vref = engine.register_view(view, VariantKind::Default).unwrap();
+
+    let subset: Vec<_> = items.iter().copied().step_by(3).collect();
+    let dependent = engine.all_pairs(vref, &subset);
+    let mut expected = Vec::new();
+    for &a in &subset {
+        for &b in &subset {
+            let da = labeler.label(wf_run::DataId(a.0));
+            let db = labeler.label(wf_run::DataId(b.0));
+            if fvl.query(&vl, da, db) == Some(true) {
+                expected.push((a, b));
+            }
+        }
+    }
+    assert_eq!(dependent, expected);
+    assert!(!dependent.is_empty(), "a run always has some dependent pairs");
+}
+
+/// After warm-up, repeated batches must not grow the scratch: the batched
+/// path is allocation-free in steady state.
+#[test]
+fn steady_state_is_allocation_free() {
+    let w = bioaid(7);
+    let fvl = Fvl::new(&w.spec).unwrap();
+    let pg = ProdGraph::new(&w.spec.grammar);
+    let mut rng = StdRng::seed_from_u64(7);
+    let (_, run) = sample::sample_run(&w, &pg, &mut rng, 500);
+    let labeler = fvl.labeler(&run);
+    let view = views::random_safe_view(&w, &mut rng, 8);
+
+    let mut engine = QueryEngine::new(&fvl);
+    let items = engine.insert_labels(labeler.labels());
+    let vref = engine.register_view(view, VariantKind::Default).unwrap();
+    let pairs = sample::sample_query_pairs(&run, &mut rng, 400);
+    let id_pairs: Vec<_> =
+        pairs.iter().map(|&(a, b)| (items[a.0 as usize], items[b.0 as usize])).collect();
+
+    let mut out = Vec::with_capacity(id_pairs.len());
+    engine.query_batch_into(vref, &id_pairs, &mut out);
+    engine.query_batch_into(vref, &id_pairs, &mut out);
+    let warm = engine.scratch_stats();
+    for _ in 0..3 {
+        engine.query_batch_into(vref, &id_pairs, &mut out);
+        assert_eq!(engine.scratch_stats(), warm, "scratch grew after warm-up");
+    }
+}

@@ -120,7 +120,7 @@ mod tests {
         d.set_pairs(ModuleId(3), &sig(), [(0, 0), (1, 1)]);
         assert!(d.is_defined(ModuleId(3)));
         assert!(d.get(ModuleId(3)).unwrap().get(0, 0));
-        assert!(!d.get(ModuleId(0)).is_some());
+        assert!(d.get(ModuleId(0)).is_none());
     }
 
     #[test]

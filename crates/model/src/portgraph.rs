@@ -202,13 +202,14 @@ mod tests {
         let from = InPortRef { node: NodeIx(0), port: 0 };
         let set = pg.reachable_from(pg.in_ix(from));
         // Enumerate all ports and compare set membership with reaches().
-        let mut ports = Vec::new();
-        ports.push(PortRef::In(from));
-        ports.push(PortRef::Out(OutPortRef { node: NodeIx(0), port: 0 }));
-        ports.push(PortRef::Out(OutPortRef { node: NodeIx(0), port: 1 }));
-        ports.push(PortRef::In(InPortRef { node: NodeIx(1), port: 0 }));
-        ports.push(PortRef::In(InPortRef { node: NodeIx(1), port: 1 }));
-        ports.push(PortRef::Out(OutPortRef { node: NodeIx(1), port: 0 }));
+        let ports = vec![
+            PortRef::In(from),
+            PortRef::Out(OutPortRef { node: NodeIx(0), port: 0 }),
+            PortRef::Out(OutPortRef { node: NodeIx(0), port: 1 }),
+            PortRef::In(InPortRef { node: NodeIx(1), port: 0 }),
+            PortRef::In(InPortRef { node: NodeIx(1), port: 1 }),
+            PortRef::Out(OutPortRef { node: NodeIx(1), port: 0 }),
+        ];
         for &p in &ports {
             assert_eq!(set.contains(pg.ix(p) as usize), pg.reaches(PortRef::In(from), p), "{p:?}");
         }

@@ -13,8 +13,12 @@
 //!   composite modules and assigning random input-output dependencies",
 //!   §6.1) and black-box views for the multi-view comparisons.
 //! * [`sample`] — run-size-targeted derivations and query pair sampling.
+//! * [`queries`] — serving-shape query workloads (uniform pairs, hot-key
+//!   skew, per-view traffic mixes) for the `wf-engine` layer and the
+//!   throughput benches.
 
 pub mod gen;
+pub mod queries;
 pub mod sample;
 pub mod views;
 

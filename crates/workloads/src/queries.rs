@@ -1,0 +1,160 @@
+//! Query-workload generation: the *serving* shape, not just the §6.1
+//! uniform pair sampling.
+//!
+//! Repository-search and lineage-tracing services (cf. the workloads of
+//! Davidson et al.'s repository search and Huang et al.'s reachability
+//! queries over provenance) do not issue uniformly random pairs: a few hot
+//! items (popular datasets, recent outputs) appear in most queries, and
+//! queries spread across a mix of views (each user group holds its own).
+//! This module generates those shapes deterministically per seed, to drive
+//! the `wf-engine` serving layer and the `query_throughput` bench.
+
+use rand::Rng;
+use wf_run::{DataId, Run};
+
+/// How the endpoints of a query pair are drawn.
+#[derive(Clone, Copy, Debug)]
+pub enum PairDist {
+    /// Both endpoints uniform over the run's items (§6.1 methodology).
+    Uniform,
+    /// Hot-key skew: with probability `hot_prob`, an endpoint is drawn from
+    /// the `hot_items` lowest item ids (the run's earliest — and in a
+    /// top-down derivation, shallowest — items); otherwise uniform.
+    HotKey { hot_items: usize, hot_prob: f64 },
+}
+
+fn draw(run: &Run, rng: &mut impl Rng, dist: PairDist) -> DataId {
+    let n = run.item_count() as u32;
+    match dist {
+        PairDist::Uniform => DataId(rng.gen_range(0..n)),
+        PairDist::HotKey { hot_items, hot_prob } => {
+            let hot = (hot_items as u32).clamp(1, n);
+            if rng.gen_bool(hot_prob) {
+                DataId(rng.gen_range(0..hot))
+            } else {
+                DataId(rng.gen_range(0..n))
+            }
+        }
+    }
+}
+
+/// `count` ordered query pairs drawn per `dist`.
+pub fn sample_pairs(
+    run: &Run,
+    rng: &mut impl Rng,
+    count: usize,
+    dist: PairDist,
+) -> Vec<(DataId, DataId)> {
+    (0..count).map(|_| (draw(run, rng, dist), draw(run, rng, dist))).collect()
+}
+
+/// One operation of a multi-view serving mix: which registered view the
+/// query targets, and the pair itself.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryOp {
+    /// Index into the caller's view list (whatever handles it keeps).
+    pub view: usize,
+    pub pair: (DataId, DataId),
+}
+
+/// A per-view traffic mix: relative weights (need not sum to 1) plus the
+/// pair distribution shared by all views.
+#[derive(Clone, Debug)]
+pub struct MixSpec {
+    pub view_weights: Vec<f64>,
+    pub dist: PairDist,
+}
+
+/// `count` operations, views drawn proportionally to their weights.
+pub fn sample_mix(run: &Run, rng: &mut impl Rng, count: usize, spec: &MixSpec) -> Vec<QueryOp> {
+    assert!(!spec.view_weights.is_empty(), "a mix needs at least one view");
+    let total: f64 = spec.view_weights.iter().sum();
+    assert!(total > 0.0, "view weights must have positive mass");
+    (0..count)
+        .map(|_| {
+            let mut x = rng.gen_range(0.0..total);
+            let mut view = spec.view_weights.len() - 1;
+            for (i, w) in spec.view_weights.iter().enumerate() {
+                if x < *w {
+                    view = i;
+                    break;
+                }
+                x -= w;
+            }
+            QueryOp { view, pair: (draw(run, rng, spec.dist), draw(run, rng, spec.dist)) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bioaid, sample};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wf_analysis::ProdGraph;
+
+    fn test_run() -> Run {
+        let w = bioaid(1);
+        let pg = ProdGraph::new(&w.spec.grammar);
+        let mut rng = StdRng::seed_from_u64(1);
+        sample::sample_run(&w, &pg, &mut rng, 300).1
+    }
+
+    #[test]
+    fn uniform_pairs_stay_in_range() {
+        let run = test_run();
+        let mut rng = StdRng::seed_from_u64(2);
+        for (a, b) in sample_pairs(&run, &mut rng, 2_000, PairDist::Uniform) {
+            assert!((a.0 as usize) < run.item_count());
+            assert!((b.0 as usize) < run.item_count());
+        }
+    }
+
+    #[test]
+    fn hot_key_skew_concentrates_traffic() {
+        let run = test_run();
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = PairDist::HotKey { hot_items: 16, hot_prob: 0.8 };
+        let pairs = sample_pairs(&run, &mut rng, 4_000, dist);
+        let hot_hits =
+            pairs.iter().flat_map(|&(a, b)| [a, b]).filter(|d| (d.0 as usize) < 16).count();
+        // ≥ 80% of endpoints from the hot set (plus uniform spillover);
+        // leave slack for sampling noise.
+        assert!(hot_hits as f64 >= 0.7 * 8_000.0, "only {hot_hits} hot endpoint draws");
+        // And the cold tail is still exercised.
+        assert!(pairs.iter().any(|&(a, b)| a.0 >= 16 || b.0 >= 16));
+    }
+
+    #[test]
+    fn hot_set_larger_than_run_is_clamped() {
+        let run = test_run();
+        let mut rng = StdRng::seed_from_u64(4);
+        let dist = PairDist::HotKey { hot_items: 10 * run.item_count(), hot_prob: 1.0 };
+        for (a, b) in sample_pairs(&run, &mut rng, 500, dist) {
+            assert!((a.0 as usize) < run.item_count());
+            assert!((b.0 as usize) < run.item_count());
+        }
+    }
+
+    #[test]
+    fn mix_respects_view_weights() {
+        let run = test_run();
+        let mut rng = StdRng::seed_from_u64(5);
+        let spec = MixSpec { view_weights: vec![3.0, 1.0], dist: PairDist::Uniform };
+        let ops = sample_mix(&run, &mut rng, 4_000, &spec);
+        let first = ops.iter().filter(|op| op.view == 0).count();
+        assert!(ops.iter().all(|op| op.view < 2));
+        let share = first as f64 / ops.len() as f64;
+        assert!((0.68..0.82).contains(&share), "view-0 share {share}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let run = test_run();
+        let dist = PairDist::HotKey { hot_items: 8, hot_prob: 0.5 };
+        let a = sample_pairs(&run, &mut StdRng::seed_from_u64(9), 64, dist);
+        let b = sample_pairs(&run, &mut StdRng::seed_from_u64(9), 64, dist);
+        assert_eq!(a, b);
+    }
+}

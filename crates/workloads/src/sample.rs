@@ -17,10 +17,12 @@ pub fn sample_run(
     (d, run)
 }
 
-/// Uniformly random ordered pairs of data items from a run.
+/// Uniformly random ordered pairs of data items from a run (the §6.1
+/// methodology; a thin alias of [`crate::queries::sample_pairs`] with
+/// [`crate::queries::PairDist::Uniform`], kept for the uniform draw's
+/// ubiquity in the experiment code).
 pub fn sample_query_pairs(run: &Run, rng: &mut impl Rng, count: usize) -> Vec<(DataId, DataId)> {
-    let n = run.item_count() as u32;
-    (0..count).map(|_| (DataId(rng.gen_range(0..n)), DataId(rng.gen_range(0..n)))).collect()
+    crate::queries::sample_pairs(run, rng, count, crate::queries::PairDist::Uniform)
 }
 
 #[cfg(test)]

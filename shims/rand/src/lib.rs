@@ -153,6 +153,16 @@ impl_sample_range!(
     i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
 );
 
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        // 53-bit mantissa draw in [0, 1), scaled — the standard-uniform
+        // construction the real crate uses.
+        let unit = ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
 /// Concrete generators. Mirrors `rand::rngs`.
 pub mod rngs {
     use super::{RngCore, SeedableRng};

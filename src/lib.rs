@@ -13,6 +13,7 @@
 //! | [`analysis`] | `wf-analysis` | safety / λ\* (Lemma 1), recursion classes (Thm. 7), production graph (§4.1) |
 //! | [`run`] | `wf-run` | derivations, compressed parse trees, view projection, oracles |
 //! | [`fvl`] | `wf-core` | the FVL labeling scheme: data labels, view labels, π (§4) |
+//! | [`engine`] | `wf-engine` | batched, allocation-free query serving: view registry, interned label store |
 //! | [`drl`] | `wf-drl` | the black-box baseline of the evaluation (§6) |
 //! | [`workloads`] | `wf-workloads` | BioAID-like and Figure-26 synthetic generators |
 //!
@@ -47,6 +48,7 @@ pub use wf_boolmat as boolmat;
 pub use wf_core as fvl;
 pub use wf_digraph as digraph;
 pub use wf_drl as drl;
+pub use wf_engine as engine;
 pub use wf_model as model;
 pub use wf_run as run;
 pub use wf_workloads as workloads;

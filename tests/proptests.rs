@@ -6,6 +6,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wfprov::analysis::{classify, ProdGraph, RecursionClass};
+use wfprov::engine::QueryEngine;
 use wfprov::fvl::{Fvl, VariantKind};
 use wfprov::model::ViewSpec;
 use wfprov::run::RunOracle;
@@ -67,6 +68,59 @@ proptest! {
         for l in labels.labels() {
             for p in l.out.iter().chain(l.inp.iter()) {
                 prop_assert!(p.path.len() <= bound, "path {} > {}", p.path.len(), bound);
+            }
+        }
+    }
+
+    /// The engine's batched fast path must never diverge from the reference
+    /// per-call path: over random strictly-linear workloads, for all three
+    /// variants, `QueryEngine::query_batch` agrees pairwise with
+    /// `Fvl::query` — including `None`s for invisible items.
+    #[test]
+    fn query_batch_agrees_with_per_call(
+        seed in 0u64..1_000,
+        view_size in 2usize..10,
+        run_size in 40usize..200,
+    ) {
+        // Alternate between the two generator families (both strictly
+        // linear-recursive by construction).
+        let w = if seed % 2 == 0 {
+            bioaid(seed % 6)
+        } else {
+            synthetic(&SynthParams {
+                workflow_size: 8,
+                module_degree: 3,
+                nesting_depth: 3,
+                recursion_length: 1 + (seed as usize % 3),
+                coarse: false,
+                seed,
+            })
+        };
+        let fvl = Fvl::new(&w.spec).unwrap();
+        let pg = ProdGraph::new(&w.spec.grammar);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (_, run) = sample::sample_run(&w, &pg, &mut rng, run_size);
+        let labels = fvl.labeler(&run);
+        let view = views::random_safe_view(&w, &mut rng, view_size);
+
+        let mut engine = QueryEngine::new(&fvl);
+        let items = engine.insert_labels(labels.labels());
+        let pairs = sample::sample_query_pairs(&run, &mut rng, 100);
+        let id_pairs: Vec<_> =
+            pairs.iter().map(|&(a, b)| (items[a.0 as usize], items[b.0 as usize])).collect();
+        let vid = engine.add_view(view.clone());
+        for kind in
+            [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient]
+        {
+            let vref = engine.compile(vid, kind).unwrap();
+            let vl = fvl.label_view(&view, kind).unwrap();
+            let batch = engine.query_batch(vref, &id_pairs);
+            for (i, &(a, b)) in pairs.iter().enumerate() {
+                prop_assert_eq!(
+                    batch[i],
+                    fvl.query(&vl, labels.label(a), labels.label(b)),
+                    "{:?} pair {}: {:?} -> {:?}", kind, i, a, b
+                );
             }
         }
     }
