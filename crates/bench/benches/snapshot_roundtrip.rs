@@ -1,0 +1,148 @@
+//! Snapshot economics: cold label-from-scratch vs snapshot warm start.
+//!
+//! §6.1 reports labeling time separately from query time because labels are
+//! computed *once*; persisting them is what lets a serving process actually
+//! bank that one-time cost across restarts. This bench measures the whole
+//! warm-start story: the cold path (dynamic labeling + store interning +
+//! view compilation for all three variants) against `QueryEngine::save` /
+//! `QueryEngine::load`, plus the snapshot's storage efficiency — the
+//! trie-interned store's bits/label against the §5 per-label codec bound.
+//! Besides the Criterion printout, the run writes `BENCH_snapshot.json`
+//! into the workspace root so the numbers accumulate a perf trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::fmt::Write as _;
+use wf_bench::{ms, Bench};
+use wf_bitio::BitWriter;
+use wf_core::{Fvl, VariantKind};
+use wf_engine::QueryEngine;
+
+const ITEMS: usize = 8_000;
+
+const VARIANTS: [VariantKind; 3] =
+    [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient];
+
+fn bench_snapshot_roundtrip(c: &mut Criterion) {
+    let bench = Bench::fine(1);
+    let fvl = Fvl::new(&bench.workload.spec).unwrap();
+    let run = bench.run_of(42, ITEMS);
+    let view = bench.safe_view(7, 8);
+
+    // The cold path a restart pays without snapshots: relabel the run,
+    // intern everything, recompile every (view, variant).
+    let build_cold = || {
+        let labeler = fvl.labeler(&run);
+        let mut engine = QueryEngine::new(&fvl);
+        engine.insert_labels(labeler.labels());
+        let vid = engine.add_view(view.clone());
+        for kind in VARIANTS {
+            engine.compile(vid, kind).unwrap();
+        }
+        engine
+    };
+
+    let engine = build_cold();
+    let mut bytes = Vec::new();
+    engine.save(&mut bytes).unwrap();
+
+    // Guard: the loaded engine must answer exactly like the cold one before
+    // any number is reported.
+    {
+        let mut cold = build_cold();
+        let mut warm = QueryEngine::load(&fvl, &mut bytes.as_slice()).unwrap();
+        let pairs = bench.queries(&run, 5, 512);
+        let vid = wf_engine::ViewId(0);
+        for kind in VARIANTS {
+            let vref = wf_engine::ViewRef { id: vid, kind };
+            let id_pairs: Vec<_> = pairs
+                .iter()
+                .map(|&(a, b)| (wf_engine::ItemId(a.0), wf_engine::ItemId(b.0)))
+                .collect();
+            assert_eq!(
+                cold.query_batch(vref, &id_pairs),
+                warm.query_batch(vref, &id_pairs),
+                "{kind:?}: loaded engine diverges"
+            );
+        }
+    }
+
+    // Storage efficiency: the trie-interned store section vs the §5 codec
+    // bound (sum of per-label wire encodings, measured over borrowed
+    // LabelRefs — no owning labels are materialized).
+    let store = engine.store();
+    let mut w = BitWriter::new();
+    store.write_snapshot(fvl.codec(), &mut w);
+    let store_bits = w.finish().len();
+    let (mut ob, mut ib) = (Vec::new(), Vec::new());
+    let codec_bits: usize = (0..store.len())
+        .map(|i| {
+            fvl.codec().encoded_bits_ref(store.label_ref(
+                wf_engine::ItemId(i as u32),
+                &mut ob,
+                &mut ib,
+            ))
+        })
+        .sum();
+    let store_bpl = store_bits as f64 / store.len() as f64;
+    let codec_bpl = codec_bits as f64 / store.len() as f64;
+
+    // Timings for the JSON (medians of a few repeats, independent of
+    // Criterion's adaptive batching).
+    let median = |mut xs: Vec<f64>| {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs[xs.len() / 2]
+    };
+    let cold_ms = median((0..5).map(|_| ms(|| std::mem::drop(build_cold()))).collect());
+    let save_ms = median(
+        (0..5)
+            .map(|_| {
+                let mut out = Vec::new();
+                ms(|| engine.save(&mut out).unwrap())
+            })
+            .collect(),
+    );
+    let load_ms = median(
+        (0..5)
+            .map(|_| ms(|| std::mem::drop(QueryEngine::load(&fvl, &mut bytes.as_slice()).unwrap())))
+            .collect(),
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"snapshot_roundtrip\",");
+    let _ = writeln!(json, "  \"items\": {},", store.len());
+    let _ = writeln!(json, "  \"views\": 1,");
+    let _ = writeln!(json, "  \"variants_compiled\": 3,");
+    let _ = writeln!(json, "  \"snapshot_bytes\": {},", bytes.len());
+    let _ = writeln!(json, "  \"cold_build_ms\": {cold_ms:.2},");
+    let _ = writeln!(json, "  \"save_ms\": {save_ms:.2},");
+    let _ = writeln!(json, "  \"load_ms\": {load_ms:.2},");
+    let _ = writeln!(json, "  \"warm_start_speedup\": {:.1},", cold_ms / load_ms);
+    let _ = writeln!(json, "  \"store_bits_per_label\": {store_bpl:.1},");
+    let _ = writeln!(json, "  \"codec_bits_per_label\": {codec_bpl:.1}");
+    let _ = writeln!(json, "}}");
+
+    let mut g = c.benchmark_group("snapshot_roundtrip");
+    g.bench_function("cold_build", |b| b.iter(&build_cold));
+    g.bench_function("save", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            engine.save(&mut out).unwrap();
+            out.len()
+        })
+    });
+    g.bench_function("load", |b| {
+        b.iter(|| QueryEngine::load(&fvl, &mut bytes.as_slice()).unwrap().store().len())
+    });
+    g.finish();
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_snapshot.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench_snapshot_roundtrip);
+criterion_main!(benches);

@@ -40,8 +40,24 @@ impl BitVec {
         (idx < self.len).then(|| (self.storage[idx / 64] >> (idx % 64)) & 1 == 1)
     }
 
-    pub(crate) fn words(&self) -> &[u64] {
+    /// The backing `u64` words, LSB-first (bit `n` lives at
+    /// `words()[n / 64] >> (n % 64) & 1`). Bits past [`BitVec::len`] in the
+    /// last word are unspecified. This is the raw form snapshot containers
+    /// persist; [`BitVec::from_words`] is the inverse.
+    pub fn words(&self) -> &[u64] {
         &self.storage
+    }
+
+    /// Rebuilds a bit string from its backing words (inverse of
+    /// [`BitVec::words`]). Returns `None` when the word count does not match
+    /// `len` — exactly `⌈len / 64⌉` words are required, so callers reading
+    /// untrusted input get a checkable error instead of a panic.
+    pub fn from_words(storage: Vec<u64>, len: usize) -> Option<Self> {
+        if storage.len() == len.div_ceil(64) {
+            Some(Self { storage, len })
+        } else {
+            None
+        }
     }
 
     /// Iterates over the bits from first to last.
@@ -133,6 +149,21 @@ mod tests {
         let mut w = BitWriter::new();
         w.write_bits(0xABCD, 16);
         assert!(set.contains(&w.finish()));
+    }
+
+    #[test]
+    fn words_from_words_roundtrip() {
+        let mut w = BitWriter::new();
+        for i in 0..130u64 {
+            w.push_bit(i % 5 == 0);
+        }
+        let v = w.finish();
+        let back = BitVec::from_words(v.words().to_vec(), v.len()).unwrap();
+        assert_eq!(back, v);
+        // Word-count mismatches are rejected, not asserted.
+        assert!(BitVec::from_words(vec![0; 2], 130).is_none());
+        assert!(BitVec::from_words(vec![0; 4], 130).is_none());
+        assert!(BitVec::from_words(vec![], 0).is_some());
     }
 
     #[test]

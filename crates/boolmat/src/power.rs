@@ -125,7 +125,7 @@ impl PowMemo {
                 for (_, m) in self.results.drain() {
                     pool.put(m);
                 }
-                self.cache = Some(PowerCache::new(x.clone()));
+                self.cache = Some(PowerCache::build_with(x, pool));
             } else {
                 let mut out = pool.take();
                 if e == 0 {
@@ -172,9 +172,10 @@ impl PowMemo {
         }
     }
 
-    /// Drains every recyclable buffer (ladder and results) back into
-    /// `pool` and drops the periodic cache, leaving the memo empty — used
-    /// when a scratch is cleared.
+    /// Drains every recyclable buffer — ladder, results, and the periodic
+    /// cache's stored powers — back into `pool`, leaving the memo empty.
+    /// Used when a scratch is cleared; nothing the memo ever held is lost
+    /// to the allocator.
     pub fn recycle_into(&mut self, pool: &mut MatPool) {
         for m in self.sq.drain(..) {
             pool.put(m);
@@ -182,7 +183,9 @@ impl PowMemo {
         for (_, m) in self.results.drain() {
             pool.put(m);
         }
-        self.cache = None;
+        if let Some(cache) = self.cache.take() {
+            cache.recycle_into(pool);
+        }
     }
 }
 
@@ -211,22 +214,76 @@ impl PowerCache {
     /// small constants"); reachability matrices are transitively closed very
     /// quickly, typically within a handful of steps.
     pub fn new(x: BoolMat) -> Self {
+        Self::build_with(&x, &mut MatPool::new())
+    }
+
+    /// [`PowerCache::new`] with every stored matrix (and the identity) drawn
+    /// from `pool` — the promotion path of a warm [`PowMemo`] recycles its
+    /// ladder and result buffers and rebuilds them into the cache without
+    /// touching the allocator (only the small `Vec` of handles is new).
+    ///
+    /// The repeat scan compares `cur` against the stored powers directly
+    /// instead of hashing clones into a side table: `b` is a small constant,
+    /// and cloning matrices is exactly what the pool exists to avoid.
+    pub fn build_with(x: &BoolMat, pool: &mut MatPool) -> Self {
         assert_eq!(x.rows(), x.cols(), "PowerCache requires a square matrix");
-        let identity = BoolMat::identity(x.rows());
-        let mut seen: HashMap<BoolMat, u64> = HashMap::new();
+        let mut identity = pool.take();
+        identity.assign_identity(x.rows());
         let mut powers: Vec<BoolMat> = Vec::new();
-        let mut cur = x;
-        let mut e = 1u64;
+        let mut cur = pool.take();
+        cur.copy_from(x);
         loop {
-            if let Some(&first) = seen.get(&cur) {
-                // cur == X^first == X^e, so (a, b) = (first, e).
-                return Self { powers, a: first, b: e, identity };
+            // powers holds X¹ … Xⁿ and cur == X^(n+1); a match at index
+            // `first` means X^(first+1) == X^(n+1), so (a, b) = (first+1, n+1).
+            if let Some(first) = powers.iter().position(|p| *p == cur) {
+                pool.put(cur);
+                let b = powers.len() as u64 + 1;
+                return Self { powers, a: first as u64 + 1, b, identity };
             }
-            seen.insert(cur.clone(), e);
-            powers.push(cur.clone());
-            cur = cur.matmul(&powers[0]);
-            e += 1;
+            let mut next = pool.take();
+            cur.matmul_into(x, &mut next);
+            powers.push(cur);
+            cur = next;
         }
+    }
+
+    /// Reassembles a cache from its stored parts (the inverse of reading
+    /// `pre_period` / `repeat_at` / `power(1..b)` — what a persisted
+    /// snapshot holds). Returns `None` unless the parts describe a valid
+    /// periodic power sequence: `1 ≤ a < b`, exactly `b − 1` square stored
+    /// powers of one dimension, each the successor-product of the previous,
+    /// and `X^(b−1) · X = X^a`. The result is therefore *internally
+    /// consistent* — every answer really is a power of the stored base and
+    /// the periodic folding is sound — though whether that base is the
+    /// matrix the caller expects is the caller's (or a checksum's) concern.
+    pub fn from_parts(powers: Vec<BoolMat>, a: u64, b: u64) -> Option<Self> {
+        if a == 0 || a >= b || powers.len() as u64 != b - 1 {
+            return None;
+        }
+        let n = powers[0].rows();
+        if powers.iter().any(|p| p.rows() != n || p.cols() != n) {
+            return None;
+        }
+        for w in powers.windows(2) {
+            if w[0].matmul(&powers[0]) != w[1] {
+                return None;
+            }
+        }
+        let wrap = powers[powers.len() - 1].matmul(&powers[0]);
+        if wrap != powers[(a - 1) as usize] {
+            return None;
+        }
+        Some(Self { powers, a, b, identity: BoolMat::identity(n) })
+    }
+
+    /// Drains the stored matrices (and the identity) back into `pool` — the
+    /// counterpart of [`PowerCache::build_with`], used when a promoted
+    /// [`PowMemo`] is cleared.
+    pub fn recycle_into(self, pool: &mut MatPool) {
+        for m in self.powers {
+            pool.put(m);
+        }
+        pool.put(self.identity);
     }
 
     /// The pre-period length `a` (first exponent of the periodic part).
@@ -397,6 +454,92 @@ mod tests {
         assert_eq!(*memo.power(&x, 1_000_000_007, &mut pool), pow(&x, 1_000_000_007));
         memo.recycle_into(&mut pool);
         assert_eq!(memo.memoized(), 0);
+    }
+
+    #[test]
+    fn promotion_routes_cache_construction_through_pool() {
+        let x = BoolMat::from_pairs(4, 4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut memo = PowMemo::new();
+        let mut pool = MatPool::new();
+        // Pre-warm the pool with over-capacity buffers: if the promotion
+        // really draws from the pool, the marker capacity survives into the
+        // periodic cache; a freshly allocated matrix could not carry it.
+        for _ in 0..64 {
+            let mut m = BoolMat::default();
+            m.reset(32, 32);
+            pool.put(m);
+        }
+        for e in 0..(PROMOTE_AT as u64 + 4) {
+            assert_eq!(*memo.power(&x, e, &mut pool), pow(&x, e), "e={e}");
+        }
+        assert!(memo.cached(1_000_000).is_some(), "memo must have promoted");
+        for e in 0..8u64 {
+            let cap = memo.cached(e).unwrap().row_capacity();
+            assert!(cap >= 32, "cache matrix for e={e} was allocated outside the pool");
+        }
+        // Clearing the memo returns the cache's matrices (and identity) to
+        // the pool instead of dropping them.
+        let before = pool.pooled();
+        memo.recycle_into(&mut pool);
+        assert_eq!(memo.memoized(), 0);
+        assert!(pool.pooled() > before, "cache buffers must come back to the pool");
+        assert!(pool.take().row_capacity() >= 32);
+    }
+
+    #[test]
+    fn promoted_memo_reaches_a_pool_fixed_point() {
+        // Past PROMOTE_AT distinct exponents the memo must stop interacting
+        // with the allocator entirely: pool and cache sizes are at a fixed
+        // point no matter how many further distinct exponents arrive.
+        let x = BoolMat::from_pairs(5, 5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (2, 2)]);
+        let mut memo = PowMemo::new();
+        let mut pool = MatPool::new();
+        for e in 0..(2 * PROMOTE_AT as u64) {
+            memo.power(&x, e, &mut pool);
+        }
+        let fixed = (pool.pooled(), memo.memoized());
+        for e in 0..(8 * PROMOTE_AT as u64) {
+            assert_eq!(*memo.power(&x, 3 * e + 1, &mut pool), pow(&x, 3 * e + 1));
+            assert_eq!((pool.pooled(), memo.memoized()), fixed, "e={e}");
+        }
+    }
+
+    #[test]
+    fn build_with_matches_new() {
+        let x = BoolMat::from_pairs(4, 4, [(0, 1), (1, 2), (2, 3), (3, 0), (1, 1)]);
+        let mut pool = MatPool::new();
+        let a = PowerCache::new(x.clone());
+        let b = PowerCache::build_with(&x, &mut pool);
+        assert_eq!((a.pre_period(), a.repeat_at()), (b.pre_period(), b.repeat_at()));
+        for e in 0..40u64 {
+            assert_eq!(a.power(e), b.power(e), "e={e}");
+        }
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_rejects_forgeries() {
+        let x = BoolMat::from_pairs(3, 3, [(0, 1), (1, 2), (2, 0)]);
+        let cache = PowerCache::new(x.clone());
+        let (a, b) = (cache.pre_period(), cache.repeat_at());
+        let powers: Vec<BoolMat> = (1..b).map(|e| cache.power(e).clone()).collect();
+        let back = PowerCache::from_parts(powers.clone(), a, b).expect("valid parts");
+        for e in 0..50u64 {
+            assert_eq!(back.power(e), cache.power(e), "e={e}");
+        }
+        // Degenerate shapes.
+        assert!(PowerCache::from_parts(powers.clone(), 0, b).is_none(), "a = 0");
+        assert!(PowerCache::from_parts(powers.clone(), b, b).is_none(), "a >= b");
+        assert!(PowerCache::from_parts(powers.clone(), a, b + 1).is_none(), "count mismatch");
+        // A tampered matrix breaks the successor-product chain.
+        let mut forged = powers.clone();
+        let last = forged.len() - 1;
+        forged[last] = powers[0].clone(); // X³ := X breaks X²·X = X³
+        assert!(PowerCache::from_parts(forged, a, b).is_none(), "forged chain");
+        // A wrong wrap-around exponent is caught even with a valid chain.
+        let idem = BoolMat::from_pairs(2, 2, [(0, 0), (0, 1), (1, 1)]);
+        let c2 = PowerCache::new(idem);
+        let p2: Vec<BoolMat> = (1..c2.repeat_at()).map(|e| c2.power(e).clone()).collect();
+        assert!(PowerCache::from_parts(p2, c2.pre_period(), c2.repeat_at()).is_some());
     }
 
     #[test]

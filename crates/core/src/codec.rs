@@ -8,7 +8,7 @@
 //! (they were created by the same production), which the encoding factors
 //! out, "reducing the size almost by half" (§4.2.2).
 
-use crate::label::{DataLabel, PortLabel};
+use crate::label::{DataLabel, LabelRef, PortLabel, PortRef};
 use wf_analysis::ProdGraph;
 use wf_bitio::{min_width, BitReader, BitVec, BitWriter, ReadError};
 use wf_model::{Grammar, ProdId};
@@ -34,7 +34,10 @@ impl LabelCodec {
         Self { k_bits, pos_bits, s_bits, t_bits, port_bits }
     }
 
-    fn write_edge(&self, w: &mut BitWriter, e: &EdgeLabel) {
+    /// Writes one parse-tree edge with this grammar's fixed field widths.
+    /// Public so persisted stores (the snapshot trie) can share the wire
+    /// format of §5 instead of inventing a second edge encoding.
+    pub fn write_edge(&self, w: &mut BitWriter, e: &EdgeLabel) {
         match *e {
             EdgeLabel::Plain { k, i } => {
                 w.push_bit(false);
@@ -50,7 +53,8 @@ impl LabelCodec {
         }
     }
 
-    fn read_edge(&self, r: &mut BitReader<'_>) -> Result<EdgeLabel, ReadError> {
+    /// Reads one parse-tree edge (inverse of [`LabelCodec::write_edge`]).
+    pub fn read_edge(&self, r: &mut BitReader<'_>) -> Result<EdgeLabel, ReadError> {
         if r.read_bit()? {
             let s = r.read_bits(self.s_bits)? as u32;
             let t = r.read_bits(self.t_bits)? as u32;
@@ -63,7 +67,7 @@ impl LabelCodec {
         }
     }
 
-    fn write_suffix(&self, w: &mut BitWriter, p: &PortLabel, skip: usize) {
+    fn write_suffix(&self, w: &mut BitWriter, p: PortRef<'_>, skip: usize) {
         w.write_gamma((p.path.len() - skip) as u64 + 1);
         for e in &p.path[skip..] {
             self.write_edge(w, e);
@@ -74,12 +78,19 @@ impl LabelCodec {
     /// Encodes a data label. Layout: two presence bits; if both sides are
     /// present, the shared path prefix is stored once.
     pub fn encode(&self, d: &DataLabel) -> BitVec {
+        self.encode_ref(d.to_ref())
+    }
+
+    /// [`LabelCodec::encode`] over a borrowed label — the form interned
+    /// stores produce ([`crate::LabelRef`]), so measuring or persisting a
+    /// stored label never materializes an owning [`DataLabel`].
+    pub fn encode_ref(&self, d: LabelRef<'_>) -> BitVec {
         let mut w = BitWriter::new();
         w.push_bit(d.out.is_some());
         w.push_bit(d.inp.is_some());
-        match (&d.out, &d.inp) {
+        match (d.out, d.inp) {
             (Some(o), Some(i)) => {
-                let cp = o.common_prefix_len(i);
+                let cp = o.common_prefix_len(&i);
                 w.write_gamma(cp as u64 + 1);
                 for e in &o.path[..cp] {
                     self.write_edge(&mut w, e);
@@ -133,6 +144,11 @@ impl LabelCodec {
         self.encode(d).len()
     }
 
+    /// [`LabelCodec::encoded_bits`] over a borrowed label.
+    pub fn encoded_bits_ref(&self, d: LabelRef<'_>) -> usize {
+        self.encode_ref(d).len()
+    }
+
     /// Size without prefix factoring — the ablation baseline (and the DRL
     /// encoding convention, see DESIGN.md S3).
     pub fn encoded_bits_unfactored(&self, d: &DataLabel) -> usize {
@@ -140,10 +156,10 @@ impl LabelCodec {
         w.push_bit(d.out.is_some());
         w.push_bit(d.inp.is_some());
         if let Some(o) = &d.out {
-            self.write_suffix(&mut w, o, 0);
+            self.write_suffix(&mut w, o.to_ref(), 0);
         }
         if let Some(i) = &d.inp {
-            self.write_suffix(&mut w, i, 0);
+            self.write_suffix(&mut w, i.to_ref(), 0);
         }
         w.len()
     }

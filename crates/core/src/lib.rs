@@ -35,6 +35,7 @@ pub mod error;
 pub mod label;
 pub mod labeler;
 pub mod scheme;
+pub mod snapshot;
 pub mod userview;
 pub mod viewlabel;
 pub mod visibility;

@@ -2,12 +2,19 @@
 
 use crate::registry::{ViewId, ViewRef, ViewRegistry};
 use crate::store::{ItemId, LabelStore};
+use std::io::{Read, Write};
+use wf_bitio::{BitReader, BitWriter};
 use wf_core::{
     is_visible_ref, pi_with, DataLabel, DecodeCtx, Fvl, FvlError, LabelRef, QueryScratch,
     VariantKind,
 };
 use wf_model::View;
 use wf_run::EdgeLabel;
+use wf_snapshot::{read_container, spec_fingerprint, write_container, SnapshotError};
+
+/// Section tags inside the snapshot payload (one byte each, in order).
+const SECTION_STORE: u64 = 0x01;
+const SECTION_REGISTRY: u64 = 0x02;
 
 /// A query-serving engine over one [`Fvl`] scheme: many views, one interned
 /// label store, one reusable scratch.
@@ -162,6 +169,72 @@ impl<'a> QueryEngine<'a> {
     pub fn scratch_stats(&self) -> (usize, usize) {
         (self.scratch.pooled_mats(), self.scratch.memoized_powers())
     }
+
+    /// Persists everything this engine serves from — the interned label
+    /// store (trie nodes in creation order, so shared prefixes stay shared
+    /// on disk), every registered view and every compiled `ViewLabel`
+    /// including the Query-Efficient power caches — under the versioned,
+    /// checksummed `wf-snapshot` container. Scratch state (matrix pool,
+    /// chain-power memo) is *not* persisted: it is a per-process warm-up
+    /// artifact that rebuilds in a handful of queries.
+    pub fn save(&self, to: &mut impl Write) -> Result<(), SnapshotError> {
+        let mut w = BitWriter::new();
+        w.write_bits(SECTION_STORE, 8);
+        self.store.write_snapshot(self.fvl.codec(), &mut w);
+        w.write_bits(SECTION_REGISTRY, 8);
+        self.registry.write_snapshot(&self.fvl.spec().grammar, &mut w);
+        let payload = w.finish();
+        let fp = spec_fingerprint(&self.fvl.spec().grammar, self.fvl.prod_graph());
+        write_container(to, fp, &payload)
+    }
+
+    /// Restores an engine from a snapshot taken by [`QueryEngine::save`]
+    /// against the *same* specification (enforced by the header
+    /// fingerprint — a snapshot of a different spec is rejected with
+    /// [`SnapshotError::SpecMismatch`] before any payload bit is read).
+    ///
+    /// `ItemId`s and `ViewId`s are stable across save/load: the store's
+    /// interning map is rebuilt from the persisted node list in creation
+    /// order, and views keep their registration order. Handles are
+    /// re-obtained with [`QueryEngine::compile`], which is a cheap lookup
+    /// for every `(view, variant)` the snapshot already carries — a warm
+    /// start never re-runs labeling, compilation or cycle-finding.
+    ///
+    /// Truncated, corrupted or version-mismatched input yields a typed
+    /// [`SnapshotError`]; this constructor never panics on bad bytes.
+    pub fn load(fvl: &'a Fvl<'a>, from: &mut impl Read) -> Result<Self, SnapshotError> {
+        let container = read_container(from)?;
+        let expected = spec_fingerprint(&fvl.spec().grammar, fvl.prod_graph());
+        if container.fingerprint != expected {
+            return Err(SnapshotError::SpecMismatch { expected, found: container.fingerprint });
+        }
+        let mut r = BitReader::new(&container.payload);
+        expect_section(&mut r, SECTION_STORE)?;
+        let store =
+            LabelStore::read_snapshot(&mut r, fvl.codec(), &fvl.spec().grammar, fvl.prod_graph())?;
+        expect_section(&mut r, SECTION_REGISTRY)?;
+        let registry = ViewRegistry::read_snapshot(&mut r, &fvl.spec().grammar, fvl.prod_graph())?;
+        if r.remaining() != 0 {
+            return Err(SnapshotError::Malformed("trailing payload bits"));
+        }
+        Ok(Self {
+            fvl,
+            registry,
+            store,
+            scratch: QueryScratch::new(),
+            buf_o1: Vec::new(),
+            buf_i1: Vec::new(),
+            buf_o2: Vec::new(),
+            buf_i2: Vec::new(),
+        })
+    }
+}
+
+fn expect_section(r: &mut BitReader<'_>, tag: u64) -> Result<(), SnapshotError> {
+    if r.read_bits(8)? != tag {
+        return Err(SnapshotError::Malformed("unexpected section tag"));
+    }
+    Ok(())
 }
 
 /// Visibility pre-check + π — the shared per-pair kernel.

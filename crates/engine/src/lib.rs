@@ -15,6 +15,13 @@
 //!   serving performs no heap allocation and Default-variant recursion
 //!   chains are exponentiated once per distinct exponent, not per query.
 //!
+//! Engines additionally persist themselves: [`QueryEngine::save`] writes
+//! the interned store, the registered views and every compiled label
+//! (power caches included) into the versioned, checksummed `wf-snapshot`
+//! container, and [`QueryEngine::load`] restores a serving-ready engine
+//! without re-running labeling, view compilation or cycle-finding — the
+//! "label once, query forever" economics of §4 survive process restarts.
+//!
 //! Semantics are identical to [`wf_core::Fvl::query`] — the agreement is
 //! enforced by the engine tests here and by the workspace-level property
 //! tests; only the cost model changes.
@@ -47,3 +54,6 @@ mod store;
 pub use engine::QueryEngine;
 pub use registry::{ViewId, ViewRef, ViewRegistry};
 pub use store::{ItemId, LabelStore};
+// The error type `QueryEngine::save` / `QueryEngine::load` surface, so
+// engine users need not name `wf-snapshot` directly.
+pub use wf_snapshot::SnapshotError;

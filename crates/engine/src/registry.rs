@@ -7,8 +7,11 @@
 //! [`ViewRef`] afterwards. (Scratch-memo soundness across views is carried
 //! by [`ViewLabel::uid`], which every compiled label gets at build time.)
 
+use wf_analysis::ProdGraph;
+use wf_bitio::{BitReader, BitWriter};
 use wf_core::{Fvl, FvlError, VariantKind, ViewLabel};
-use wf_model::View;
+use wf_model::{Grammar, View};
+use wf_snapshot::{read_view, write_view, SnapshotError};
 
 /// Dense id of a registered view (assigned by [`ViewRegistry::add_view`]).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -25,11 +28,7 @@ pub struct ViewRef {
 const VARIANTS: usize = 3;
 
 fn slot(kind: VariantKind) -> usize {
-    match kind {
-        VariantKind::SpaceEfficient => 0,
-        VariantKind::Default => 1,
-        VariantKind::QueryEfficient => 2,
-    }
+    kind.code() as usize
 }
 
 /// Registered views plus their per-variant compiled labels.
@@ -84,6 +83,54 @@ impl ViewRegistry {
     /// Number of compiled `(view, variant)` labels.
     pub fn compiled_count(&self) -> usize {
         self.compiled.iter().flatten().filter(|c| c.is_some()).count()
+    }
+
+    /// Serializes every registered view and every compiled label: per view,
+    /// the `(Δ′, λ′)` pair, one presence bit per variant slot, then the
+    /// present labels in slot order.
+    pub fn write_snapshot(&self, grammar: &Grammar, w: &mut BitWriter) {
+        w.write_gamma(self.views.len() as u64 + 1);
+        for (view, compiled) in self.views.iter().zip(&self.compiled) {
+            write_view(w, grammar, view);
+            for cell in compiled {
+                w.push_bit(cell.is_some());
+            }
+            for cell in compiled.iter().flatten() {
+                cell.write_snapshot(w);
+            }
+        }
+    }
+
+    /// Inverse of [`ViewRegistry::write_snapshot`]. Views re-pass grammar
+    /// validation; each label's stored variant must match the slot it sits
+    /// in. Loaded labels carry fresh uids, so a scratch shared with labels
+    /// compiled earlier in this process stays sound.
+    pub fn read_snapshot(
+        r: &mut BitReader<'_>,
+        grammar: &Grammar,
+        pg: &ProdGraph,
+    ) -> Result<Self, SnapshotError> {
+        let view_count = (r.read_gamma()? - 1) as usize;
+        let mut reg = Self::new();
+        for _ in 0..view_count {
+            let view = read_view(r, grammar)?;
+            let id = reg.add_view(view);
+            let mut present = [false; VARIANTS];
+            for p in &mut present {
+                *p = r.read_bit()?;
+            }
+            for (s, &p) in present.iter().enumerate() {
+                if !p {
+                    continue;
+                }
+                let vl = ViewLabel::read_snapshot(r, grammar, pg)?;
+                if vl.kind().code() as usize != s {
+                    return Err(SnapshotError::Malformed("view label in wrong variant slot"));
+                }
+                reg.compiled[id.0 as usize][s] = Some(vl);
+            }
+        }
+        Ok(reg)
     }
 }
 

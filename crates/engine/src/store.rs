@@ -15,8 +15,12 @@
 //! index suitable for slicing, batching and bitmap bookkeeping.
 
 use std::collections::HashMap;
-use wf_core::{DataLabel, LabelRef, PortLabel, PortRef};
+use wf_analysis::ProdGraph;
+use wf_bitio::{BitReader, BitWriter};
+use wf_core::{DataLabel, LabelCodec, LabelRef, PortLabel, PortRef};
+use wf_model::{Grammar, ModuleId};
 use wf_run::EdgeLabel;
+use wf_snapshot::SnapshotError;
 
 /// Dense id of a stored data label (assigned in insertion order).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -132,6 +136,139 @@ impl LabelStore {
         LabelRef { out, inp }
     }
 
+    /// Serializes the store: the trie nodes in creation order (so shared
+    /// prefixes stay shared on disk — each node is its parent link plus one
+    /// edge in the §5 wire format), then the dense label table, then the
+    /// raw-edge metric. Node references use a γ-coded `root+1 / node+2`
+    /// scheme because a stored path can legitimately be the *empty* path
+    /// (boundary items of the start production point at the trie root).
+    pub fn write_snapshot(&self, codec: &LabelCodec, w: &mut BitWriter) {
+        w.write_gamma(self.nodes.len() as u64 + 1);
+        for &(parent, e) in &self.nodes {
+            w.write_gamma(node_code(parent));
+            codec.write_edge(w, &e);
+        }
+        w.write_gamma(self.labels.len() as u64 + 1);
+        for l in &self.labels {
+            for side in [l.out, l.inp] {
+                w.push_bit(side.is_some());
+                if let Some((node, port)) = side {
+                    w.write_gamma(node_code(node));
+                    w.write_bits(port as u64, 8);
+                }
+            }
+        }
+        w.write_gamma(self.raw_edges as u64 + 1);
+    }
+
+    /// Inverse of [`LabelStore::write_snapshot`]. The interning `HashMap`
+    /// is **not** persisted — it is rebuilt from the node list (insertion
+    /// order is creation order, so ids come back identical), which also
+    /// validates the trie: forward parent references and duplicate
+    /// `(parent, edge)` keys are rejected as malformed. Every edge's fields
+    /// are range-checked against the grammar and every stored port against
+    /// its path's terminal module, so nothing a later query indexes with
+    /// can be out of range — bad bytes fail *here*, typed, not inside π.
+    pub fn read_snapshot(
+        r: &mut BitReader<'_>,
+        codec: &LabelCodec,
+        grammar: &Grammar,
+        pg: &ProdGraph,
+    ) -> Result<Self, SnapshotError> {
+        let cycles = pg
+            .cycles()
+            .map_err(|_| SnapshotError::Malformed("production graph has no cycle tables"))?;
+        let node_count = (r.read_gamma()? - 1) as usize;
+        if node_count >= ROOT as usize {
+            return Err(SnapshotError::Malformed("trie larger than the id space"));
+        }
+        let mut nodes = Vec::with_capacity(node_count.min(1 << 20));
+        let mut intern = HashMap::with_capacity(node_count.min(1 << 20));
+        // The module each trie node's path ends at — what its labels' ports
+        // index into (the empty path, i.e. the root, ends at the start
+        // module).
+        let mut node_module: Vec<ModuleId> = Vec::with_capacity(node_count.min(1 << 20));
+        for n in 0..node_count {
+            let parent = decode_node(r.read_gamma()?, n)?;
+            let e = codec.read_edge(r)?;
+            // Each edge must continue its parent's path: a plain edge
+            // expands the module the parent path ends at, and a recursion
+            // chain enters the cycle at that same module. This is the
+            // chaining the decoder's matrix products assume (I(k,·) has
+            // lhs(k)-many rows; a chain at offset t starts on modules[t]'s
+            // arity) — without it a forged trie would feed π mismatched
+            // dimensions.
+            let parent_module =
+                if parent == ROOT { grammar.start() } else { node_module[parent as usize] };
+            let module = match e {
+                EdgeLabel::Plain { k, i } => {
+                    if k.index() >= grammar.production_count() {
+                        return Err(SnapshotError::Malformed("edge production out of range"));
+                    }
+                    let p = grammar.production(k);
+                    if p.lhs != parent_module {
+                        return Err(SnapshotError::Malformed("edge production breaks the path"));
+                    }
+                    if i as usize >= p.rhs.node_count() {
+                        return Err(SnapshotError::Malformed("edge position out of range"));
+                    }
+                    p.rhs.nodes()[i as usize]
+                }
+                EdgeLabel::Rec { s, t, i } => {
+                    let Some(cycle) = cycles.get(s as usize) else {
+                        return Err(SnapshotError::Malformed("edge cycle out of range"));
+                    };
+                    let l = cycle.len() as u64;
+                    if t as u64 >= l {
+                        return Err(SnapshotError::Malformed("edge cycle offset out of range"));
+                    }
+                    if cycle.modules[t as usize] != parent_module {
+                        return Err(SnapshotError::Malformed("edge cycle breaks the path"));
+                    }
+                    // Chain child `i` under offset `t` is an instance of the
+                    // cycle module at `t + i` (wrapping; `i` is reduced
+                    // first so an adversarial chain index near `u64::MAX`
+                    // cannot overflow the sum).
+                    cycle.modules[((t as u64 + i % l) % l) as usize]
+                }
+            };
+            if intern.insert((parent, e), n as u32).is_some() {
+                return Err(SnapshotError::Malformed("duplicate trie edge"));
+            }
+            nodes.push((parent, e));
+            node_module.push(module);
+        }
+        let module_of =
+            |node: u32| if node == ROOT { grammar.start() } else { node_module[node as usize] };
+        let label_count = (r.read_gamma()? - 1) as usize;
+        let mut labels = Vec::with_capacity(label_count.min(1 << 20));
+        for _ in 0..label_count {
+            let side = |r: &mut BitReader<'_>,
+                        outputs: bool|
+             -> Result<Option<(u32, u8)>, SnapshotError> {
+                if !r.read_bit()? {
+                    return Ok(None);
+                }
+                let node = decode_node(r.read_gamma()?, node_count)?;
+                let port = r.read_bits(8)? as u8;
+                let sig = grammar.sig(module_of(node));
+                let arity = if outputs { sig.outputs() } else { sig.inputs() };
+                if port as usize >= arity {
+                    return Err(SnapshotError::Malformed("label port out of range"));
+                }
+                Ok(Some((node, port)))
+            };
+            let out = side(r, true)?;
+            let inp = side(r, false)?;
+            if out.is_none() && inp.is_none() {
+                return Err(SnapshotError::Malformed("label with no endpoint"));
+            }
+            labels.push(StoredLabel { out, inp });
+        }
+        let raw_edges = (r.read_gamma()? - 1) as usize;
+        Ok(Self { nodes, intern, labels, raw_edges })
+    }
+
     /// Rebuilds the owning [`DataLabel`] (allocates; diagnostics and tests).
     pub fn materialize(&self, id: ItemId) -> DataLabel {
         let stored = self.labels[id.0 as usize];
@@ -148,6 +285,30 @@ impl Default for LabelStore {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// γ-friendly code of a trie node reference: `1` for the root sentinel,
+/// `node + 2` otherwise (γ codes positive integers only).
+fn node_code(node: u32) -> u64 {
+    if node == ROOT {
+        1
+    } else {
+        node as u64 + 2
+    }
+}
+
+/// Inverse of [`node_code`]; `bound` is the number of already-known nodes,
+/// so parents reference strictly earlier nodes and labels reference any
+/// node of the finished trie.
+fn decode_node(code: u64, bound: usize) -> Result<u32, SnapshotError> {
+    if code == 1 {
+        return Ok(ROOT);
+    }
+    let node = code - 2;
+    if node >= bound as u64 {
+        return Err(SnapshotError::Malformed("trie node reference out of range"));
+    }
+    Ok(node as u32)
 }
 
 #[cfg(test)]
@@ -192,6 +353,86 @@ mod tests {
                 assert_eq!(stored.port, owned.port);
             }
         }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_store_and_rebuilds_intern() {
+        let ex = paper_example();
+        let fvl = Fvl::new(&ex.spec).unwrap();
+        let (run, _) = figure3_run(&ex);
+        let labeler = fvl.labeler(&run);
+        let mut store = LabelStore::new();
+        let ids = store.insert_all(labeler.labels());
+
+        let mut w = BitWriter::new();
+        store.write_snapshot(fvl.codec(), &mut w);
+        let bits = w.finish();
+        let pg = fvl.prod_graph();
+        let mut r = BitReader::new(&bits);
+        let back = LabelStore::read_snapshot(&mut r, fvl.codec(), &ex.spec.grammar, pg).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(back.len(), store.len());
+        assert_eq!(back.edge_stats(), store.edge_stats());
+        for &id in &ids {
+            assert_eq!(back.materialize(id), store.materialize(id), "{id:?}");
+        }
+        // The rebuilt intern map must keep interning consistently: inserting
+        // an existing label afresh reuses the shared trie (no new nodes).
+        let mut grown = back;
+        let (nodes_before, _) = grown.edge_stats();
+        grown.insert(&store.materialize(ids[0]));
+        assert_eq!(grown.edge_stats().0, nodes_before, "re-insert must not grow the trie");
+    }
+
+    #[test]
+    fn snapshot_rejects_structural_corruption() {
+        let ex = paper_example();
+        let fvl = Fvl::new(&ex.spec).unwrap();
+        let g = &ex.spec.grammar;
+        let pg = fvl.prod_graph();
+        let read = |bits: &wf_bitio::BitVec| {
+            LabelStore::read_snapshot(&mut BitReader::new(bits), fvl.codec(), g, pg)
+        };
+        // A forward parent reference (node 0 pointing at node 5) is invalid.
+        let mut w = BitWriter::new();
+        w.write_gamma(2); // one node
+        w.write_gamma(7); // parent = 5: out of range for node 0
+        fvl.codec().write_edge(&mut w, &EdgeLabel::Plain { k: wf_model::ProdId(0), i: 0 });
+        assert!(matches!(read(&w.finish()), Err(SnapshotError::Malformed(_))));
+        // A label with neither endpoint is invalid.
+        let mut w = BitWriter::new();
+        w.write_gamma(1); // zero nodes
+        w.write_gamma(2); // one label
+        w.push_bit(false);
+        w.push_bit(false);
+        w.write_gamma(1);
+        assert!(matches!(read(&w.finish()), Err(SnapshotError::Malformed(_))));
+        // An edge whose position is past its own production's RHS is
+        // invalid even though it fits the codec's fixed field width (sized
+        // by the grammar-wide maximum RHS).
+        let (k_small, n_small) = g
+            .productions()
+            .map(|(k, p)| (k, p.rhs.node_count()))
+            .find(|&(_, n)| n < g.max_rhs_len())
+            .expect("paper grammar has productions below the max RHS length");
+        let mut w = BitWriter::new();
+        w.write_gamma(2); // one node
+        w.write_gamma(1); // parent = root
+        fvl.codec().write_edge(&mut w, &EdgeLabel::Plain { k: k_small, i: n_small as u32 });
+        w.write_gamma(1); // zero labels
+        w.write_gamma(1);
+        assert!(matches!(read(&w.finish()), Err(SnapshotError::Malformed(_))));
+        // A boundary label whose port is past the start module's arity is
+        // invalid (ports index signature matrices at query time).
+        let mut w = BitWriter::new();
+        w.write_gamma(1); // zero nodes
+        w.write_gamma(2); // one label
+        w.push_bit(false); // no out side
+        w.push_bit(true); // inp side at the root...
+        w.write_gamma(1); // ...node = ROOT (empty path, start module)
+        w.write_bits(200, 8); // ...port 200
+        w.write_gamma(1);
+        assert!(matches!(read(&w.finish()), Err(SnapshotError::Malformed(_))));
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Snapshot persistence: a loaded engine must be indistinguishable from the
+//! engine that wrote the snapshot — same answers, same ids, same trie — and
+//! bad bytes must be rejected with typed errors, never a panic.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wf_analysis::ProdGraph;
+use wf_core::{Fvl, VariantKind};
+use wf_engine::{QueryEngine, SnapshotError, ViewRef};
+use wf_workloads::{bioaid, sample, views};
+
+const VARIANTS: [VariantKind; 3] =
+    [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient];
+
+/// Builds an engine with a labeled run and one view compiled under every
+/// variant, returning the snapshot bytes alongside.
+fn build_and_save(seed: u64, run_size: usize, view_size: usize) -> Vec<u8> {
+    let w = bioaid(seed);
+    let fvl = Fvl::new(&w.spec).unwrap();
+    let pg = ProdGraph::new(&w.spec.grammar);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (_, run) = sample::sample_run(&w, &pg, &mut rng, run_size);
+    let labeler = fvl.labeler(&run);
+    let view = views::random_safe_view(&w, &mut rng, view_size);
+
+    let mut engine = QueryEngine::new(&fvl);
+    engine.insert_labels(labeler.labels());
+    let vid = engine.add_view(view);
+    for kind in VARIANTS {
+        engine.compile(vid, kind).unwrap();
+    }
+    let mut bytes = Vec::new();
+    engine.save(&mut bytes).unwrap();
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A snapshot-loaded engine answers `all_pairs` (and with it every
+    /// pairwise query, visibility included) identically to a freshly
+    /// labeled one, for all three variants. The item subset deliberately
+    /// includes the run's boundary items — labels whose `out` or `inp`
+    /// side is `None` exercise the store's root-pointing empty paths.
+    #[test]
+    fn loaded_engine_agrees_with_fresh_one(
+        seed in 0u64..500,
+        view_size in 2usize..10,
+        run_size in 40usize..200,
+    ) {
+        let w = bioaid(seed % 5);
+        let fvl = Fvl::new(&w.spec).unwrap();
+        let pg = ProdGraph::new(&w.spec.grammar);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (_, run) = sample::sample_run(&w, &pg, &mut rng, run_size);
+        let labeler = fvl.labeler(&run);
+        let view = views::random_safe_view(&w, &mut rng, view_size);
+
+        let mut fresh = QueryEngine::new(&fvl);
+        let items = fresh.insert_labels(labeler.labels());
+        let vid = fresh.add_view(view);
+        for kind in VARIANTS {
+            fresh.compile(vid, kind).unwrap();
+        }
+        let mut bytes = Vec::new();
+        fresh.save(&mut bytes).unwrap();
+        let mut loaded = QueryEngine::load(&fvl, &mut bytes.as_slice()).unwrap();
+
+        prop_assert_eq!(loaded.store().len(), fresh.store().len());
+        prop_assert_eq!(loaded.store().edge_stats(), fresh.store().edge_stats());
+        prop_assert_eq!(loaded.registry().view_count(), 1);
+        prop_assert_eq!(loaded.registry().compiled_count(), 3);
+
+        // Boundary items first (None-sided labels), then a spread of the
+        // run's interior.
+        let mut subset: Vec<_> = run
+            .initial_inputs()
+            .chain(run.final_outputs())
+            .map(|d| items[d.0 as usize])
+            .collect();
+        subset.extend(items.iter().copied().step_by(5));
+        subset.truncate(40);
+        for kind in VARIANTS {
+            let vref = ViewRef { id: vid, kind };
+            prop_assert_eq!(
+                loaded.all_pairs(vref, &subset),
+                fresh.all_pairs(vref, &subset),
+                "{:?}", kind
+            );
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_is_rejected_typed() {
+    let bytes = build_and_save(3, 60, 6);
+    // Every strict prefix must fail with a typed error — never panic,
+    // never succeed (the container checks the declared length first).
+    let w = bioaid(3);
+    let fvl = Fvl::new(&w.spec).unwrap();
+    for cut in 0..bytes.len() {
+        match QueryEngine::load(&fvl, &mut &bytes[..cut]) {
+            Err(_) => {}
+            Ok(_) => panic!("prefix of {cut} bytes loaded successfully"),
+        }
+    }
+}
+
+#[test]
+fn corruption_of_any_byte_is_rejected_typed() {
+    let bytes = build_and_save(4, 60, 6);
+    let w = bioaid(4);
+    let fvl = Fvl::new(&w.spec).unwrap();
+    // Flip one bit in each of a spread of byte positions (every byte would
+    // be slow at release-test sizes); all flips must be caught.
+    for i in (0..bytes.len()).step_by(7) {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0x10;
+        assert!(
+            QueryEngine::load(&fvl, &mut bad.as_slice()).is_err(),
+            "bit flip at byte {i} went undetected"
+        );
+    }
+}
+
+#[test]
+fn version_and_spec_mismatches_are_typed() {
+    let bytes = build_and_save(5, 60, 6);
+    let w = bioaid(5);
+    let fvl = Fvl::new(&w.spec).unwrap();
+
+    // Foreign format version.
+    let mut versioned = bytes.clone();
+    versioned[8] = 0x7F;
+    assert!(matches!(
+        QueryEngine::load(&fvl, &mut versioned.as_slice()),
+        Err(SnapshotError::UnsupportedVersion { found: 0x7F, .. })
+    ));
+
+    // Snapshot of a different specification.
+    let other = bioaid(1);
+    let other_fvl = Fvl::new(&other.spec).unwrap();
+    assert!(matches!(
+        QueryEngine::load(&other_fvl, &mut bytes.as_slice()),
+        Err(SnapshotError::SpecMismatch { .. })
+    ));
+
+    // Not a snapshot at all.
+    assert!(matches!(
+        QueryEngine::load(&fvl, &mut &b"definitely not a snapshot"[..]),
+        Err(SnapshotError::BadMagic)
+    ));
+    // Empty stream.
+    assert!(matches!(QueryEngine::load(&fvl, &mut &b""[..]), Err(SnapshotError::Truncated)));
+}
+
+#[test]
+fn save_load_save_is_byte_identical() {
+    // Determinism check: a loaded engine re-saves to the exact same bytes,
+    // so snapshots can be content-addressed / diffed.
+    let bytes = build_and_save(6, 80, 8);
+    let w = bioaid(6);
+    let fvl = Fvl::new(&w.spec).unwrap();
+    let loaded = QueryEngine::load(&fvl, &mut bytes.as_slice()).unwrap();
+    let mut again = Vec::new();
+    loaded.save(&mut again).unwrap();
+    assert_eq!(again, bytes);
+}
+
+#[test]
+fn loaded_engine_serves_and_reaches_steady_state() {
+    // A loaded engine is not just correct once: it serves batches
+    // allocation-free like a fresh one (scratch reaches a fixed point).
+    let w = bioaid(7);
+    let fvl = Fvl::new(&w.spec).unwrap();
+    let pg = ProdGraph::new(&w.spec.grammar);
+    let mut rng = StdRng::seed_from_u64(7);
+    let (_, run) = sample::sample_run(&w, &pg, &mut rng, 300);
+    let labeler = fvl.labeler(&run);
+    let view = views::random_safe_view(&w, &mut rng, 8);
+
+    let mut engine = QueryEngine::new(&fvl);
+    let items = engine.insert_labels(labeler.labels());
+    let vid = engine.add_view(view);
+    engine.compile(vid, VariantKind::Default).unwrap();
+    let mut bytes = Vec::new();
+    engine.save(&mut bytes).unwrap();
+    drop(engine);
+
+    let mut loaded = QueryEngine::load(&fvl, &mut bytes.as_slice()).unwrap();
+    // compile() on an already-compiled pair is a cheap handle lookup.
+    let vref = loaded.compile(vid, VariantKind::Default).unwrap();
+    let pairs = sample::sample_query_pairs(&run, &mut rng, 300);
+    let id_pairs: Vec<_> =
+        pairs.iter().map(|&(a, b)| (items[a.0 as usize], items[b.0 as usize])).collect();
+    let mut out = Vec::with_capacity(id_pairs.len());
+    loaded.query_batch_into(vref, &id_pairs, &mut out);
+    for (i, &(a, b)) in pairs.iter().enumerate() {
+        let want = fvl.query(
+            &fvl.label_view(loaded.registry().view(vid), VariantKind::Default).unwrap(),
+            labeler.label(a),
+            labeler.label(b),
+        );
+        assert_eq!(out[i], want, "pair {i}");
+    }
+    loaded.query_batch_into(vref, &id_pairs, &mut out);
+    let warm = loaded.scratch_stats();
+    for _ in 0..3 {
+        loaded.query_batch_into(vref, &id_pairs, &mut out);
+        assert_eq!(loaded.scratch_stats(), warm, "loaded engine scratch grew after warm-up");
+    }
+}

@@ -109,6 +109,25 @@ pub struct Run {
 }
 
 impl Run {
+    /// The degenerate run with no instances, items or steps.
+    ///
+    /// Not reachable by derivation — [`Run::start`] always seeds the start
+    /// module's boundary items — but serving-layer consumers (workload
+    /// generators, snapshot placeholders awaiting a history) must behave
+    /// sensibly when handed one, so it is constructible and they are tested
+    /// against it. Id-based accessors ([`Run::item`], [`Run::instance`])
+    /// have nothing to return and panic as they do for any out-of-range id.
+    pub fn empty() -> Self {
+        Self {
+            instances: Vec::new(),
+            items: Vec::new(),
+            steps: Vec::new(),
+            expanded_by: Vec::new(),
+            open: Vec::new(),
+            n_initial_inputs: 0,
+        }
+    }
+
     /// Starts a derivation: a single instance of the start module with its
     /// boundary data items.
     pub fn start(grammar: &Grammar) -> Self {

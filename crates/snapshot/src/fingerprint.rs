@@ -1,0 +1,68 @@
+//! Structural fingerprint of a specification.
+//!
+//! A snapshot holds compiled view labels and an interned trie whose field
+//! widths, production ids and cycle tables are all *relative to one
+//! grammar*; loading it into a different specification would decode
+//! garbage. The fingerprint hashes everything the payload encoding depends
+//! on — module signatures, the production right-hand sides, and the
+//! production-graph cycle structure — so a mismatch is caught at the
+//! header, before any payload bit is interpreted.
+
+use crate::container::Fnv1a;
+use wf_analysis::ProdGraph;
+use wf_model::Grammar;
+
+fn mix(h: &mut Fnv1a, v: u64) {
+    h.update(&v.to_le_bytes());
+}
+
+/// Hashes the structure of a grammar + production graph.
+pub fn spec_fingerprint(grammar: &Grammar, pg: &ProdGraph) -> u64 {
+    let mut h = Fnv1a::new();
+    mix(&mut h, grammar.module_count() as u64);
+    for m in grammar.modules() {
+        let sig = grammar.sig(m);
+        mix(&mut h, sig.inputs() as u64);
+        mix(&mut h, sig.outputs() as u64);
+        mix(&mut h, grammar.is_composite(m) as u64);
+    }
+    mix(&mut h, grammar.start().0 as u64);
+    mix(&mut h, grammar.production_count() as u64);
+    for (_, p) in grammar.productions() {
+        mix(&mut h, p.lhs.0 as u64);
+        mix(&mut h, p.rhs.node_count() as u64);
+        for &m in p.rhs.nodes() {
+            mix(&mut h, m.0 as u64);
+        }
+        for e in p.rhs.edges() {
+            mix(&mut h, e.from.node.index() as u64);
+            mix(&mut h, e.from.port as u64);
+            mix(&mut h, e.to.node.index() as u64);
+            mix(&mut h, e.to.port as u64);
+        }
+    }
+    mix(&mut h, pg.edge_count() as u64);
+    mix(&mut h, pg.cycle_count() as u64);
+    mix(&mut h, pg.max_cycle_len() as u64);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::fixtures::paper_example;
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let ex = paper_example();
+        let pg = ProdGraph::new(&ex.spec.grammar);
+        let a = spec_fingerprint(&ex.spec.grammar, &pg);
+        let b = spec_fingerprint(&ex.spec.grammar, &pg);
+        assert_eq!(a, b, "same grammar, same fingerprint");
+
+        // A structurally different grammar fingerprints differently.
+        let other = wf_model::fixtures::unsafe_example();
+        let opg = ProdGraph::new(&other.grammar);
+        assert_ne!(a, spec_fingerprint(&other.grammar, &opg));
+    }
+}

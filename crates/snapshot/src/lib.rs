@@ -1,0 +1,37 @@
+//! `wf-snapshot` — the versioned binary snapshot format for labeled runs.
+//!
+//! The paper's economics are "label once, query forever" (§4, §6.1): data
+//! labels are assigned online as the run executes and never change
+//! (Definition 10), and view labels are static per view. Yet without
+//! persistence every process restart re-pays the full labeling and
+//! view-compilation cost, and the §4.4.3 power caches re-run cycle-finding.
+//! This crate defines the on-disk container that makes warm starts cheap —
+//! in the spirit of the §5 bit-level codec (labels are *designed* to be
+//! compact enough to store) and of repository-scale provenance services,
+//! which assume a persisted index shared by many query processes.
+//!
+//! Three layers:
+//!
+//! * [`container`] — the byte-level envelope: magic, format version,
+//!   specification fingerprint, payload bit-length, FNV-1a checksum, then
+//!   the payload as one contiguous [`wf_bitio`] stream. Truncation,
+//!   corruption, version skew and spec mismatch are all rejected with
+//!   typed [`SnapshotError`]s before any payload bit is interpreted.
+//! * [`fingerprint`] — the structural spec hash stored in the header.
+//! * [`view`] — the snapshot form of a registered view `(Δ′, λ′)`.
+//!
+//! The payload *sections* live with the data they serialize:
+//! [`wf_core::snapshot`] provides matrix / dependency-assignment
+//! primitives and `ViewLabel::{write,read}_snapshot`; `wf-engine` layers
+//! the label-store trie and registry sections on top and exposes the
+//! user-facing `QueryEngine::save` / `QueryEngine::load`.
+
+pub mod container;
+pub mod error;
+pub mod fingerprint;
+pub mod view;
+
+pub use container::{read_container, write_container, Container, FORMAT_VERSION, MAGIC};
+pub use error::SnapshotError;
+pub use fingerprint::spec_fingerprint;
+pub use view::{read_view, write_view};

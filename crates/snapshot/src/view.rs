@@ -1,0 +1,77 @@
+//! Snapshot form of a registered [`View`].
+//!
+//! A view is `(Δ′, λ′)`: the expandable-module mask plus the perceived
+//! dependency matrices. Reconstruction goes through
+//! [`View::new_structural`], so a decoded view re-passes the same
+//! properness validation a freshly registered one would — corrupt masks are
+//! rejected with a typed error instead of flowing into label compilation.
+
+use crate::error::SnapshotError;
+use wf_bitio::{BitReader, BitWriter};
+use wf_core::snapshot::{read_deps, write_deps};
+use wf_model::{Grammar, View};
+
+/// Writes `Δ′` (one bit per grammar module) and `λ′`.
+pub fn write_view(w: &mut BitWriter, grammar: &Grammar, view: &View) {
+    for m in grammar.modules() {
+        w.push_bit(view.expands(m));
+    }
+    write_deps(w, &view.deps);
+}
+
+/// Inverse of [`write_view`]; re-validates the view against the grammar.
+pub fn read_view(r: &mut BitReader<'_>, grammar: &Grammar) -> Result<View, SnapshotError> {
+    let mut expand = Vec::new();
+    for m in grammar.modules() {
+        if r.read_bit()? {
+            expand.push(m);
+        }
+    }
+    let deps = read_deps(r, grammar.module_count())?;
+    View::new_structural(grammar, expand, deps)
+        .map_err(|_| SnapshotError::Malformed("view fails grammar validation"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::fixtures::paper_example;
+
+    #[test]
+    fn views_roundtrip() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        for view in [ex.view_u1(), ex.view_u2(), ex.spec.default_view()] {
+            let mut w = BitWriter::new();
+            write_view(&mut w, g, &view);
+            let bits = w.finish();
+            let mut r = BitReader::new(&bits);
+            let back = read_view(&mut r, g).unwrap();
+            assert_eq!(r.remaining(), 0);
+            assert_eq!(back.expand_mask(), view.expand_mask());
+            assert_eq!(back.deps.iter().count(), view.deps.iter().count());
+            for (m, mat) in view.deps.iter() {
+                assert_eq!(back.deps.get(m), Some(mat));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_mask_is_rejected_typed() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        // A flipped mask bit that marks an *atomic* module expandable can
+        // never come from a valid View; re-validation catches it.
+        let atomic = g.atomic_modules().next().unwrap();
+        let mut w = BitWriter::new();
+        for m in g.modules() {
+            w.push_bit(m == atomic);
+        }
+        write_deps(&mut w, &ex.spec.default_view().deps);
+        let bits = w.finish();
+        assert!(matches!(
+            read_view(&mut BitReader::new(&bits), g),
+            Err(SnapshotError::Malformed(_))
+        ));
+    }
+}

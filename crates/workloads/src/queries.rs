@@ -23,8 +23,12 @@ pub enum PairDist {
     HotKey { hot_items: usize, hot_prob: f64 },
 }
 
+/// Draws one endpoint. Callers guarantee `run.item_count() > 0` — the
+/// public entry points return empty workloads for empty runs instead of
+/// reaching the `gen_range(0..0)` panic this would otherwise hit.
 fn draw(run: &Run, rng: &mut impl Rng, dist: PairDist) -> DataId {
     let n = run.item_count() as u32;
+    debug_assert!(n > 0, "draw requires a non-empty run");
     match dist {
         PairDist::Uniform => DataId(rng.gen_range(0..n)),
         PairDist::HotKey { hot_items, hot_prob } => {
@@ -38,13 +42,18 @@ fn draw(run: &Run, rng: &mut impl Rng, dist: PairDist) -> DataId {
     }
 }
 
-/// `count` ordered query pairs drawn per `dist`.
+/// `count` ordered query pairs drawn per `dist`. An empty run has no items
+/// to query, so it yields an empty workload (not a panic) — a freshly
+/// started [`Run`] has zero items until its first derivation step.
 pub fn sample_pairs(
     run: &Run,
     rng: &mut impl Rng,
     count: usize,
     dist: PairDist,
 ) -> Vec<(DataId, DataId)> {
+    if run.item_count() == 0 {
+        return Vec::new();
+    }
     (0..count).map(|_| (draw(run, rng, dist), draw(run, rng, dist))).collect()
 }
 
@@ -66,10 +75,26 @@ pub struct MixSpec {
 }
 
 /// `count` operations, views drawn proportionally to their weights.
+///
+/// # Panics
+/// If `view_weights` is empty, contains a non-finite or negative weight,
+/// or sums to zero. Per-weight validation matters: a NaN weight would slip
+/// through a `total > 0.0` check only to poison the cumulative scan (NaN
+/// comparisons are all false, silently biasing every draw to the last
+/// view), and a negative weight shifts every successor's share.
 pub fn sample_mix(run: &Run, rng: &mut impl Rng, count: usize, spec: &MixSpec) -> Vec<QueryOp> {
     assert!(!spec.view_weights.is_empty(), "a mix needs at least one view");
+    for (i, &w) in spec.view_weights.iter().enumerate() {
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "view weight {i} is {w}: weights must be finite and non-negative"
+        );
+    }
     let total: f64 = spec.view_weights.iter().sum();
     assert!(total > 0.0, "view weights must have positive mass");
+    if run.item_count() == 0 {
+        return Vec::new();
+    }
     (0..count)
         .map(|_| {
             let mut x = rng.gen_range(0.0..total);
@@ -147,6 +172,46 @@ mod tests {
         assert!(ops.iter().all(|op| op.view < 2));
         let share = first as f64 / ops.len() as f64;
         assert!((0.68..0.82).contains(&share), "view-0 share {share}");
+    }
+
+    #[test]
+    fn empty_run_yields_empty_workloads() {
+        // Regression: a run with zero items used to hit `gen_range(0..0)`
+        // and panic inside `draw`.
+        let empty = Run::empty();
+        assert_eq!(empty.item_count(), 0);
+        let mut rng = StdRng::seed_from_u64(6);
+        for dist in [PairDist::Uniform, PairDist::HotKey { hot_items: 4, hot_prob: 0.9 }] {
+            assert!(sample_pairs(&empty, &mut rng, 100, dist).is_empty());
+        }
+        let spec = MixSpec { view_weights: vec![1.0, 2.0], dist: PairDist::Uniform };
+        assert!(sample_mix(&empty, &mut rng, 100, &spec).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_weight_rejected() {
+        // Regression: NaN sums to NaN, so the old `total > 0.0` assert let
+        // it through and the cumulative scan silently picked the last view.
+        let run = test_run();
+        let spec = MixSpec { view_weights: vec![1.0, f64::NAN], dist: PairDist::Uniform };
+        sample_mix(&run, &mut StdRng::seed_from_u64(7), 10, &spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_weight_rejected() {
+        let run = test_run();
+        let spec = MixSpec { view_weights: vec![2.0, -1.0, 1.0], dist: PairDist::Uniform };
+        sample_mix(&run, &mut StdRng::seed_from_u64(8), 10, &spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn infinite_weight_rejected() {
+        let run = test_run();
+        let spec = MixSpec { view_weights: vec![1.0, f64::INFINITY], dist: PairDist::Uniform };
+        sample_mix(&run, &mut StdRng::seed_from_u64(9), 10, &spec);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`run`] | `wf-run` | derivations, compressed parse trees, view projection, oracles |
 //! | [`fvl`] | `wf-core` | the FVL labeling scheme: data labels, view labels, π (§4) |
 //! | [`engine`] | `wf-engine` | batched, allocation-free query serving: view registry, interned label store |
+//! | [`snapshot`] | `wf-snapshot` | versioned, checksummed binary snapshots for warm-start serving |
 //! | [`drl`] | `wf-drl` | the black-box baseline of the evaluation (§6) |
 //! | [`workloads`] | `wf-workloads` | BioAID-like and Figure-26 synthetic generators |
 //!
@@ -51,4 +52,5 @@ pub use wf_drl as drl;
 pub use wf_engine as engine;
 pub use wf_model as model;
 pub use wf_run as run;
+pub use wf_snapshot as snapshot;
 pub use wf_workloads as workloads;
