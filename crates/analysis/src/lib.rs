@@ -24,7 +24,8 @@ pub mod recursion;
 pub mod safety;
 
 pub use matrices::{
-    i_matrix, o_matrix, production_matrices, rhs_closure, z_matrix, ProductionMatrices,
+    i_matrix, i_matrix_with, o_matrix, o_matrix_with, production_matrices, production_port_graph,
+    rhs_closure, z_matrix, z_matrix_with, ProductionMatrices,
 };
 pub use prodgraph::{CycleInfo, ProdGraph};
 pub use recursion::{classify, classify_with, is_linear_recursive, RecursionClass};

@@ -107,10 +107,24 @@ pub fn production_matrices(
 // structural instance-level closure used by Matrix-Free FVL / DRL (§6.4).
 // ---------------------------------------------------------------------
 
+/// Builds the port graph of production `k`'s RHS under `lambda` — the
+/// structure every on-demand `I`/`O`/`Z` search walks. Building it is the
+/// per-pair-invariant part of a Space-Efficient query (the searches depend
+/// on the requested ports; the graph depends only on the view): callers
+/// that evaluate many matrices of one production should build it once and
+/// use the `*_with` forms below.
+pub fn production_port_graph(grammar: &Grammar, k: ProdId, lambda: &DepAssignment) -> PortGraph {
+    PortGraph::build(&grammar.production(k).rhs, lambda)
+}
+
 /// Computes `I(k, i)` alone.
 pub fn i_matrix(grammar: &Grammar, k: ProdId, i: usize, lambda: &DepAssignment) -> BoolMat {
+    i_matrix_with(&production_port_graph(grammar, k, lambda), grammar, k, i)
+}
+
+/// [`i_matrix`] over a prebuilt [`production_port_graph`].
+pub fn i_matrix_with(pg: &PortGraph, grammar: &Grammar, k: ProdId, i: usize) -> BoolMat {
     let p = grammar.production(k);
-    let pg = PortGraph::build(&p.rhs, lambda);
     let lhs_sig = grammar.sig(p.lhs);
     let child_sig = grammar.sig(p.rhs.nodes()[i]);
     let mut mat = BoolMat::zeros(lhs_sig.inputs(), child_sig.inputs());
@@ -128,8 +142,12 @@ pub fn i_matrix(grammar: &Grammar, k: ProdId, i: usize, lambda: &DepAssignment) 
 
 /// Computes `O(k, i)` alone (reversed orientation, see module docs).
 pub fn o_matrix(grammar: &Grammar, k: ProdId, i: usize, lambda: &DepAssignment) -> BoolMat {
+    o_matrix_with(&production_port_graph(grammar, k, lambda), grammar, k, i)
+}
+
+/// [`o_matrix`] over a prebuilt [`production_port_graph`].
+pub fn o_matrix_with(pg: &PortGraph, grammar: &Grammar, k: ProdId, i: usize) -> BoolMat {
     let p = grammar.production(k);
-    let pg = PortGraph::build(&p.rhs, lambda);
     let lhs_sig = grammar.sig(p.lhs);
     let child_sig = grammar.sig(p.rhs.nodes()[i]);
     let mut mat = BoolMat::zeros(lhs_sig.outputs(), child_sig.outputs());
@@ -154,7 +172,17 @@ pub fn z_matrix(
     lambda: &DepAssignment,
 ) -> BoolMat {
     let p = grammar.production(k);
-    let pg = PortGraph::build(&p.rhs, lambda);
+    let si = grammar.sig(p.rhs.nodes()[i]);
+    let sj = grammar.sig(p.rhs.nodes()[j]);
+    if i >= j {
+        return BoolMat::zeros(si.outputs(), sj.inputs()); // topological order: always empty
+    }
+    z_matrix_with(&production_port_graph(grammar, k, lambda), grammar, k, i, j)
+}
+
+/// [`z_matrix`] over a prebuilt [`production_port_graph`].
+pub fn z_matrix_with(pg: &PortGraph, grammar: &Grammar, k: ProdId, i: usize, j: usize) -> BoolMat {
+    let p = grammar.production(k);
     let si = grammar.sig(p.rhs.nodes()[i]);
     let sj = grammar.sig(p.rhs.nodes()[j]);
     let mut mat = BoolMat::zeros(si.outputs(), sj.inputs());

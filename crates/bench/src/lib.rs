@@ -44,6 +44,42 @@ pub fn ns_per<T>(iters: usize, mut f: impl FnMut(usize) -> T) -> f64 {
     t.elapsed().as_secs_f64() * 1e9 / iters as f64
 }
 
+/// CPU time consumed by the whole process so far, in nanoseconds
+/// (`CLOCK_PROCESS_CPUTIME_ID`; covers every thread). `None` where the
+/// clock is unavailable (non-Linux).
+///
+/// The parallel-throughput bench pairs this with wall time: on a box with
+/// fewer cores than workers, wall time cannot show scaling, but
+/// `queries / CPU-second` still exposes whether the parallel path adds
+/// per-query overhead (locks, contention, cold caches) — which is the
+/// component of scaling the *code* controls, the rest being core count.
+pub fn process_cpu_ns() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        #[repr(C)]
+        struct Timespec {
+            tv_sec: i64,
+            tv_nsec: i64,
+        }
+        extern "C" {
+            fn clock_gettime(clock_id: i32, tp: *mut Timespec) -> i32;
+        }
+        const CLOCK_PROCESS_CPUTIME_ID: i32 = 2;
+        let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+        // SAFETY: `ts` is a valid, writable `timespec`-layout struct and
+        // the clock id is a compile-time constant the kernel knows.
+        let rc = unsafe { clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &mut ts) };
+        if rc == 0 {
+            return Some(ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64);
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
 /// Average and maximum encoded data-label size, in bits.
 pub fn label_bits_stats(fvl: &Fvl<'_>, labels: &[DataLabel]) -> (f64, usize) {
     let mut total = 0usize;
@@ -107,4 +143,24 @@ pub fn query_ns(
         let (a, b) = pairs[i % pairs.len()];
         fvl.query_unchecked(vl, &labels[a.0 as usize], &labels[b.0 as usize])
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_cpu_time_is_monotone_and_advances_under_load() {
+        let Some(before) = process_cpu_ns() else {
+            return; // clock unavailable on this platform; nothing to pin
+        };
+        // Burn a visible amount of CPU (~a few ms even on slow hosts).
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let after = process_cpu_ns().expect("clock was available a moment ago");
+        assert!(after > before, "CPU clock must advance under load");
+    }
 }

@@ -28,6 +28,19 @@ pub use mat::BoolMat;
 pub use pool::MatPool;
 pub use power::{pow, pow_into, PowMemo, PowerCache};
 
+// Pools and memos are owned per worker scratch and move across threads
+// with it; matrices and power caches are additionally shared read-only
+// from frozen view labels. The parallel serving layer relies on these
+// bounds holding structurally (plain owned data, no interior mutability).
+const _: () = {
+    const fn shared_across_threads<T: Send + Sync>() {}
+    const fn moved_into_a_thread<T: Send>() {}
+    shared_across_threads::<BoolMat>();
+    shared_across_threads::<PowerCache>();
+    moved_into_a_thread::<MatPool>();
+    moved_into_a_thread::<PowMemo>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -193,12 +193,24 @@ impl BoolMat {
 
     #[inline]
     fn matmul_bits(&self, other: &BoolMat, out: &mut BoolMat) {
+        let full = Self::col_mask(other.cols as usize);
         for (i, &row) in self.data.iter().enumerate() {
+            // All-zero source rows contribute nothing; `out` is freshly
+            // reset, so the zero result is already in place.
+            if row == 0 {
+                continue;
+            }
             let mut bits = row;
             let mut acc = 0u64;
             while bits != 0 {
                 let k = bits.trailing_zeros() as usize;
                 acc |= other.data[k];
+                if acc == full {
+                    // The row saturated every column: no further source bit
+                    // can add anything (reachability rows close fast, so
+                    // this fires often on transitively-closed matrices).
+                    break;
+                }
                 bits &= bits - 1;
             }
             out.data[i] = acc;
@@ -420,6 +432,56 @@ mod tests {
         let mut c = BoolMat::default();
         c.copy_from(&m);
         assert_eq!(c, m);
+    }
+
+    /// `matmul_bits` carries two shortcuts (zero-row skip, saturated-row
+    /// early exit); pin its output to the definitional triple loop on
+    /// pseudo-random matrices, deliberately including all-zero rows,
+    /// saturating rows, and the 0-column edge.
+    #[test]
+    fn matmul_matches_naive_product_on_random_matrices() {
+        let naive = |a: &BoolMat, b: &BoolMat| {
+            let mut out = BoolMat::zeros(a.rows(), b.cols());
+            for i in 0..a.rows() {
+                for j in 0..b.cols() {
+                    let mut v = false;
+                    for k in 0..a.cols() {
+                        v = v || (a.get(i, k) && b.get(k, j));
+                    }
+                    out.set(i, j, v);
+                }
+            }
+            out
+        };
+        let mut seed = 0xD1B5_4A32u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for trial in 0..200 {
+            let (r, m, c) = (1 + trial % 7, 1 + (trial / 7) % 9, (trial / 63) % 11);
+            let mut a = BoolMat::zeros(r, m);
+            let mut b = BoolMat::zeros(m, c);
+            for i in 0..r {
+                // Every fourth row all-zero (exercises the skip); every
+                // fifth all-ones (drives saturation in one step).
+                let bits = match i % 5 {
+                    0 if i % 4 == 0 => 0,
+                    4 => u64::MAX,
+                    _ => next(),
+                };
+                a.set_row_bits(i, bits);
+            }
+            for k in 0..m {
+                b.set_row_bits(k, if k % 3 == 0 { u64::MAX } else { next() });
+            }
+            assert_eq!(a.matmul(&b), naive(&a, &b), "trial {trial}: {r}x{m} * {m}x{c}");
+            // The in-place form must agree bit-for-bit, even over a dirty
+            // output buffer.
+            let mut out = BoolMat::complete(3, 3);
+            a.matmul_into(&b, &mut out);
+            assert_eq!(out, naive(&a, &b), "trial {trial} (into)");
+        }
     }
 
     #[test]

@@ -17,9 +17,10 @@ use crate::label::{DataLabel, LabelRef, PortRef};
 use crate::viewlabel::ViewLabel;
 use std::borrow::Cow;
 use std::collections::HashMap;
-use wf_analysis::ProdGraph;
+use std::sync::OnceLock;
+use wf_analysis::{i_matrix_with, o_matrix_with, production_port_graph, z_matrix_with, ProdGraph};
 use wf_boolmat::{BoolMat, MatPool, PowMemo};
-use wf_model::{Grammar, ProdId};
+use wf_model::{Grammar, PortGraph, ProdId};
 use wf_run::EdgeLabel;
 
 /// Reusable per-session query state: a [`MatPool`] of matrix buffers plus a
@@ -72,15 +73,66 @@ impl Default for QueryScratch {
 /// one view label. Construction is split from evaluation: build one per
 /// (view, session) — e.g. via [`crate::Fvl::session`] — and reuse it across
 /// queries instead of rebuilding per call.
+///
+/// For labels that recompute matrices by graph search (Space-Efficient),
+/// the context carries a lazy per-production cache of the searched
+/// [`PortGraph`]s: the graph depends only on the view, not on the queried
+/// pair, so it is built at most once per context instead of once per
+/// matrix access — the dominant per-pair-invariant cost of the
+/// Space-Efficient decode path. The cache uses [`OnceLock`] slots, so a
+/// `DecodeCtx` stays `Sync` and shareable across worker threads.
 pub struct DecodeCtx<'a> {
     pub grammar: &'a Grammar,
     pub pg: &'a ProdGraph,
     pub vl: &'a ViewLabel,
+    /// One lazily built port graph per production, allocated on the first
+    /// recompute (so contexts over materialized variants never pay for it,
+    /// and construction itself stays allocation-free).
+    se_graphs: OnceLock<Box<[OnceLock<PortGraph>]>>,
 }
 
 impl<'a> DecodeCtx<'a> {
     pub fn new(grammar: &'a Grammar, pg: &'a ProdGraph, vl: &'a ViewLabel) -> Self {
-        Self { grammar, pg, vl }
+        Self { grammar, pg, vl, se_graphs: OnceLock::new() }
+    }
+
+    /// The (cached) port graph of production `k` — the recompute path.
+    fn searched_graph(&self, k: ProdId) -> &PortGraph {
+        let slots = self.se_graphs.get_or_init(|| {
+            (0..self.grammar.production_count()).map(|_| OnceLock::new()).collect()
+        });
+        slots[k.index()]
+            .get_or_init(|| production_port_graph(self.grammar, k, self.vl.lambda_star()))
+    }
+
+    /// `I(k, i)` or `O(k, i)`: borrowed from the label when materialized,
+    /// recomputed over the cached port graph otherwise.
+    fn io_mat(&self, k: ProdId, i: u32, inputs: bool) -> Option<Cow<'_, BoolMat>> {
+        if !self.vl.prod_active(k) {
+            return None;
+        }
+        if let Some(m) = self.vl.materialized(k) {
+            let mat = if inputs { &m.i_mats[i as usize] } else { &m.o_mats[i as usize] };
+            return Some(Cow::Borrowed(mat));
+        }
+        let g = self.searched_graph(k);
+        Some(Cow::Owned(if inputs {
+            i_matrix_with(g, self.grammar, k, i as usize)
+        } else {
+            o_matrix_with(g, self.grammar, k, i as usize)
+        }))
+    }
+
+    /// `Z(k, i, j)` with the same borrow-or-recompute split.
+    fn z_mat(&self, k: ProdId, i: u32, j: u32) -> Option<Cow<'_, BoolMat>> {
+        if !self.vl.prod_active(k) {
+            return None;
+        }
+        if let Some(m) = self.vl.materialized(k) {
+            return Some(Cow::Borrowed(&m.z_mats[i as usize][j as usize]));
+        }
+        let g = self.searched_graph(k);
+        Some(Cow::Owned(z_matrix_with(g, self.grammar, k, i as usize, j as usize)))
     }
 
     /// Input arity of the module at position `i` of production `k`.
@@ -104,20 +156,17 @@ impl<'a> DecodeCtx<'a> {
     }
 
     /// The `I` or `O` matrix of one cycle edge (borrowed for materialized
-    /// variants; Space-Efficient recomputes, hence the `Cow`).
+    /// variants; Space-Efficient recomputes over the cached port graph,
+    /// hence the `Cow`).
     fn step_mat(&self, k: ProdId, i: u32, inputs: bool) -> Option<Cow<'_, BoolMat>> {
-        if inputs {
-            self.vl.i_mat(self.grammar, k, i)
-        } else {
-            self.vl.o_mat(self.grammar, k, i)
-        }
+        self.io_mat(k, i, inputs)
     }
 
     /// Algorithm 1, `Inputs`: the reachability matrix selected by one edge
     /// label. Allocating convenience wrapper over the scratch-threaded path.
     pub fn inputs_of(&self, e: &EdgeLabel) -> Option<Cow<'_, BoolMat>> {
         match *e {
-            EdgeLabel::Plain { k, i } => self.vl.i_mat(self.grammar, k, i),
+            EdgeLabel::Plain { k, i } => self.io_mat(k, i, true),
             EdgeLabel::Rec { s, t, i } => self.inputs_chain(s, t as usize, i).map(Cow::Owned),
         }
     }
@@ -125,7 +174,7 @@ impl<'a> DecodeCtx<'a> {
     /// Algorithm 1's dual for output ports.
     pub fn outputs_of(&self, e: &EdgeLabel) -> Option<Cow<'_, BoolMat>> {
         match *e {
-            EdgeLabel::Plain { k, i } => self.vl.o_mat(self.grammar, k, i),
+            EdgeLabel::Plain { k, i } => self.io_mat(k, i, false),
             EdgeLabel::Rec { s, t, i } => self.outputs_chain(s, t as usize, i).map(Cow::Owned),
         }
     }
@@ -268,6 +317,22 @@ impl<'a> DecodeCtx<'a> {
     }
 }
 
+// The parallel serving path (`wf-engine`) shares one `DecodeCtx` across
+// worker threads (`&self` access only) and moves one `QueryScratch` into
+// each worker. These bounds are load-bearing API, not accidents of the
+// current field types: adding interior mutability without a thread-safe
+// primitive, or an `Rc`, must fail to compile here rather than at a
+// distant use site.
+const _: () = {
+    const fn shared_across_threads<T: Send + Sync>() {}
+    const fn moved_into_a_thread<T: Send>() {}
+    shared_across_threads::<DecodeCtx<'static>>();
+    shared_across_threads::<ViewLabel>();
+    shared_across_threads::<Grammar>();
+    shared_across_threads::<ProdGraph>();
+    moved_into_a_thread::<QueryScratch>();
+};
+
 /// Algorithm 2: `π(φr(d1), φr(d2), φv(U))` — true iff `d2` depends on `d1`
 /// w.r.t. the view. `None` when a label refers outside the view.
 ///
@@ -339,7 +404,7 @@ fn main_case(
             if i >= j {
                 return Some(false); // Z(k,i,j) is empty for i ≥ j
             }
-            let z = ctx.vl.z_mat(ctx.grammar, k, i, j)?;
+            let z = ctx.z_mat(k, i, j)?;
             let mut o = scratch.pool.take();
             let mut im = scratch.pool.take();
             let mut t1 = scratch.pool.take();
@@ -378,7 +443,7 @@ fn main_case(
                 if ip >= jp {
                     return Some(false); // Z(k', i', j') is empty
                 }
-                let z = ctx.vl.z_mat(ctx.grammar, kp, ip, jp)?;
+                let z = ctx.z_mat(kp, ip, jp)?;
                 let in_dim = ctx.cycle_in_dim(s, t as usize + b as usize)?;
                 let mut o = scratch.pool.take();
                 let mut i_chain = scratch.pool.take();
@@ -415,7 +480,7 @@ fn main_case(
                 if jq >= iq {
                     return Some(false); // Z(k'', j'', i'') is empty
                 }
-                let z = ctx.vl.z_mat(ctx.grammar, kq, jq, iq)?;
+                let z = ctx.z_mat(kq, jq, iq)?;
                 let out_dim = ctx.cycle_out_dim(s, t as usize + a as usize)?;
                 let mut o_chain = scratch.pool.take();
                 let mut o_fold = scratch.pool.take();

@@ -150,6 +150,14 @@ impl<'a> Fvl<'a> {
     }
 }
 
+// A frozen serving core shares `&Fvl` across worker threads; the scheme
+// object must stay free of interior mutability (see the matching
+// assertions in `decode`).
+const _: () = {
+    const fn shared_across_threads<T: Send + Sync>() {}
+    shared_across_threads::<Fvl<'static>>();
+};
+
 /// A query session: one [`DecodeCtx`] (built once per view) plus one
 /// [`QueryScratch`] reused across queries. In steady state — once the pool
 /// has warmed up and every distinct recursion-chain exponent has been seen —

@@ -203,6 +203,14 @@ impl ViewLabel {
         self.cycles.get(s as usize).and_then(|c| c.as_ref())
     }
 
+    /// The materialized matrices of production `k`, when this variant
+    /// stores them (`None` for Space-Efficient labels, which recompute by
+    /// graph search over [`crate::DecodeCtx`]'s cached port graphs
+    /// instead).
+    pub(crate) fn materialized(&self, k: ProdId) -> Option<&ProductionMatrices> {
+        self.mats[k.index()].as_ref()
+    }
+
     /// Serializes the compiled label into `w` (the snapshot wire form; see
     /// DESIGN.md S6 for the layout). `λ*(S)` is not written — it is, by
     /// construction, `λ*`'s entry for the start module and is re-derived on

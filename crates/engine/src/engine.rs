@@ -1,15 +1,13 @@
 //! The batched query engine tying registry, store and scratch together.
 
+use crate::error::EngineError;
+use crate::frozen::{EngineCore, WorkerScratch};
 use crate::registry::{ViewId, ViewRef, ViewRegistry};
 use crate::store::{ItemId, LabelStore};
 use std::io::{Read, Write};
 use wf_bitio::{BitReader, BitWriter};
-use wf_core::{
-    is_visible_ref, pi_with, DataLabel, DecodeCtx, Fvl, FvlError, LabelRef, QueryScratch,
-    VariantKind,
-};
+use wf_core::{DataLabel, Fvl, FvlError, VariantKind};
 use wf_model::View;
-use wf_run::EdgeLabel;
 use wf_snapshot::{read_container, spec_fingerprint, write_container, SnapshotError};
 
 /// Section tags inside the snapshot payload (one byte each, in order).
@@ -22,20 +20,21 @@ const SECTION_REGISTRY: u64 = 0x02;
 /// The serving shape the paper's constant-time bound actually pays off in
 /// is *many queries against one view* — repository search, lineage
 /// tracing, per-view provenance feeds. `QueryEngine` serves that shape
-/// allocation-free in steady state: the [`DecodeCtx`] per view is implicit
-/// in the registry, path buffers and matrix scratch are engine-owned, and
-/// the chain-power memo is keyed by each compiled label's process-unique
-/// uid — so arbitrarily interleaved views stay warm and can never poison
-/// one another.
+/// allocation-free in steady state: the decode context per view is implicit
+/// in the registry, path buffers and matrix scratch live in an engine-owned
+/// [`WorkerScratch`], and the chain-power memo is keyed by each compiled
+/// label's process-unique uid — so arbitrarily interleaved views stay warm
+/// and can never poison one another.
+///
+/// For multi-core serving, [`QueryEngine::freeze`] yields the immutable,
+/// `Sync` half ([`EngineCore`]) which answers queries through `&self` plus
+/// a caller-owned [`WorkerScratch`] per thread; [`QueryEngine::par_query_batch`]
+/// and [`QueryEngine::par_all_pairs`] are the one-call forms.
 pub struct QueryEngine<'a> {
     fvl: &'a Fvl<'a>,
     registry: ViewRegistry,
     store: LabelStore,
-    scratch: QueryScratch,
-    buf_o1: Vec<EdgeLabel>,
-    buf_i1: Vec<EdgeLabel>,
-    buf_o2: Vec<EdgeLabel>,
-    buf_i2: Vec<EdgeLabel>,
+    worker: WorkerScratch,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -44,11 +43,7 @@ impl<'a> QueryEngine<'a> {
             fvl,
             registry: ViewRegistry::new(),
             store: LabelStore::new(),
-            scratch: QueryScratch::new(),
-            buf_o1: Vec::new(),
-            buf_i1: Vec::new(),
-            buf_o2: Vec::new(),
-            buf_i2: Vec::new(),
+            worker: WorkerScratch::new(),
         }
     }
 
@@ -62,6 +57,15 @@ impl<'a> QueryEngine<'a> {
 
     pub fn registry(&self) -> &ViewRegistry {
         &self.registry
+    }
+
+    /// Freezes the engine into its immutable serving core: a cheap,
+    /// copyable bundle of references that answers queries through `&self`
+    /// and a per-thread [`WorkerScratch`]. Registration and compilation
+    /// need `&mut self` again, so a frozen core serves a *fixed* set of
+    /// compiled views — exactly the steady state of a provenance service.
+    pub fn freeze(&self) -> EngineCore<'_> {
+        EngineCore::new(self.fvl, &self.registry, &self.store)
     }
 
     /// Registers a view without compiling any variant yet.
@@ -95,32 +99,51 @@ impl<'a> QueryEngine<'a> {
     /// `None` iff either item is invisible in the view. Semantics match
     /// [`Fvl::query`] exactly; only the cost model differs.
     ///
-    /// Panics if `view` was never compiled in this engine.
+    /// Panics on an uncompiled view or out-of-range item —
+    /// [`QueryEngine::try_query`] is the non-panicking form.
     pub fn query(&mut self, view: ViewRef, a: ItemId, b: ItemId) -> Option<bool> {
-        let vl = self.registry.label(view).expect("view compiled in this engine");
-        let ctx = DecodeCtx::new(&self.fvl.spec().grammar, self.fvl.prod_graph(), vl);
-        let r1 = self.store.label_ref(a, &mut self.buf_o1, &mut self.buf_i1);
-        let r2 = self.store.label_ref(b, &mut self.buf_o2, &mut self.buf_i2);
-        query_one(&ctx, &mut self.scratch, r1, r2)
+        self.try_query(view, a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`QueryEngine::query`] with the handle-validity contract surfaced as
+    /// a typed [`EngineError`] instead of a panic — for services that
+    /// accept view handles or item ids from outside their own process.
+    pub fn try_query(
+        &mut self,
+        view: ViewRef,
+        a: ItemId,
+        b: ItemId,
+    ) -> Result<Option<bool>, EngineError> {
+        let core = EngineCore::new(self.fvl, &self.registry, &self.store);
+        core.try_query(&mut self.worker, view, a, b)
     }
 
     /// Answers a batch of pairs into a caller-owned buffer (cleared first);
     /// steady state performs no allocation. One visibility check + π per
     /// pair, context setup and memo warm-up amortized across the batch.
+    ///
+    /// Panics on an uncompiled view or out-of-range item —
+    /// [`QueryEngine::try_query_batch_into`] is the non-panicking form.
     pub fn query_batch_into(
         &mut self,
         view: ViewRef,
         pairs: &[(ItemId, ItemId)],
         out: &mut Vec<Option<bool>>,
     ) {
-        out.clear();
-        let vl = self.registry.label(view).expect("view compiled in this engine");
-        let ctx = DecodeCtx::new(&self.fvl.spec().grammar, self.fvl.prod_graph(), vl);
-        for &(a, b) in pairs {
-            let r1 = self.store.label_ref(a, &mut self.buf_o1, &mut self.buf_i1);
-            let r2 = self.store.label_ref(b, &mut self.buf_o2, &mut self.buf_i2);
-            out.push(query_one(&ctx, &mut self.scratch, r1, r2));
-        }
+        self.try_query_batch_into(view, pairs, out).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Typed-error form of [`QueryEngine::query_batch_into`]. The view and
+    /// every item are validated before any pair is answered, so on `Err`
+    /// the output buffer is left empty, never partially filled.
+    pub fn try_query_batch_into(
+        &mut self,
+        view: ViewRef,
+        pairs: &[(ItemId, ItemId)],
+        out: &mut Vec<Option<bool>>,
+    ) -> Result<(), EngineError> {
+        let core = EngineCore::new(self.fvl, &self.registry, &self.store);
+        core.try_query_batch_into(&mut self.worker, view, pairs, out)
     }
 
     /// Allocating convenience form of [`QueryEngine::query_batch_into`].
@@ -130,32 +153,43 @@ impl<'a> QueryEngine<'a> {
         out
     }
 
+    /// [`QueryEngine::query_batch`] fanned out across `threads` scoped
+    /// worker threads over the frozen core — takes `&self`, not `&mut
+    /// self`: parallel serving never mutates the engine. Results are
+    /// element-for-element identical to [`QueryEngine::query_batch`] (the
+    /// shards are contiguous and merged deterministically).
+    pub fn par_query_batch(
+        &self,
+        view: ViewRef,
+        pairs: &[(ItemId, ItemId)],
+        threads: usize,
+    ) -> Vec<Option<bool>> {
+        self.freeze().par_query_batch(view, pairs, threads)
+    }
+
+    /// Typed-error form of [`QueryEngine::par_query_batch`].
+    pub fn try_par_query_batch(
+        &self,
+        view: ViewRef,
+        pairs: &[(ItemId, ItemId)],
+        threads: usize,
+    ) -> Result<Vec<Option<bool>>, EngineError> {
+        self.freeze().try_par_query_batch(view, pairs, threads)
+    }
+
     /// Sweeps every ordered pair of `items`, collecting the dependent ones
     /// (`query == Some(true)`) into `out` (cleared first).
+    ///
+    /// Panics on an uncompiled view or out-of-range item.
     pub fn all_pairs_into(
         &mut self,
         view: ViewRef,
         items: &[ItemId],
         out: &mut Vec<(ItemId, ItemId)>,
     ) {
-        out.clear();
-        let vl = self.registry.label(view).expect("view compiled in this engine");
-        let ctx = DecodeCtx::new(&self.fvl.spec().grammar, self.fvl.prod_graph(), vl);
-        for &a in items {
-            let r1 = self.store.label_ref(a, &mut self.buf_o1, &mut self.buf_i1);
-            if !is_visible_ref(r1, ctx.vl, ctx.pg) {
-                continue;
-            }
-            for &b in items {
-                let r2 = self.store.label_ref(b, &mut self.buf_o2, &mut self.buf_i2);
-                if !is_visible_ref(r2, ctx.vl, ctx.pg) {
-                    continue;
-                }
-                if pi_with(&ctx, &mut self.scratch, r1, r2) == Some(true) {
-                    out.push((a, b));
-                }
-            }
-        }
+        let core = EngineCore::new(self.fvl, &self.registry, &self.store);
+        core.try_all_pairs_into(&mut self.worker, view, items, out)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Allocating convenience form of [`QueryEngine::all_pairs_into`].
@@ -165,9 +199,20 @@ impl<'a> QueryEngine<'a> {
         out
     }
 
+    /// [`QueryEngine::all_pairs`] sharded by rows across `threads` scoped
+    /// workers (`&self`; output order identical to the sequential sweep).
+    pub fn par_all_pairs(
+        &self,
+        view: ViewRef,
+        items: &[ItemId],
+        threads: usize,
+    ) -> Vec<(ItemId, ItemId)> {
+        self.freeze().par_all_pairs(view, items, threads)
+    }
+
     /// Scratch diagnostics: (pooled matrices, memoized chain powers).
     pub fn scratch_stats(&self) -> (usize, usize) {
-        (self.scratch.pooled_mats(), self.scratch.memoized_powers())
+        self.worker.stats()
     }
 
     /// Persists everything this engine serves from — the interned label
@@ -217,16 +262,7 @@ impl<'a> QueryEngine<'a> {
         if r.remaining() != 0 {
             return Err(SnapshotError::Malformed("trailing payload bits"));
         }
-        Ok(Self {
-            fvl,
-            registry,
-            store,
-            scratch: QueryScratch::new(),
-            buf_o1: Vec::new(),
-            buf_i1: Vec::new(),
-            buf_o2: Vec::new(),
-            buf_i2: Vec::new(),
-        })
+        Ok(Self { fvl, registry, store, worker: WorkerScratch::new() })
     }
 }
 
@@ -235,17 +271,4 @@ fn expect_section(r: &mut BitReader<'_>, tag: u64) -> Result<(), SnapshotError> 
         return Err(SnapshotError::Malformed("unexpected section tag"));
     }
     Ok(())
-}
-
-/// Visibility pre-check + π — the shared per-pair kernel.
-fn query_one(
-    ctx: &DecodeCtx<'_>,
-    scratch: &mut QueryScratch,
-    r1: LabelRef<'_>,
-    r2: LabelRef<'_>,
-) -> Option<bool> {
-    if !is_visible_ref(r1, ctx.vl, ctx.pg) || !is_visible_ref(r2, ctx.vl, ctx.pg) {
-        return None;
-    }
-    pi_with(ctx, scratch, r1, r2)
 }

@@ -1,0 +1,34 @@
+//! Typed serving-layer errors.
+
+use crate::registry::ViewRef;
+use crate::store::ItemId;
+
+/// What can go wrong when issuing a query against an engine: the handle
+/// refers to a `(view, variant)` that was never compiled here, or an item
+/// id falls outside the interned store. Both are *caller* mistakes — the
+/// engine itself never produces invalid handles — so the panicking entry
+/// points treat them as bugs, while the `try_*` forms surface them to
+/// services that accept handles from untrusted sessions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineError {
+    /// The `(view, variant)` pair was registered but never compiled in this
+    /// engine (or the id belongs to a different engine).
+    ViewNotCompiled { view: ViewRef },
+    /// The item id is not an index into this engine's label store.
+    ItemOutOfRange { item: ItemId, len: usize },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::ViewNotCompiled { view } => {
+                write!(f, "view {:?}/{:?} was not compiled in this engine", view.id, view.kind)
+            }
+            EngineError::ItemOutOfRange { item, len } => {
+                write!(f, "item {:?} is out of range for a store of {len} labels", item)
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

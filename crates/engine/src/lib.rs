@@ -13,7 +13,13 @@
 //!   threading one reusable [`wf_core::QueryScratch`] through the
 //!   scratch-aware decode path ([`wf_core::pi_with`]), so steady-state
 //!   serving performs no heap allocation and Default-variant recursion
-//!   chains are exponentiated once per distinct exponent, not per query.
+//!   chains are exponentiated once per distinct exponent, not per query;
+//! * [`EngineCore`] / [`WorkerScratch`] — the engine frozen into an
+//!   immutable, `Sync` read path plus per-thread mutable state, so one
+//!   compiled engine serves queries from as many cores as the host has:
+//!   `par_query_batch` / `par_all_pairs` shard a workload across
+//!   `std::thread::scope` workers and merge deterministically, answering
+//!   exactly like the sequential path.
 //!
 //! Engines additionally persist themselves: [`QueryEngine::save`] writes
 //! the interned store, the registered views and every compiled label
@@ -48,10 +54,14 @@
 //! ```
 
 mod engine;
+mod error;
+mod frozen;
 mod registry;
 mod store;
 
 pub use engine::QueryEngine;
+pub use error::EngineError;
+pub use frozen::{EngineCore, WorkerScratch};
 pub use registry::{ViewId, ViewRef, ViewRegistry};
 pub use store::{ItemId, LabelStore};
 // The error type `QueryEngine::save` / `QueryEngine::load` surface, so

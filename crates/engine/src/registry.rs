@@ -70,9 +70,11 @@ impl ViewRegistry {
         Ok(ViewRef { id, kind })
     }
 
-    /// The compiled label of a handle (`None` if never compiled).
+    /// The compiled label of a handle (`None` if never compiled, or if the
+    /// id belongs to some other registry — foreign handles must surface as
+    /// a typed error through the engine's `try_*` API, never a panic).
     pub fn label(&self, r: ViewRef) -> Option<&ViewLabel> {
-        self.compiled[r.id.0 as usize][slot(r.kind)].as_ref()
+        self.compiled.get(r.id.0 as usize).and_then(|slots| slots[slot(r.kind)].as_ref())
     }
 
     /// Number of registered views.

@@ -1,0 +1,217 @@
+//! The parallel read path must be indistinguishable from the sequential
+//! one: same answers, element for element, for every variant and any
+//! thread count — and concurrent workers with separate scratches must stay
+//! sound even when they interleave views arbitrarily.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wf_analysis::ProdGraph;
+use wf_core::{Fvl, VariantKind};
+use wf_engine::{EngineError, ItemId, QueryEngine, ViewRef, WorkerScratch};
+use wf_workloads::queries::{sample_pairs, PairDist};
+use wf_workloads::{bioaid, sample, views};
+
+const VARIANTS: [VariantKind; 3] =
+    [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `par_query_batch` agrees element-wise with the sequential batch for
+    /// all three variants and thread counts {1, 2, 4} (including counts
+    /// exceeding the pair count, which the clamp handles).
+    #[test]
+    fn par_query_batch_agrees_with_sequential(
+        seed in 0u64..300,
+        run_size in 60usize..300,
+        view_size in 2usize..10,
+    ) {
+        let w = bioaid(seed % 7);
+        let fvl = Fvl::new(&w.spec).unwrap();
+        let pg = ProdGraph::new(&w.spec.grammar);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (_, run) = sample::sample_run(&w, &pg, &mut rng, run_size);
+        let labeler = fvl.labeler(&run);
+        let view = views::random_safe_view(&w, &mut rng, view_size);
+
+        let mut engine = QueryEngine::new(&fvl);
+        let items = engine.insert_labels(labeler.labels());
+        let vid = engine.add_view(view);
+        let pairs = sample_pairs(&run, &mut rng, 200, PairDist::Uniform);
+        let id_pairs: Vec<_> =
+            pairs.iter().map(|&(a, b)| (items[a.0 as usize], items[b.0 as usize])).collect();
+
+        // One set of worker scratches reused across every variant and
+        // thread count below: warm, cross-view scratch reuse must be as
+        // sound in the parallel path as it is sequentially.
+        let mut warm: Vec<_> = (0..4).map(|_| WorkerScratch::new()).collect();
+        for kind in VARIANTS {
+            let vref = engine.compile(vid, kind).unwrap();
+            let sequential = engine.query_batch(vref, &id_pairs);
+            for threads in [1usize, 2, 4] {
+                let parallel = engine.par_query_batch(vref, &id_pairs, threads);
+                prop_assert_eq!(&parallel, &sequential, "{:?} x{} threads", kind, threads);
+                let reused = engine
+                    .freeze()
+                    .try_par_query_batch_with(&mut warm[..threads], vref, &id_pairs)
+                    .unwrap();
+                prop_assert_eq!(&reused, &sequential, "{:?} x{} warm scratches", kind, threads);
+            }
+        }
+    }
+
+    /// Row-sharded `par_all_pairs` returns exactly the sequential sweep —
+    /// same pairs, same (row-major) order.
+    #[test]
+    fn par_all_pairs_agrees_with_sequential(
+        seed in 0u64..300,
+        run_size in 40usize..160,
+    ) {
+        let w = bioaid(seed % 5);
+        let fvl = Fvl::new(&w.spec).unwrap();
+        let pg = ProdGraph::new(&w.spec.grammar);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (_, run) = sample::sample_run(&w, &pg, &mut rng, run_size);
+        let labeler = fvl.labeler(&run);
+        let view = views::random_safe_view(&w, &mut rng, 8);
+
+        let mut engine = QueryEngine::new(&fvl);
+        let items = engine.insert_labels(labeler.labels());
+        let vref = engine.register_view(view, VariantKind::Default).unwrap();
+        let subset: Vec<_> = items.iter().copied().step_by(2).collect();
+        let sequential = engine.all_pairs(vref, &subset);
+        for threads in [1usize, 2, 4] {
+            let parallel = engine.par_all_pairs(vref, &subset, threads);
+            prop_assert_eq!(&parallel, &sequential, "x{} threads", threads);
+        }
+    }
+}
+
+/// Two workers hammering *different* views through one shared frozen core,
+/// each with its own `WorkerScratch`, must both answer exactly like the
+/// sequential engine: per-worker chain-power memos are keyed by view uid,
+/// so concurrent interleaving across views cannot poison either side.
+#[test]
+fn interleaved_views_across_threads_stay_sound() {
+    let w = bioaid(13);
+    let fvl = Fvl::new(&w.spec).unwrap();
+    let pg = ProdGraph::new(&w.spec.grammar);
+    let mut rng = StdRng::seed_from_u64(13);
+    let (_, run) = sample::sample_run(&w, &pg, &mut rng, 400);
+    let labeler = fvl.labeler(&run);
+    let view_a = views::random_safe_view(&w, &mut rng, 6);
+    let view_b = views::random_safe_view(&w, &mut rng, 12);
+
+    let mut engine = QueryEngine::new(&fvl);
+    let items = engine.insert_labels(labeler.labels());
+    let ra = engine.register_view(view_a, VariantKind::Default).unwrap();
+    let rb = engine.register_view(view_b, VariantKind::SpaceEfficient).unwrap();
+
+    let pairs =
+        sample_pairs(&run, &mut rng, 300, PairDist::HotKey { hot_items: 16, hot_prob: 0.5 });
+    let id_pairs: Vec<_> =
+        pairs.iter().map(|&(a, b)| (items[a.0 as usize], items[b.0 as usize])).collect();
+
+    // Sequential reference, per view.
+    let want_a = engine.query_batch(ra, &id_pairs);
+    let want_b = engine.query_batch(rb, &id_pairs);
+
+    let core = engine.freeze();
+    let id_pairs = &id_pairs;
+    std::thread::scope(|s| {
+        // Each worker alternates between the two views on every query —
+        // the worst case for memo confusion — with its own scratch. The
+        // two workers run opposite phases, so at any instant the core is
+        // (likely) serving both views at once.
+        for flip in [0usize, 1] {
+            let (want_a, want_b) = (&want_a, &want_b);
+            s.spawn(move || {
+                let mut ws = WorkerScratch::new();
+                for (i, &(a, b)) in id_pairs.iter().enumerate() {
+                    let (view, want) =
+                        if (i + flip) % 2 == 0 { (ra, want_a[i]) } else { (rb, want_b[i]) };
+                    let got = core.query(&mut ws, view, a, b);
+                    assert_eq!(got, want, "worker {flip}, query {i}");
+                }
+                // The worker's scratch warmed up per-view memo entries and
+                // stayed private; clearing it is local to this worker.
+                assert!(ws.stats().0 > 0 || ws.stats().1 > 0);
+                ws.clear_memo();
+            });
+        }
+    });
+}
+
+/// The typed API surfaces caller mistakes as values; the classic entry
+/// points still panic (documented contract).
+#[test]
+fn try_api_reports_uncompiled_views_and_bad_items() {
+    let w = bioaid(2);
+    let fvl = Fvl::new(&w.spec).unwrap();
+    let pg = ProdGraph::new(&w.spec.grammar);
+    let mut rng = StdRng::seed_from_u64(2);
+    let (_, run) = sample::sample_run(&w, &pg, &mut rng, 80);
+    let labeler = fvl.labeler(&run);
+    let view = views::random_safe_view(&w, &mut rng, 6);
+
+    let mut engine = QueryEngine::new(&fvl);
+    let items = engine.insert_labels(labeler.labels());
+    let vid = engine.add_view(view);
+    let compiled = engine.compile(vid, VariantKind::Default).unwrap();
+
+    // A handle for a variant that was never compiled.
+    let uncompiled = ViewRef { id: vid, kind: VariantKind::QueryEfficient };
+    assert_eq!(
+        engine.try_query(uncompiled, items[0], items[1]),
+        Err(EngineError::ViewNotCompiled { view: uncompiled })
+    );
+    let mut out = Vec::new();
+    out.push(Some(true)); // must be cleared, not appended to, on error
+    assert!(engine.try_query_batch_into(uncompiled, &[(items[0], items[1])], &mut out).is_err());
+    assert!(out.is_empty(), "failed batch must leave the output empty");
+
+    // An item id from some other engine's store.
+    let alien = ItemId(items.len() as u32 + 7);
+    assert_eq!(
+        engine.try_query(compiled, items[0], alien),
+        Err(EngineError::ItemOutOfRange { item: alien, len: items.len() })
+    );
+    assert!(engine.try_par_query_batch(compiled, &[(alien, items[0])], 2).is_err());
+    assert_eq!(
+        engine.freeze().try_par_all_pairs(uncompiled, &items[..4], 2),
+        Err(EngineError::ViewNotCompiled { view: uncompiled })
+    );
+
+    // Errors render for operators.
+    let msg = EngineError::ItemOutOfRange { item: alien, len: items.len() }.to_string();
+    assert!(msg.contains("out of range"), "{msg}");
+
+    // Valid input still answers through every path.
+    let got = engine.try_query(compiled, items[0], items[1]).unwrap();
+    assert_eq!(got, engine.query(compiled, items[0], items[1]));
+
+    // And the panicking wrapper does panic on the bad handle.
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.query(uncompiled, items[0], items[1])
+    }));
+    assert!(panicked.is_err(), "query on an uncompiled view must panic");
+}
+
+/// Empty inputs are served, not special-cased away.
+#[test]
+fn parallel_paths_handle_empty_inputs() {
+    let w = bioaid(4);
+    let fvl = Fvl::new(&w.spec).unwrap();
+    let pg = ProdGraph::new(&w.spec.grammar);
+    let mut rng = StdRng::seed_from_u64(4);
+    let (_, run) = sample::sample_run(&w, &pg, &mut rng, 50);
+    let labeler = fvl.labeler(&run);
+    let view = views::random_safe_view(&w, &mut rng, 6);
+
+    let mut engine = QueryEngine::new(&fvl);
+    engine.insert_labels(labeler.labels());
+    let vref = engine.register_view(view, VariantKind::Default).unwrap();
+    assert!(engine.par_query_batch(vref, &[], 4).is_empty());
+    assert!(engine.par_all_pairs(vref, &[], 4).is_empty());
+}

@@ -111,6 +111,40 @@ pub fn sample_mix(run: &Run, rng: &mut impl Rng, count: usize, spec: &MixSpec) -
         .collect()
 }
 
+/// Per-worker query streams for concurrent serving: `workers` independent
+/// streams of `per_worker` pairs each, all drawn from `dist`. Streams are
+/// materialized worker-by-worker from the single `rng`, so the whole
+/// workload is deterministic per seed while no two workers share a stream
+/// — the shape a parallel read path (`wf-engine`'s `par_query_batch` /
+/// per-thread `WorkerScratch` serving) is driven with. An empty run yields
+/// `workers` empty streams.
+pub fn worker_streams(
+    run: &Run,
+    rng: &mut impl Rng,
+    workers: usize,
+    per_worker: usize,
+    dist: PairDist,
+) -> Vec<Vec<(DataId, DataId)>> {
+    (0..workers).map(|_| sample_pairs(run, rng, per_worker, dist)).collect()
+}
+
+/// Shards a multi-view operation stream round-robin across `workers`,
+/// preserving each worker's relative order — the deterministic split used
+/// when one generated [`sample_mix`] stream is served by several threads.
+/// Operation `i` lands on worker `i % workers`, so re-interleaving the
+/// shards reproduces the original stream exactly.
+///
+/// # Panics
+/// If `workers` is zero.
+pub fn shard_round_robin(ops: &[QueryOp], workers: usize) -> Vec<Vec<QueryOp>> {
+    assert!(workers > 0, "sharding requires at least one worker");
+    let mut shards = vec![Vec::with_capacity(ops.len().div_ceil(workers)); workers];
+    for (i, &op) in ops.iter().enumerate() {
+        shards[i % workers].push(op);
+    }
+    shards
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +246,50 @@ mod tests {
         let run = test_run();
         let spec = MixSpec { view_weights: vec![1.0, f64::INFINITY], dist: PairDist::Uniform };
         sample_mix(&run, &mut StdRng::seed_from_u64(9), 10, &spec);
+    }
+
+    #[test]
+    fn worker_streams_are_disjoint_draws_and_deterministic() {
+        let run = test_run();
+        let dist = PairDist::HotKey { hot_items: 8, hot_prob: 0.5 };
+        let a = worker_streams(&run, &mut StdRng::seed_from_u64(21), 4, 64, dist);
+        let b = worker_streams(&run, &mut StdRng::seed_from_u64(21), 4, 64, dist);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|s| s.len() == 64));
+        assert_eq!(a, b, "same seed, same streams");
+        // Streams are drawn sequentially from one rng, so worker 0's stream
+        // is exactly what a single-stream sample would produce.
+        let solo = sample_pairs(&run, &mut StdRng::seed_from_u64(21), 64, dist);
+        assert_eq!(a[0], solo);
+        // And the workers differ from each other (independent draws).
+        assert_ne!(a[0], a[1]);
+        // Empty runs: every worker gets an empty stream, no panic.
+        let empty = worker_streams(&Run::empty(), &mut StdRng::seed_from_u64(1), 3, 10, dist);
+        assert_eq!(empty, vec![Vec::new(), Vec::new(), Vec::new()]);
+    }
+
+    #[test]
+    fn round_robin_sharding_partitions_and_preserves_order() {
+        let run = test_run();
+        let mut rng = StdRng::seed_from_u64(22);
+        let spec = MixSpec { view_weights: vec![2.0, 1.0, 1.0], dist: PairDist::Uniform };
+        let ops = sample_mix(&run, &mut rng, 101, &spec);
+        let shards = shard_round_robin(&ops, 4);
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), ops.len());
+        // Re-interleaving the shards reproduces the stream exactly.
+        for (i, op) in ops.iter().enumerate() {
+            let got = shards[i % 4][i / 4];
+            assert_eq!((got.view, got.pair), (op.view, op.pair), "op {i}");
+        }
+        // More workers than ops: trailing shards are just empty.
+        let wide = shard_round_robin(&ops[..2], 5);
+        assert_eq!(wide.iter().filter(|s| !s.is_empty()).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_worker_sharding_rejected() {
+        shard_round_robin(&[], 0);
     }
 
     #[test]
