@@ -1,0 +1,222 @@
+//! Live-update serving: what publishing costs the writer, and what it
+//! costs the *readers* — which, with RCU-style generations, should be
+//! approximately nothing.
+//!
+//! Besides the Criterion printout, the run writes
+//! `BENCH_update_throughput.json` (workspace root) with:
+//!
+//! * `publish_ns` — latency of one stage-and-publish cycle (a chunk of
+//!   fresh labels staged against the copy-on-write clone, frozen into the
+//!   next generation, swapped into the `LiveEngine`). This is the whole
+//!   writer-side price of RCU: mean / p50 / p95 over repeated cycles.
+//! * `reader_qps` — sustained single-reader throughput (batched queries,
+//!   each batch fetched through the lock-free `LiveEngine::read` fast
+//!   path) while a writer publishes at 0, 1 and 10 Hz. The read path
+//!   takes no lock, so the 1 Hz figure is expected within a few percent
+//!   of the 0 Hz baseline (`qps_ratio_1hz_vs_0hz` reports it directly);
+//!   on a single-core host the 10 Hz figure additionally absorbs the
+//!   writer's honest CPU share (clones + publishes), which is the real
+//!   cost a one-core deployment would see.
+//!
+//! Every reader batch is answered against *some* published generation by
+//! construction (the engine tests pin that invariant adversarially); this
+//! bench measures the price of that guarantee.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wf_bench::Bench;
+use wf_core::{Fvl, VariantKind};
+use wf_engine::{EngineWriter, ItemId, LiveEngine, WorkerScratch};
+use wf_workloads::queries::{sample_pairs, PairDist};
+
+const RATES_HZ: [u64; 3] = [0, 1, 10];
+const CHUNK: usize = 16;
+const BATCH: usize = 1024;
+
+fn percentile(sorted_ns: &[f64], p: f64) -> f64 {
+    let i = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[i]
+}
+
+fn bench_update_throughput(c: &mut Criterion) {
+    let quick = std::env::args().any(|a| a == "--test");
+    let window = if quick { Duration::from_millis(150) } else { Duration::from_millis(1000) };
+    let latency_cycles = if quick { 6 } else { 40 };
+
+    let bench = Bench::fine(1);
+    let fvl = Arc::new(Fvl::from_arc(Arc::new(bench.workload.spec.clone())).unwrap());
+    let run = bench.run_of(42, 5_000);
+    let labels = fvl.labeler(&run).labels().to_vec();
+    let view = bench.safe_view(7, 8);
+    // The first `initial` labels form generation 1; the tail feeds churn.
+    let initial = labels.len().saturating_sub(1_000).max(1);
+    let tail = &labels[initial..];
+
+    let mut writer = EngineWriter::from_fvl(fvl.clone());
+    writer.insert_labels(&labels[..initial]);
+    let vref = writer.register_view(view, VariantKind::Default).unwrap();
+    let live = LiveEngine::new(writer.base().clone());
+    writer.publish(&live);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let dist = PairDist::HotKey { hot_items: 64, hot_prob: 0.5 };
+    let pairs: Vec<(ItemId, ItemId)> = sample_pairs(&run, &mut rng, BATCH, dist)
+        .into_iter()
+        .map(|(a, b)| (ItemId(a.0 % initial as u32), ItemId(b.0 % initial as u32)))
+        .collect();
+
+    // Churn source: cycle chunks of the tail forever (re-interning an
+    // already seen label is legal and realistic — repeated sub-runs).
+    let mut chunk_iter = tail.chunks(CHUNK).cycle();
+
+    // --- Publish latency: stage one chunk, publish, repeat. -------------
+    let mut lat_ns: Vec<f64> = (0..latency_cycles)
+        .map(|_| {
+            let chunk = chunk_iter.next().expect("cycle is infinite");
+            let t = Instant::now();
+            writer.insert_labels(chunk);
+            writer.publish(&live);
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    lat_ns.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let lat_mean = lat_ns.iter().sum::<f64>() / lat_ns.len() as f64;
+    let (lat_p50, lat_p95) = (percentile(&lat_ns, 0.5), percentile(&lat_ns, 0.95));
+
+    // --- Reader throughput under writer rates. --------------------------
+    // One reader thread answers batches through the lock-free read fast
+    // path; the writer (this thread) publishes at the target rate. The
+    // generation the reader holds changes under it — its qps must not.
+    //
+    // Rates are measured in interleaved trials and each rate reports its
+    // best trial: the quantity of interest is the read path's *capacity*
+    // under a publishing writer, and peak-of-N is robust against the
+    // external scheduling noise a 1-2 s window on a busy host picks up
+    // (which otherwise dwarfs the ~0.01% of CPU a 1 Hz writer uses).
+    let trials = if quick { 1 } else { 4 };
+    let mut qps_by_rate: Vec<(u64, f64, u64)> = RATES_HZ.iter().map(|&r| (r, 0.0, 0)).collect();
+    for _ in 0..trials {
+        for (slot, &rate) in qps_by_rate.iter_mut().zip(RATES_HZ.iter()) {
+            // Warm the reader path (scratch, trie, caches).
+            {
+                let gen = live.read();
+                let mut ws = WorkerScratch::new();
+                std::hint::black_box(gen.query_batch(&mut ws, vref, &pairs));
+            }
+            let stop = AtomicBool::new(false);
+            let (qps, publishes) = std::thread::scope(|s| {
+                let live_ref = &live;
+                let stop_ref = &stop;
+                let pairs_ref = &pairs;
+                let reader = s.spawn(move || {
+                    let mut ws = WorkerScratch::new();
+                    let mut answered = 0u64;
+                    while !stop_ref.load(Ordering::Relaxed) {
+                        let gen = live_ref.read();
+                        std::hint::black_box(gen.query_batch(&mut ws, vref, pairs_ref));
+                        answered += pairs_ref.len() as u64;
+                    }
+                    answered
+                });
+                let t = Instant::now();
+                let mut publishes = 0u64;
+                if rate == 0 {
+                    std::thread::sleep(window);
+                } else {
+                    // Publishes land at t = 0, 1/rate, 2/rate, …: every
+                    // trial at rate R performs exactly ⌈window·R⌉ of them.
+                    let period = Duration::from_nanos(1_000_000_000 / rate.max(1));
+                    let mut next = Duration::ZERO;
+                    loop {
+                        let now = t.elapsed();
+                        if now >= window {
+                            break;
+                        }
+                        if now >= next {
+                            let chunk = chunk_iter.next().expect("cycle is infinite");
+                            writer.insert_labels(chunk);
+                            writer.publish(&live);
+                            publishes += 1;
+                            next += period;
+                        } else {
+                            std::thread::sleep(next.min(window) - now);
+                        }
+                    }
+                }
+                stop.store(true, Ordering::Relaxed);
+                let answered = reader.join().expect("reader thread panicked");
+                let qps = answered as f64 / t.elapsed().as_secs_f64();
+                (qps, publishes)
+            });
+            if qps > slot.1 {
+                *slot = (rate, qps, publishes);
+            }
+        }
+    }
+    let baseline = qps_by_rate[0].1;
+    let ratio_1hz = qps_by_rate[1].1 / baseline;
+
+    // --- JSON report. ---------------------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"update_throughput\",");
+    let _ = writeln!(json, "  \"items_initial\": {initial},");
+    let _ = writeln!(json, "  \"insert_chunk\": {CHUNK},");
+    let _ = writeln!(json, "  \"batch\": {BATCH},");
+    let _ = writeln!(
+        json,
+        "  \"host_cores\": {},",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    let _ = writeln!(
+        json,
+        "  \"metric_note\": \"publish_ns = stage {CHUNK} labels + freeze + Arc swap (the full \
+         RCU writer price, copy-on-write clone included). reader_qps = one reader thread, \
+         batched queries via the lock-free LiveEngine::read fast path, while a writer publishes \
+         at the keyed rate (Hz). Readers never take a lock, so 1 Hz should sit within a few \
+         percent of the 0 Hz baseline.\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"publish_ns\": {{ \"mean\": {lat_mean:.0}, \"p50\": {lat_p50:.0}, \"p95\": \
+         {lat_p95:.0}, \"cycles\": {} }},",
+        lat_ns.len()
+    );
+    let _ = writeln!(json, "  \"reader_qps\": {{");
+    for (i, (rate, qps, publishes)) in qps_by_rate.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{rate}\": {{ \"qps\": {qps:.0}, \"publishes\": {publishes} }}{}",
+            if i + 1 < qps_by_rate.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"qps_ratio_1hz_vs_0hz\": {ratio_1hz:.3}");
+    let _ = writeln!(json, "}}");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_update_throughput.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+
+    // --- Criterion entries (for the human-readable printout). -----------
+    let mut g = c.benchmark_group("update_throughput");
+    g.bench_function("stage_chunk_and_publish", |b| {
+        b.iter(|| {
+            let chunk = chunk_iter.next().expect("cycle is infinite");
+            writer.insert_labels(chunk);
+            writer.publish(&live)
+        })
+    });
+    g.bench_function("live_read_fast_path", |b| b.iter(|| std::hint::black_box(live.read())));
+    g.finish();
+}
+
+use rand::SeedableRng;
+
+criterion_group!(benches, bench_update_throughput);
+criterion_main!(benches);

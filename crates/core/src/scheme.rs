@@ -8,9 +8,32 @@ use crate::label::{DataLabel, LabelRef};
 use crate::labeler::RunLabeler;
 use crate::viewlabel::{VariantKind, ViewLabel};
 use crate::visibility::{is_visible, is_visible_ref};
+use std::sync::Arc;
 use wf_analysis::{classify_with, ProdGraph, RecursionClass};
 use wf_model::{ModuleId, Spec, View, ViewSpec};
 use wf_run::Run;
+
+/// How an [`Fvl`] holds its specification: borrowed from the caller (the
+/// original construction path) or shared ownership via [`Arc`]. The `Arc`
+/// form is what breaks the borrow chain for long-lived serving stacks — an
+/// `Fvl<'static>` can be moved into generation objects, published across
+/// threads and outlive every stack frame, while the borrowed form keeps
+/// one-shot usage allocation-free. Both variants are covariant in `'a`, so
+/// an `&Fvl<'static>` coerces wherever an `&'e Fvl<'e>` is expected.
+enum SpecHolder<'a> {
+    Borrowed(&'a Spec),
+    Shared(Arc<Spec>),
+}
+
+impl SpecHolder<'_> {
+    #[inline]
+    fn get(&self) -> &Spec {
+        match self {
+            SpecHolder::Borrowed(s) => s,
+            SpecHolder::Shared(s) => s,
+        }
+    }
+}
 
 /// The view-adaptive dynamic labeling scheme for one specification.
 ///
@@ -19,8 +42,12 @@ use wf_run::Run;
 /// linear-recursive — for those, compact dynamic labels do not exist
 /// (Theorem 6), and for non-linear ones they do not exist even for
 /// black-box dependencies (Theorem 3).
+///
+/// [`Fvl::new`] borrows the caller's [`Spec`]; [`Fvl::from_arc`] shares
+/// ownership instead and yields an `Fvl<'static>` that serving layers can
+/// own outright (see `wf-engine`'s generation objects).
 pub struct Fvl<'a> {
-    spec: &'a Spec,
+    spec: SpecHolder<'a>,
     pg: ProdGraph,
     codec: LabelCodec,
     class: RecursionClass,
@@ -28,6 +55,18 @@ pub struct Fvl<'a> {
 
 impl<'a> Fvl<'a> {
     pub fn new(spec: &'a Spec) -> Result<Self, FvlError> {
+        Self::build(SpecHolder::Borrowed(spec))
+    }
+
+    /// [`Fvl::new`] over shared ownership: the scheme keeps the spec alive
+    /// itself, so the result is `'static` — movable into owned, published
+    /// engine generations instead of being borrow-chained to a stack frame.
+    pub fn from_arc(spec: Arc<Spec>) -> Result<Fvl<'static>, FvlError> {
+        Fvl::build(SpecHolder::Shared(spec))
+    }
+
+    fn build(holder: SpecHolder<'a>) -> Result<Self, FvlError> {
+        let spec = holder.get();
         let pg = ProdGraph::new(&spec.grammar);
         let class = classify_with(&spec.grammar, &pg);
         if !class.is_strictly_linear() {
@@ -36,11 +75,11 @@ impl<'a> Fvl<'a> {
             return Err(FvlError::NotStrictlyLinear { witness });
         }
         let codec = LabelCodec::new(&spec.grammar, &pg);
-        Ok(Self { spec, pg, codec, class })
+        Ok(Self { spec: holder, pg, codec, class })
     }
 
     pub fn spec(&self) -> &Spec {
-        self.spec
+        self.spec.get()
     }
 
     pub fn prod_graph(&self) -> &ProdGraph {
@@ -58,12 +97,12 @@ impl<'a> Fvl<'a> {
     /// Attaches a dynamic labeler to a run (labels any existing history,
     /// then follows new steps via [`RunLabeler::on_step`]).
     pub fn labeler(&self, run: &Run) -> RunLabeler {
-        RunLabeler::start(&self.spec.grammar, &self.pg, run)
+        RunLabeler::start(&self.spec.get().grammar, &self.pg, run)
     }
 
     /// Statically labels a view (§4.3). Fails on unsafe views (Theorem 1).
     pub fn label_view(&self, view: &View, kind: VariantKind) -> Result<ViewLabel, FvlError> {
-        let vs = ViewSpec::new(self.spec, view);
+        let vs = ViewSpec::new(self.spec.get(), view);
         ViewLabel::build(&vs, &self.pg, kind)
     }
 
@@ -73,7 +112,7 @@ impl<'a> Fvl<'a> {
     /// [`Fvl::query`] is the one-shot convenience form.
     pub fn session<'s>(&'s self, vl: &'s ViewLabel) -> FvlSession<'s> {
         FvlSession {
-            ctx: DecodeCtx::new(&self.spec.grammar, &self.pg, vl),
+            ctx: DecodeCtx::new(&self.spec.get().grammar, &self.pg, vl),
             scratch: QueryScratch::new(),
         }
     }
@@ -103,7 +142,7 @@ impl<'a> Fvl<'a> {
         if !is_visible(d1, vl, &self.pg) || !is_visible(d2, vl, &self.pg) {
             return None;
         }
-        let ctx = DecodeCtx::new(&self.spec.grammar, &self.pg, vl);
+        let ctx = DecodeCtx::new(&self.spec.get().grammar, &self.pg, vl);
         pi_with(&ctx, scratch, d1.to_ref(), d2.to_ref())
     }
 
@@ -123,14 +162,14 @@ impl<'a> Fvl<'a> {
         d1: &DataLabel,
         d2: &DataLabel,
     ) -> Option<bool> {
-        let ctx = DecodeCtx::new(&self.spec.grammar, &self.pg, vl);
+        let ctx = DecodeCtx::new(&self.spec.get().grammar, &self.pg, vl);
         pi_with(&ctx, scratch, d1.to_ref(), d2.to_ref())
     }
 
     /// Builds the Matrix-Free structural index for a black-box view (§6.4).
     pub fn structural_index(&self, view: &View) -> structural::StructuralIndex {
-        structural::StructuralIndex::build(&self.spec.grammar, |k| {
-            view.expands(self.spec.grammar.production(k).lhs)
+        structural::StructuralIndex::build(&self.spec.get().grammar, |k| {
+            view.expands(self.spec.get().grammar.production(k).lhs)
         })
     }
 

@@ -11,8 +11,14 @@ use wf_model::View;
 use wf_snapshot::{read_container, spec_fingerprint, write_container, SnapshotError};
 
 /// Section tags inside the snapshot payload (one byte each, in order).
-const SECTION_STORE: u64 = 0x01;
-const SECTION_REGISTRY: u64 = 0x02;
+/// `0x01`/`0x02` form a plain engine snapshot; a payload opening with
+/// [`SECTION_GENERATION`] or [`SECTION_DELTA`] belongs to the generational
+/// stack (`crate::generation`) and is rejected here — the two formats can
+/// never be confused for one another.
+pub(crate) const SECTION_STORE: u64 = 0x01;
+pub(crate) const SECTION_REGISTRY: u64 = 0x02;
+pub(crate) const SECTION_GENERATION: u64 = 0x03;
+pub(crate) const SECTION_DELTA: u64 = 0x04;
 
 /// A query-serving engine over one [`Fvl`] scheme: many views, one interned
 /// label store, one reusable scratch.
@@ -68,7 +74,9 @@ impl<'a> QueryEngine<'a> {
         EngineCore::new(self.fvl, &self.registry, &self.store)
     }
 
-    /// Registers a view without compiling any variant yet.
+    /// Registers a view without compiling any variant yet. Structurally
+    /// identical views dedup to the existing id (and its compilations) —
+    /// see [`ViewRegistry::add_view`].
     pub fn add_view(&mut self, view: View) -> ViewId {
         self.registry.add_view(view)
     }
@@ -85,14 +93,28 @@ impl<'a> QueryEngine<'a> {
         self.registry.compile(self.fvl, id, kind)
     }
 
-    /// Interns one data label.
+    /// Interns one data label. Panics if the store's dense id space is
+    /// exhausted — [`QueryEngine::try_insert_label`] is the non-panicking
+    /// form.
     pub fn insert_label(&mut self, d: &DataLabel) -> ItemId {
         self.store.insert(d)
+    }
+
+    /// [`QueryEngine::insert_label`] with the capacity contract surfaced
+    /// as [`EngineError::StoreFull`] instead of a panic.
+    pub fn try_insert_label(&mut self, d: &DataLabel) -> Result<ItemId, EngineError> {
+        self.store.try_insert(d)
     }
 
     /// Interns a run's labels in order (so ids align with `DataId`s).
     pub fn insert_labels(&mut self, labels: &[DataLabel]) -> Vec<ItemId> {
         self.store.insert_all(labels)
+    }
+
+    /// Non-panicking [`QueryEngine::insert_labels`]: stops at the first
+    /// label that cannot be interned, leaving earlier ones stored.
+    pub fn try_insert_labels(&mut self, labels: &[DataLabel]) -> Result<Vec<ItemId>, EngineError> {
+        self.store.try_insert_all(labels)
     }
 
     /// One dependency query: does `b` depend on `a` under the view?
@@ -224,10 +246,7 @@ impl<'a> QueryEngine<'a> {
     /// artifact that rebuilds in a handful of queries.
     pub fn save(&self, to: &mut impl Write) -> Result<(), SnapshotError> {
         let mut w = BitWriter::new();
-        w.write_bits(SECTION_STORE, 8);
-        self.store.write_snapshot(self.fvl.codec(), &mut w);
-        w.write_bits(SECTION_REGISTRY, 8);
-        self.registry.write_snapshot(&self.fvl.spec().grammar, &mut w);
+        write_engine_sections(self.fvl, &self.store, &self.registry, &mut w);
         let payload = w.finish();
         let fp = spec_fingerprint(&self.fvl.spec().grammar, self.fvl.prod_graph());
         write_container(to, fp, &payload)
@@ -254,11 +273,7 @@ impl<'a> QueryEngine<'a> {
             return Err(SnapshotError::SpecMismatch { expected, found: container.fingerprint });
         }
         let mut r = BitReader::new(&container.payload);
-        expect_section(&mut r, SECTION_STORE)?;
-        let store =
-            LabelStore::read_snapshot(&mut r, fvl.codec(), &fvl.spec().grammar, fvl.prod_graph())?;
-        expect_section(&mut r, SECTION_REGISTRY)?;
-        let registry = ViewRegistry::read_snapshot(&mut r, &fvl.spec().grammar, fvl.prod_graph())?;
+        let (store, registry) = read_engine_sections(fvl, &mut r)?;
         if r.remaining() != 0 {
             return Err(SnapshotError::Malformed("trailing payload bits"));
         }
@@ -266,7 +281,33 @@ impl<'a> QueryEngine<'a> {
     }
 }
 
-fn expect_section(r: &mut BitReader<'_>, tag: u64) -> Result<(), SnapshotError> {
+/// The store + registry payload sections shared by [`QueryEngine::save`]
+/// and the generational snapshots (`crate::generation`).
+pub(crate) fn write_engine_sections(
+    fvl: &Fvl<'_>,
+    store: &LabelStore,
+    registry: &ViewRegistry,
+    w: &mut BitWriter,
+) {
+    w.write_bits(SECTION_STORE, 8);
+    store.write_snapshot(fvl.codec(), w);
+    w.write_bits(SECTION_REGISTRY, 8);
+    registry.write_snapshot(&fvl.spec().grammar, w);
+}
+
+/// Inverse of [`write_engine_sections`].
+pub(crate) fn read_engine_sections(
+    fvl: &Fvl<'_>,
+    r: &mut BitReader<'_>,
+) -> Result<(LabelStore, ViewRegistry), SnapshotError> {
+    expect_section(r, SECTION_STORE)?;
+    let store = LabelStore::read_snapshot(r, fvl.codec(), &fvl.spec().grammar, fvl.prod_graph())?;
+    expect_section(r, SECTION_REGISTRY)?;
+    let registry = ViewRegistry::read_snapshot(r, &fvl.spec().grammar, fvl.prod_graph())?;
+    Ok((store, registry))
+}
+
+pub(crate) fn expect_section(r: &mut BitReader<'_>, tag: u64) -> Result<(), SnapshotError> {
     if r.read_bits(8)? != tag {
         return Err(SnapshotError::Malformed("unexpected section tag"));
     }

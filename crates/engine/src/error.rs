@@ -3,12 +3,14 @@
 use crate::registry::ViewRef;
 use crate::store::ItemId;
 
-/// What can go wrong when issuing a query against an engine: the handle
-/// refers to a `(view, variant)` that was never compiled here, or an item
-/// id falls outside the interned store. Both are *caller* mistakes — the
-/// engine itself never produces invalid handles — so the panicking entry
-/// points treat them as bugs, while the `try_*` forms surface them to
-/// services that accept handles from untrusted sessions.
+/// What can go wrong when issuing a query against (or inserting into) an
+/// engine: the handle refers to a `(view, variant)` that was never
+/// compiled here, an item id falls outside the interned store, or an
+/// insert would exhaust the store's dense id space. The handle errors are
+/// *caller* mistakes — the engine itself never produces invalid handles —
+/// so the panicking entry points treat them as bugs, while the `try_*`
+/// forms surface them to services that accept handles from untrusted
+/// sessions (and must survive a full store).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum EngineError {
     /// The `(view, variant)` pair was registered but never compiled in this
@@ -16,6 +18,13 @@ pub enum EngineError {
     ViewNotCompiled { view: ViewRef },
     /// The item id is not an index into this engine's label store.
     ItemOutOfRange { item: ItemId, len: usize },
+    /// The label store's id space is exhausted: interning one more path
+    /// node (or label) would overflow the dense `u32` id range. `what`
+    /// names the exhausted table. Unlike the two handle errors above this
+    /// is a *capacity* condition — long-lived ingest loops reach it only
+    /// near 2³² entries, but a service must see it as a typed error, not a
+    /// panic, to fail the one insert and keep serving.
+    StoreFull { what: &'static str, capacity: u64 },
 }
 
 impl std::fmt::Display for EngineError {
@@ -26,6 +35,9 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::ItemOutOfRange { item, len } => {
                 write!(f, "item {:?} is out of range for a store of {len} labels", item)
+            }
+            EngineError::StoreFull { what, capacity } => {
+                write!(f, "label store is full: {what} capacity of {capacity} entries exhausted")
             }
         }
     }

@@ -1,0 +1,627 @@
+//! The generational engine: owned, atomically-published generations that
+//! let writes land while reads keep flowing.
+//!
+//! [`crate::QueryEngine`] and [`crate::EngineCore`] are borrow-chained to
+//! one [`Fvl`] on one stack frame: correct, fast — and *static*. Any
+//! mutation (a new view, freshly labeled items) needs `&mut` access, which
+//! invalidates every frozen reader; a serving process would have to stop
+//! the world to grow. Real provenance stores never stop growing: runs are
+//! append-heavy, and views accrete as users search and refine them.
+//!
+//! The split here is RCU-shaped — readers pay nothing, writers pay copies:
+//!
+//! * [`EngineGeneration`] — one immutable, *owned* engine state: shared
+//!   scheme ([`Fvl::from_arc`], so no borrow chain), view registry, label
+//!   store, and a sequence number. `Send + Sync` is a compile-checked
+//!   invariant; a generation answers queries through `&self` exactly like
+//!   the frozen core (it *is* one, via [`EngineGeneration::core`]).
+//! * [`EngineWriter`] — the single writer. Mutations stage against a lazy
+//!   copy-on-write clone of the base generation (registry clones are
+//!   refcount bumps per compiled label; the store clone is the real copy),
+//!   so nothing a reader can see is ever mutated in place.
+//! * [`LiveEngine`] — the publication point. `publish` swaps the current
+//!   `Arc<EngineGeneration>` under a `std::sync::Mutex` (publishes are
+//!   rare); readers obtain the current generation with a **lock-free fast
+//!   path** — an atomic seqno check against a thread-local cache, then a
+//!   lock-free `Arc` clone — and fall back to the brief mutex only on the
+//!   first read after a publish. In-flight readers simply finish on the
+//!   generation they hold; its memory is reclaimed when the last `Arc`
+//!   drops. No reader ever blocks a writer, and a writer never blocks the
+//!   query path.
+//!
+//! Persistence is generation-aware: [`EngineGeneration::save`] writes a
+//! full base snapshot, [`EngineWriter::publish_with_delta`] appends a
+//! *delta record* (just what this publish added) to the same stream, and
+//! [`EngineGeneration::replay`] warm-starts by reading base ‖ delta ‖ …
+//! until end of stream — restart cost proportional to what changed, not to
+//! the store.
+
+use crate::engine::{
+    expect_section, read_engine_sections, write_engine_sections, SECTION_DELTA, SECTION_GENERATION,
+};
+use crate::error::EngineError;
+use crate::frozen::{EngineCore, WorkerScratch};
+use crate::registry::{ViewId, ViewRef, ViewRegistry};
+use crate::store::{ItemId, LabelStore};
+use std::cell::RefCell;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use wf_bitio::{BitReader, BitWriter};
+use wf_core::{DataLabel, Fvl, FvlError, VariantKind, ViewLabel};
+use wf_model::View;
+use wf_snapshot::{
+    read_container, read_container_opt, read_label, read_view, spec_fingerprint, write_container,
+    write_label, write_view, SnapshotError,
+};
+
+/// One immutable, owned engine state: everything the read path needs, with
+/// no borrow reaching outside the `Arc` it is published in.
+pub struct EngineGeneration {
+    fvl: Arc<Fvl<'static>>,
+    registry: ViewRegistry,
+    store: LabelStore,
+    seqno: u64,
+}
+
+// The whole point of owning the parts: a generation crosses threads freely
+// behind its `Arc`, and `LiveEngine` is shared by every reader and the
+// writer. If any field ever gains a borrow or interior mutability that
+// breaks this, the build fails here.
+const _: () = {
+    const fn shared_across_threads<T: Send + Sync>() {}
+    shared_across_threads::<EngineGeneration>();
+    shared_across_threads::<LiveEngine>();
+};
+
+impl EngineGeneration {
+    /// The empty first generation (seqno 0): no items, no views. Mutations
+    /// flow through an [`EngineWriter`] from here.
+    pub fn empty(fvl: Arc<Fvl<'static>>) -> Self {
+        Self { fvl, registry: ViewRegistry::new(), store: LabelStore::new(), seqno: 0 }
+    }
+
+    pub fn fvl(&self) -> &Arc<Fvl<'static>> {
+        &self.fvl
+    }
+
+    /// The generation's position in the publish chain (0 = empty origin;
+    /// each publish increments by exactly one).
+    pub fn seqno(&self) -> u64 {
+        self.seqno
+    }
+
+    pub fn store(&self) -> &LabelStore {
+        &self.store
+    }
+
+    pub fn registry(&self) -> &ViewRegistry {
+        &self.registry
+    }
+
+    /// The generation as a frozen serving core — the same lock-free,
+    /// `Sync`, `&self` read path [`crate::QueryEngine::freeze`] yields,
+    /// including the `par_*` fan-outs. Building one is free.
+    pub fn core(&self) -> EngineCore<'_> {
+        EngineCore::new(self.fvl.as_ref(), &self.registry, &self.store)
+    }
+
+    /// One dependency query against this generation (typed-error form).
+    pub fn try_query(
+        &self,
+        ws: &mut WorkerScratch,
+        view: ViewRef,
+        a: ItemId,
+        b: ItemId,
+    ) -> Result<Option<bool>, EngineError> {
+        self.core().try_query(ws, view, a, b)
+    }
+
+    /// A batch of pairs answered against this generation (allocating
+    /// convenience; panics on bad handles like [`crate::QueryEngine`]).
+    pub fn query_batch(
+        &self,
+        ws: &mut WorkerScratch,
+        view: ViewRef,
+        pairs: &[(ItemId, ItemId)],
+    ) -> Vec<Option<bool>> {
+        let mut out = Vec::with_capacity(pairs.len());
+        self.core()
+            .try_query_batch_into(ws, view, pairs, &mut out)
+            .unwrap_or_else(|e| panic!("{e}"));
+        out
+    }
+
+    /// Every dependent ordered pair of `items` under `view` (row-major).
+    pub fn all_pairs(
+        &self,
+        ws: &mut WorkerScratch,
+        view: ViewRef,
+        items: &[ItemId],
+    ) -> Vec<(ItemId, ItemId)> {
+        let mut out = Vec::new();
+        self.core().try_all_pairs_into(ws, view, items, &mut out).unwrap_or_else(|e| panic!("{e}"));
+        out
+    }
+
+    fn fingerprint(&self) -> u64 {
+        spec_fingerprint(&self.fvl.spec().grammar, self.fvl.prod_graph())
+    }
+
+    /// Persists this generation as a *base* snapshot: seqno, then the same
+    /// store + registry sections a [`crate::QueryEngine`] snapshot carries,
+    /// under the versioned, checksummed container. Delta records appended
+    /// to the same stream by [`EngineWriter::publish_with_delta`] chain
+    /// onto it; [`EngineGeneration::replay`] restores the latest state.
+    pub fn save(&self, to: &mut impl Write) -> Result<(), SnapshotError> {
+        let mut w = BitWriter::new();
+        w.write_bits(SECTION_GENERATION, 8);
+        w.write_gamma(self.seqno + 1);
+        write_engine_sections(&self.fvl, &self.store, &self.registry, &mut w);
+        write_container(to, self.fingerprint(), &w.finish())
+    }
+
+    /// Restores one base snapshot written by [`EngineGeneration::save`]
+    /// (stopping at its end — see [`EngineGeneration::replay`] for the
+    /// base-plus-deltas form).
+    pub fn load(fvl: Arc<Fvl<'static>>, from: &mut impl Read) -> Result<Self, SnapshotError> {
+        let container = read_container(from)?;
+        let expected = spec_fingerprint(&fvl.spec().grammar, fvl.prod_graph());
+        if container.fingerprint != expected {
+            return Err(SnapshotError::SpecMismatch { expected, found: container.fingerprint });
+        }
+        let mut r = BitReader::new(&container.payload);
+        expect_section(&mut r, SECTION_GENERATION)?;
+        let seqno = r.read_gamma()? - 1;
+        let (store, registry) = read_engine_sections(&fvl, &mut r)?;
+        if r.remaining() != 0 {
+            return Err(SnapshotError::Malformed("trailing payload bits"));
+        }
+        Ok(Self { fvl, registry, store, seqno })
+    }
+
+    /// Warm restart from an append-only stream: one base snapshot followed
+    /// by any number of delta records, replayed in order. Each delta must
+    /// chain exactly onto the generation before it (consecutive seqnos
+    /// against the same spec fingerprint); gaps, reordering and every form
+    /// of corruption are rejected with typed errors. Returns the newest
+    /// generation — hand it to [`LiveEngine::new`] and serving resumes
+    /// where the last publish left off.
+    pub fn replay(
+        fvl: Arc<Fvl<'static>>,
+        from: &mut impl Read,
+    ) -> Result<EngineGeneration, SnapshotError> {
+        let mut gen = Self::load(fvl, from)?;
+        let expected = gen.fingerprint();
+        while let Some(container) = read_container_opt(from)? {
+            if container.fingerprint != expected {
+                return Err(SnapshotError::SpecMismatch { expected, found: container.fingerprint });
+            }
+            let mut r = BitReader::new(&container.payload);
+            gen = gen.apply_delta(&mut r)?;
+            if r.remaining() != 0 {
+                return Err(SnapshotError::Malformed("trailing payload bits"));
+            }
+        }
+        Ok(gen)
+    }
+
+    /// Applies one decoded delta record, yielding the successor generation.
+    /// Replay reproduces exactly what the writer staged: labels re-intern
+    /// into the same dense ids, views re-register (structural dedup makes
+    /// that deterministic) and must land on their recorded ids, and
+    /// compiled labels install into empty slots only.
+    fn apply_delta(&self, r: &mut BitReader<'_>) -> Result<EngineGeneration, SnapshotError> {
+        expect_section(r, SECTION_DELTA)?;
+        let base = r.read_gamma()? - 1;
+        let seqno = r.read_gamma()? - 1;
+        if base != self.seqno || seqno != self.seqno + 1 {
+            return Err(SnapshotError::Malformed("delta does not chain onto this generation"));
+        }
+        let grammar = &self.fvl.spec().grammar;
+        let pg = self.fvl.prod_graph();
+        let cycles =
+            pg.cycles().map_err(|_| SnapshotError::Malformed("spec has no cycle tables"))?;
+        let mut store = self.store.clone();
+        let mut registry = self.registry.clone();
+
+        let label_count = (r.read_gamma()? - 1) as usize;
+        for _ in 0..label_count {
+            let d = read_label(r, self.fvl.codec(), grammar, cycles)?;
+            store
+                .try_insert(&d)
+                .map_err(|_| SnapshotError::Malformed("label store overflow during replay"))?;
+        }
+        let view_count = (r.read_gamma()? - 1) as usize;
+        for _ in 0..view_count {
+            let expect = (r.read_gamma()? - 1) as u32;
+            let view = read_view(r, grammar)?;
+            let id = registry.add_view(view);
+            if id.0 != expect {
+                return Err(SnapshotError::Malformed("view id drift during delta replay"));
+            }
+        }
+        let compiled_count = (r.read_gamma()? - 1) as usize;
+        for _ in 0..compiled_count {
+            let id = ViewId((r.read_gamma()? - 1) as u32);
+            let vl = ViewLabel::read_snapshot(r, grammar, pg)?;
+            registry.adopt_compiled(id, vl)?;
+        }
+        Ok(EngineGeneration { fvl: self.fvl.clone(), registry, store, seqno })
+    }
+}
+
+/// What the writer has staged since the last publish: the working copies
+/// plus the registry-increment log the delta record is written from (the
+/// store increment needs no log — it is the `base.len()..` id range of the
+/// staged store).
+struct Staged {
+    registry: ViewRegistry,
+    store: LabelStore,
+    new_views: Vec<ViewId>,
+    new_compiled: Vec<ViewRef>,
+}
+
+/// The single writer of a generation chain.
+///
+/// Mutations stage against a lazy copy-on-write clone of the base
+/// generation — the first mutation after a publish pays the clone, and
+/// readers of the published generations are never affected. `publish`
+/// freezes the staged state into the next [`EngineGeneration`] and swaps
+/// it into a [`LiveEngine`]; the writer then continues from the new base.
+///
+/// Ids are stable across publishes: an [`ItemId`] or [`ViewRef`] handed
+/// out while staging is valid in the generation that publish produces and
+/// in every later one (the store and registry only grow).
+pub struct EngineWriter {
+    base: Arc<EngineGeneration>,
+    staged: Option<Staged>,
+}
+
+impl EngineWriter {
+    /// A writer continuing the chain from `base` (freshly built, loaded,
+    /// or the result of an earlier publish).
+    pub fn new(base: Arc<EngineGeneration>) -> Self {
+        Self { base, staged: None }
+    }
+
+    /// A writer starting a brand-new chain from the empty generation.
+    pub fn from_fvl(fvl: Arc<Fvl<'static>>) -> Self {
+        Self::new(Arc::new(EngineGeneration::empty(fvl)))
+    }
+
+    /// The generation this writer's staged changes build on (the most
+    /// recently published one, once anything was published).
+    pub fn base(&self) -> &Arc<EngineGeneration> {
+        &self.base
+    }
+
+    /// Whether anything is staged and unpublished.
+    pub fn has_staged_changes(&self) -> bool {
+        self.staged.is_some()
+    }
+
+    fn staged(&mut self) -> &mut Staged {
+        self.staged.get_or_insert_with(|| Staged {
+            registry: self.base.registry.clone(),
+            store: self.base.store.clone(),
+            new_views: Vec::new(),
+            new_compiled: Vec::new(),
+        })
+    }
+
+    /// Stages one data label; the returned id is valid from the next
+    /// publish on. Panicking on a full store, like
+    /// [`crate::QueryEngine::insert_label`].
+    pub fn insert_label(&mut self, d: &DataLabel) -> ItemId {
+        self.try_insert_label(d).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Typed-error form of [`EngineWriter::insert_label`]. The staged
+    /// store is the single copy of the label — the delta writer
+    /// re-materializes the `base.len()..staged.len()` id range on demand,
+    /// so heavy ingest never pays double storage for its increment.
+    pub fn try_insert_label(&mut self, d: &DataLabel) -> Result<ItemId, EngineError> {
+        self.staged().store.try_insert(d)
+    }
+
+    /// Stages a slice of labels in order.
+    pub fn insert_labels(&mut self, labels: &[DataLabel]) -> Vec<ItemId> {
+        labels.iter().map(|d| self.insert_label(d)).collect()
+    }
+
+    /// Stages a view registration (structural dedup applies: re-adding a
+    /// known view returns its existing id and stages nothing).
+    pub fn add_view(&mut self, view: View) -> ViewId {
+        let st = self.staged();
+        let before = st.registry.view_count();
+        let id = st.registry.add_view(view);
+        if st.registry.view_count() > before {
+            st.new_views.push(id);
+        }
+        id
+    }
+
+    /// Stages the compilation of `(id, kind)` (idempotent across the whole
+    /// chain: a label compiled in any earlier generation is reused).
+    pub fn compile(&mut self, id: ViewId, kind: VariantKind) -> Result<ViewRef, FvlError> {
+        let fvl = self.base.fvl.clone();
+        let st = self.staged();
+        let was_compiled = st.registry.is_compiled(id, kind);
+        let r = st.registry.compile(fvl.as_ref(), id, kind)?;
+        if !was_compiled {
+            st.new_compiled.push(r);
+        }
+        Ok(r)
+    }
+
+    /// Register + compile in one step.
+    pub fn register_view(&mut self, view: View, kind: VariantKind) -> Result<ViewRef, FvlError> {
+        let id = self.add_view(view);
+        self.compile(id, kind)
+    }
+
+    fn freeze_staged(&mut self, st: Staged) -> Arc<EngineGeneration> {
+        let gen = Arc::new(EngineGeneration {
+            fvl: self.base.fvl.clone(),
+            registry: st.registry,
+            store: st.store,
+            seqno: self.base.seqno + 1,
+        });
+        self.base = gen.clone();
+        gen
+    }
+
+    /// Freezes the staged state into the next generation and publishes it
+    /// on `live`. In-flight readers finish on their old generation; new
+    /// reads see this one. With nothing staged this is a no-op returning
+    /// the current base (publishing an unchanged state would only churn
+    /// reader caches).
+    pub fn publish(&mut self, live: &LiveEngine) -> Arc<EngineGeneration> {
+        match self.staged.take() {
+            None => self.base.clone(),
+            Some(st) => {
+                let gen = self.freeze_staged(st);
+                live.publish(gen.clone());
+                gen
+            }
+        }
+    }
+
+    /// [`EngineWriter::publish`] that first appends a delta record — what
+    /// this publish added, nothing more — to `out`. Appending every
+    /// publish to the stream that starts with a base
+    /// [`EngineGeneration::save`] keeps an on-disk replica that
+    /// [`EngineGeneration::replay`] can warm-start from at any moment; the
+    /// write happens *before* the swap, so a crash between the two loses
+    /// the publish, never the stream. On `Err` nothing is consumed: the
+    /// staged state stays intact for a retry, no generation is published,
+    /// and the record was handed to `out` as one buffered `write_all` (a
+    /// sink that accepts writes atomically — or is truncated back to the
+    /// last record boundary on recovery — keeps the stream replayable).
+    pub fn publish_with_delta(
+        &mut self,
+        live: &LiveEngine,
+        out: &mut impl Write,
+    ) -> Result<Arc<EngineGeneration>, SnapshotError> {
+        if self.staged.is_none() {
+            return Ok(self.base.clone());
+        }
+        let record = self.delta_record()?;
+        out.write_all(&record)?;
+        let st = self.staged.take().expect("staged presence checked above");
+        let gen = self.freeze_staged(st);
+        live.publish(gen.clone());
+        Ok(gen)
+    }
+
+    /// Serializes the staged increment into one container-framed delta
+    /// record (borrowing the staged state — nothing is consumed).
+    fn delta_record(&self) -> Result<Vec<u8>, SnapshotError> {
+        let st = self.staged.as_ref().expect("caller checked staged presence");
+        let fvl = &self.base.fvl;
+        let grammar = &fvl.spec().grammar;
+        let mut w = BitWriter::new();
+        w.write_bits(SECTION_DELTA, 8);
+        w.write_gamma(self.base.seqno + 1);
+        w.write_gamma(self.base.seqno + 2);
+        let (from, to) = (self.base.store.len(), st.store.len());
+        w.write_gamma((to - from) as u64 + 1);
+        for i in from..to {
+            write_label(&mut w, fvl.codec(), &st.store.materialize(ItemId(i as u32)));
+        }
+        w.write_gamma(st.new_views.len() as u64 + 1);
+        for &id in &st.new_views {
+            w.write_gamma(id.0 as u64 + 1);
+            write_view(&mut w, grammar, st.registry.view(id));
+        }
+        w.write_gamma(st.new_compiled.len() as u64 + 1);
+        for &vr in &st.new_compiled {
+            w.write_gamma(vr.id.0 as u64 + 1);
+            st.registry
+                .label(vr)
+                .expect("staged compilations are present in the staged registry")
+                .write_snapshot(&mut w);
+        }
+        let fp = spec_fingerprint(grammar, fvl.prod_graph());
+        let mut record = Vec::new();
+        write_container(&mut record, fp, &w.finish())?;
+        Ok(record)
+    }
+}
+
+/// Global id source for [`LiveEngine`]s — what keys the thread-local
+/// reader cache, so generations of distinct live engines can never be
+/// confused for one another.
+static NEXT_LIVE_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Per-thread reader cache: `(live engine id, seqno, generation)` of
+    /// the last generation this thread read. One entry suffices — a thread
+    /// serving one live engine (the overwhelmingly common shape) hits it
+    /// every time; alternating between several live engines falls back to
+    /// the brief mutex path, never to wrong answers.
+    static READER_CACHE: RefCell<Option<(u64, u64, Arc<EngineGeneration>)>> =
+        const { RefCell::new(None) };
+}
+
+/// The publication point readers poll and the writer swaps.
+///
+/// Reads are wait-free in steady state: one atomic load, one thread-local
+/// compare, one lock-free `Arc` refcount bump. The `Mutex` is touched only
+/// by `publish` (rare by construction) and by the first read after a
+/// publish — and it guards nothing but the pointer swap, so even that read
+/// blocks for nanoseconds, never for the duration of anyone's query.
+pub struct LiveEngine {
+    id: u64,
+    seq: AtomicU64,
+    current: Mutex<Arc<EngineGeneration>>,
+}
+
+impl LiveEngine {
+    pub fn new(initial: Arc<EngineGeneration>) -> Self {
+        Self {
+            id: NEXT_LIVE_ID.fetch_add(1, Ordering::Relaxed),
+            seq: AtomicU64::new(initial.seqno),
+            current: Mutex::new(initial),
+        }
+    }
+
+    /// The seqno of the most recently published generation.
+    pub fn seqno(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// The current generation via the mutex (no thread-local involvement;
+    /// diagnostics and single-shot callers).
+    pub fn snapshot(&self) -> Arc<EngineGeneration> {
+        self.current.lock().expect("live engine mutex poisoned").clone()
+    }
+
+    /// The current generation via the lock-free fast path. Always returns
+    /// *some published* generation; immediately after a publish it may be
+    /// the previous one (a reader that must observe its own writer's
+    /// publish should use [`LiveEngine::snapshot`]).
+    ///
+    /// The thread-local cache retains one `Arc` per thread until that
+    /// thread's next `read` — an idle reader thread therefore keeps at
+    /// most one old generation alive, a deliberate trade for a read path
+    /// with no locks and no reclamation machinery.
+    pub fn read(&self) -> Arc<EngineGeneration> {
+        let seq = self.seq.load(Ordering::Acquire);
+        let hit = READER_CACHE.with(|c| match &*c.borrow() {
+            Some((id, s, gen)) if *id == self.id && *s == seq => Some(gen.clone()),
+            _ => None,
+        });
+        if let Some(gen) = hit {
+            return gen;
+        }
+        let gen = self.snapshot();
+        READER_CACHE.with(|c| *c.borrow_mut() = Some((self.id, gen.seqno, gen.clone())));
+        gen
+    }
+
+    /// Atomically replaces the current generation. Readers holding the old
+    /// generation finish undisturbed; new reads see `gen`. Panics if `gen`
+    /// does not advance the chain (a writer bug, not an input).
+    pub fn publish(&self, gen: Arc<EngineGeneration>) {
+        let mut cur = self.current.lock().expect("live engine mutex poisoned");
+        assert!(
+            gen.seqno > cur.seqno,
+            "published generations must have strictly increasing seqnos ({} -> {})",
+            cur.seqno,
+            gen.seqno
+        );
+        *cur = gen;
+        self.seq.store(cur.seqno, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::fixtures::paper_example;
+    use wf_run::fixtures::figure3_run;
+
+    fn shared_fvl() -> Arc<Fvl<'static>> {
+        let ex = paper_example();
+        Arc::new(Fvl::from_arc(Arc::new(ex.spec.clone())).unwrap())
+    }
+
+    #[test]
+    fn writer_stages_and_publishes_without_disturbing_readers() {
+        let ex = paper_example();
+        let fvl = shared_fvl();
+        let (run, ids) = figure3_run(&ex);
+        let labels = Fvl::new(&ex.spec).unwrap().labeler(&run).labels().to_vec();
+
+        let mut writer = EngineWriter::from_fvl(fvl);
+        let items = writer.insert_labels(&labels);
+        let u2 = writer.register_view(ex.view_u2(), VariantKind::Default).unwrap();
+        let live = LiveEngine::new(writer.base().clone());
+        assert_eq!(live.seqno(), 0, "nothing published yet");
+        let g1 = writer.publish(&live);
+        assert_eq!(g1.seqno(), 1);
+        assert_eq!(live.seqno(), 1);
+
+        // Example 8 answered by the published generation.
+        let mut ws = WorkerScratch::new();
+        let (d17, d31) = (items[ids.d17.0 as usize], items[ids.d31.0 as usize]);
+        let old = live.read();
+        assert_eq!(old.try_query(&mut ws, u2, d17, d31).unwrap(), Some(true));
+
+        // Stage + publish a second view; the held generation is unchanged.
+        let u1 = writer.register_view(ex.view_u1(), VariantKind::Default).unwrap();
+        let g2 = writer.publish(&live);
+        assert_eq!(g2.seqno(), 2);
+        assert_eq!(old.seqno(), 1, "readers keep their generation across publishes");
+        assert!(old.registry().label(u1).is_none(), "old generation never sees new views");
+        let new = live.read();
+        assert_eq!(new.seqno(), 2);
+        assert_eq!(new.try_query(&mut ws, u1, d17, d31).unwrap(), Some(false));
+        assert_eq!(new.try_query(&mut ws, u2, d17, d31).unwrap(), Some(true));
+
+        // Publishing with nothing staged is a no-op.
+        assert!(!writer.has_staged_changes());
+        let g2b = writer.publish(&live);
+        assert_eq!(g2b.seqno(), 2);
+        assert_eq!(live.seqno(), 2);
+    }
+
+    #[test]
+    fn read_fast_path_tracks_publishes() {
+        let fvl = shared_fvl();
+        let mut writer = EngineWriter::from_fvl(fvl);
+        let live = LiveEngine::new(writer.base().clone());
+        // Warm the thread-local cache, then publish and read again: the
+        // fast path must move to the new generation (seqno check), and a
+        // repeated read must hit the cache (same Arc).
+        let a = live.read();
+        assert_eq!(a.seqno(), 0);
+        let ex = paper_example();
+        writer.add_view(ex.view_u1());
+        writer.publish(&live);
+        let b = live.read();
+        assert_eq!(b.seqno(), 1);
+        let c = live.read();
+        assert!(Arc::ptr_eq(&b, &c), "cached fast path returns the same generation");
+    }
+
+    #[test]
+    fn compile_reuses_labels_across_generations() {
+        let ex = paper_example();
+        let fvl = shared_fvl();
+        let mut writer = EngineWriter::from_fvl(fvl);
+        let v = writer.register_view(ex.view_u1(), VariantKind::Default).unwrap();
+        let live = LiveEngine::new(writer.base().clone());
+        let g1 = writer.publish(&live);
+        let uid1 = g1.registry().label(v).unwrap().uid();
+        // A later generation that recompiles the same pair shares the
+        // compiled label (same uid — scratch memos stay warm and sound).
+        writer.add_view(ex.view_u2());
+        let v_again = writer.compile(v.id, VariantKind::Default).unwrap();
+        assert_eq!(v_again, v);
+        let g2 = writer.publish(&live);
+        assert_eq!(g2.registry().label(v).unwrap().uid(), uid1);
+    }
+}

@@ -19,7 +19,13 @@
 //!   compiled engine serves queries from as many cores as the host has:
 //!   `par_query_batch` / `par_all_pairs` shard a workload across
 //!   `std::thread::scope` workers and merge deterministically, answering
-//!   exactly like the sequential path.
+//!   exactly like the sequential path;
+//! * [`EngineGeneration`] / [`EngineWriter`] / [`LiveEngine`] — the
+//!   generational layer for *live updates under serving*: owned,
+//!   immutable generations published by atomic `Arc` swap, a
+//!   copy-on-write staging writer, and a lock-free reader fast path, so
+//!   labels and views keep landing while readers keep answering (plus
+//!   append-style delta persistence for warm restarts).
 //!
 //! Engines additionally persist themselves: [`QueryEngine::save`] writes
 //! the interned store, the registered views and every compiled label
@@ -56,12 +62,14 @@
 mod engine;
 mod error;
 mod frozen;
+mod generation;
 mod registry;
 mod store;
 
 pub use engine::QueryEngine;
 pub use error::EngineError;
 pub use frozen::{EngineCore, WorkerScratch};
+pub use generation::{EngineGeneration, EngineWriter, LiveEngine};
 pub use registry::{ViewId, ViewRef, ViewRegistry};
 pub use store::{ItemId, LabelStore};
 // The error type `QueryEngine::save` / `QueryEngine::load` surface, so

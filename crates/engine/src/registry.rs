@@ -7,6 +7,10 @@
 //! [`ViewRef`] afterwards. (Scratch-memo soundness across views is carried
 //! by [`ViewLabel::uid`], which every compiled label gets at build time.)
 
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 use wf_analysis::ProdGraph;
 use wf_bitio::{BitReader, BitWriter};
 use wf_core::{Fvl, FvlError, VariantKind, ViewLabel};
@@ -31,23 +35,78 @@ fn slot(kind: VariantKind) -> usize {
     kind.code() as usize
 }
 
+/// Structural fingerprint of a view: its expand mask plus every perceived
+/// dependency matrix, hashed in module order. Used as a dedup *index* only
+/// — candidates still compare structurally before an id is reused, so a
+/// hash collision can never alias two distinct views.
+fn view_fingerprint(view: &View) -> u64 {
+    let mut h = DefaultHasher::new();
+    view.expand_mask().hash(&mut h);
+    for (m, mat) in view.deps.iter() {
+        m.hash(&mut h);
+        mat.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Structural identity: same expand mask, same perceived matrices.
+fn views_structurally_equal(a: &View, b: &View) -> bool {
+    a.expand_mask() == b.expand_mask()
+        && a.deps.iter().count() == b.deps.iter().count()
+        && a.deps.iter().all(|(m, mat)| b.deps.get(m) == Some(mat))
+}
+
 /// Registered views plus their per-variant compiled labels.
+///
+/// Compiled labels are held behind [`Arc`], which makes cloning a registry
+/// — the copy-on-write step of the generational engine — cost a refcount
+/// bump per label instead of a deep copy of its matrices and power caches.
+/// Shared labels keep their uid, so scratch memos warmed against one
+/// generation stay warm (and sound — identical uid ⇒ identical label
+/// content) across every generation that shares the compilation.
+#[derive(Clone)]
 pub struct ViewRegistry {
     views: Vec<View>,
-    compiled: Vec<[Option<ViewLabel>; VARIANTS]>,
+    compiled: Vec<[Option<Arc<ViewLabel>>; VARIANTS]>,
+    /// Structural-dedup index: fingerprint → candidate ids.
+    by_fingerprint: HashMap<u64, Vec<ViewId>>,
 }
 
 impl ViewRegistry {
     pub fn new() -> Self {
-        Self { views: Vec::new(), compiled: Vec::new() }
+        Self { views: Vec::new(), compiled: Vec::new(), by_fingerprint: HashMap::new() }
     }
 
-    /// Registers a view (uncompiled). The registry owns its copy, so
-    /// engines outlive caller-side view values.
+    /// Registers a view. The registry owns its copy, so engines outlive
+    /// caller-side view values. Registration *dedups structurally*: a view
+    /// identical to an already registered one (same expand mask, same
+    /// perceived matrices) returns the existing [`ViewId`] — and with it
+    /// every label already compiled for it — instead of allocating a fresh
+    /// id and recompiling from scratch. Repository traffic re-registers
+    /// the same views constantly (every session "creates" its view of
+    /// record); dedup makes that free.
     pub fn add_view(&mut self, view: View) -> ViewId {
+        let fp = view_fingerprint(&view);
+        if let Some(ids) = self.by_fingerprint.get(&fp) {
+            for &id in ids {
+                if views_structurally_equal(&self.views[id.0 as usize], &view) {
+                    return id;
+                }
+            }
+        }
+        self.push_view(view, fp)
+    }
+
+    /// Appends a view unconditionally (still indexing its fingerprint for
+    /// later dedup lookups). The snapshot read path uses this directly: it
+    /// must reproduce the writing engine's id sequence *exactly*, and
+    /// snapshots written before structural dedup existed may legitimately
+    /// carry duplicate views under distinct ids.
+    fn push_view(&mut self, view: View, fp: u64) -> ViewId {
         let id = ViewId(self.views.len() as u32);
         self.views.push(view);
         self.compiled.push([None, None, None]);
+        self.by_fingerprint.entry(fp).or_default().push(id);
         id
     }
 
@@ -65,8 +124,35 @@ impl ViewRegistry {
     ) -> Result<ViewRef, FvlError> {
         let cell = &mut self.compiled[id.0 as usize][slot(kind)];
         if cell.is_none() {
-            *cell = Some(fvl.label_view(&self.views[id.0 as usize], kind)?);
+            *cell = Some(Arc::new(fvl.label_view(&self.views[id.0 as usize], kind)?));
         }
+        Ok(ViewRef { id, kind })
+    }
+
+    /// Whether `(id, kind)` already has a compiled label — what a
+    /// generation writer consults to record only *new* compilations in its
+    /// delta.
+    pub fn is_compiled(&self, id: ViewId, kind: VariantKind) -> bool {
+        self.compiled.get(id.0 as usize).is_some_and(|slots| slots[slot(kind)].is_some())
+    }
+
+    /// Installs an externally decoded label into an *empty* `(id, kind)`
+    /// slot — the delta-replay path. Rejects foreign ids, labels whose
+    /// stored variant does not match the slot, and double installation.
+    pub(crate) fn adopt_compiled(
+        &mut self,
+        id: ViewId,
+        vl: ViewLabel,
+    ) -> Result<ViewRef, SnapshotError> {
+        let kind = vl.kind();
+        let Some(slots) = self.compiled.get_mut(id.0 as usize) else {
+            return Err(SnapshotError::Malformed("compiled label for unknown view"));
+        };
+        let cell = &mut slots[slot(kind)];
+        if cell.is_some() {
+            return Err(SnapshotError::Malformed("compiled label for an already compiled slot"));
+        }
+        *cell = Some(Arc::new(vl));
         Ok(ViewRef { id, kind })
     }
 
@@ -74,7 +160,7 @@ impl ViewRegistry {
     /// id belongs to some other registry — foreign handles must surface as
     /// a typed error through the engine's `try_*` API, never a panic).
     pub fn label(&self, r: ViewRef) -> Option<&ViewLabel> {
-        self.compiled.get(r.id.0 as usize).and_then(|slots| slots[slot(r.kind)].as_ref())
+        self.compiled.get(r.id.0 as usize).and_then(|slots| slots[slot(r.kind)].as_deref())
     }
 
     /// Number of registered views.
@@ -106,7 +192,12 @@ impl ViewRegistry {
     /// Inverse of [`ViewRegistry::write_snapshot`]. Views re-pass grammar
     /// validation; each label's stored variant must match the slot it sits
     /// in. Loaded labels carry fresh uids, so a scratch shared with labels
-    /// compiled earlier in this process stays sound.
+    /// compiled earlier in this process stays sound. Registration bypasses
+    /// structural dedup on purpose: the id sequence must reproduce the
+    /// writing engine's exactly, and snapshots written before dedup
+    /// existed may carry structural duplicates under distinct ids (the
+    /// rebuilt fingerprint index still dedups every *future*
+    /// [`ViewRegistry::add_view`] against them).
     pub fn read_snapshot(
         r: &mut BitReader<'_>,
         grammar: &Grammar,
@@ -116,7 +207,8 @@ impl ViewRegistry {
         let mut reg = Self::new();
         for _ in 0..view_count {
             let view = read_view(r, grammar)?;
-            let id = reg.add_view(view);
+            let fp = view_fingerprint(&view);
+            let id = reg.push_view(view, fp);
             let mut present = [false; VARIANTS];
             for p in &mut present {
                 *p = r.read_bit()?;
@@ -129,7 +221,7 @@ impl ViewRegistry {
                 if vl.kind().code() as usize != s {
                     return Err(SnapshotError::Malformed("view label in wrong variant slot"));
                 }
-                reg.compiled[id.0 as usize][s] = Some(vl);
+                reg.compiled[id.0 as usize][s] = Some(Arc::new(vl));
             }
         }
         Ok(reg)
@@ -178,5 +270,35 @@ mod tests {
             reg.label(r2).unwrap().uid(),
         ];
         assert!(uids[0] != uids[1] && uids[1] != uids[2] && uids[0] != uids[2]);
+    }
+
+    /// Registering a structurally identical view must return the existing
+    /// id and reuse its compilations — `compiled_count` is pinned to show
+    /// no label is ever rebuilt for a duplicate registration.
+    #[test]
+    fn add_view_dedups_structurally_identical_views() {
+        let ex = paper_example();
+        let fvl = Fvl::new(&ex.spec).unwrap();
+        let mut reg = ViewRegistry::new();
+        let u1 = reg.add_view(ex.view_u1());
+        let r1 = reg.compile(&fvl, u1, VariantKind::Default).unwrap();
+        assert_eq!(reg.compiled_count(), 1);
+
+        // Same view, freshly constructed: same id, nothing recompiled.
+        let again = reg.add_view(ex.view_u1());
+        assert_eq!(again, u1, "structural duplicate must reuse the id");
+        assert_eq!(reg.view_count(), 1);
+        assert_eq!(reg.compiled_count(), 1, "dedup must not recompile");
+        assert!(reg.label(r1).is_some());
+
+        // The duplicate's handle resolves to the *existing* compilation.
+        let r1_again = reg.compile(&fvl, again, VariantKind::Default).unwrap();
+        assert_eq!(r1_again, r1);
+        assert_eq!(reg.compiled_count(), 1);
+
+        // A structurally different view still gets its own id.
+        let u2 = reg.add_view(ex.view_u2());
+        assert_ne!(u2, u1);
+        assert_eq!(reg.view_count(), 2);
     }
 }

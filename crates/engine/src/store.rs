@@ -14,13 +14,14 @@
 //! label is then two `(path node, port)` pairs, and an [`ItemId`] is a dense
 //! index suitable for slicing, batching and bitmap bookkeeping.
 
+use crate::error::EngineError;
 use std::collections::HashMap;
 use wf_analysis::ProdGraph;
 use wf_bitio::{BitReader, BitWriter};
 use wf_core::{DataLabel, LabelCodec, LabelRef, PortLabel, PortRef};
 use wf_model::{Grammar, ModuleId};
 use wf_run::EdgeLabel;
-use wf_snapshot::SnapshotError;
+use wf_snapshot::{edge_target_module, SnapshotError};
 
 /// Dense id of a stored data label (assigned in insertion order).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -38,6 +39,11 @@ struct StoredLabel {
 }
 
 /// Interned label storage with shared-prefix paths and dense item ids.
+///
+/// Cloning a store is the copy-on-write step of the generational engine:
+/// the clone shares nothing, so a writer can keep interning into its copy
+/// while readers serve from the original.
+#[derive(Clone)]
 pub struct LabelStore {
     /// Trie node → (parent node, edge). Node ids are creation-ordered.
     nodes: Vec<(u32, EdgeLabel)>,
@@ -56,35 +62,83 @@ impl LabelStore {
     /// Interns one label; returns its dense id. Insertion order defines the
     /// id sequence, so inserting a run's labels in data-item order makes
     /// `ItemId(i)` coincide with the run's `DataId(i)`.
+    ///
+    /// Panics if the store's `u32` id space is exhausted (≈ 4 × 10⁹ trie
+    /// nodes or labels) — [`LabelStore::try_insert`] is the non-panicking
+    /// form for ingest services that must survive a full store.
     pub fn insert(&mut self, d: &DataLabel) -> ItemId {
-        let id = ItemId(self.labels.len() as u32);
-        let out = d.out.as_ref().map(|p| (self.intern_path(&p.path), p.port));
-        let inp = d.inp.as_ref().map(|p| (self.intern_path(&p.path), p.port));
-        self.labels.push(StoredLabel { out, inp });
-        id
+        self.try_insert(d).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Interns a slice of labels, returning their ids (in order).
+    /// [`LabelStore::insert`] with the capacity contract surfaced as a
+    /// typed [`EngineError::StoreFull`] instead of a panic. A failed insert
+    /// stores no label; path nodes interned before the overflow was
+    /// detected remain in the trie (they are consistent and re-usable —
+    /// the next successful insert of a sharing label picks them up).
+    pub fn try_insert(&mut self, d: &DataLabel) -> Result<ItemId, EngineError> {
+        self.try_insert_bounded(d, ROOT)
+    }
+
+    /// Capacity-parameterized core of [`LabelStore::try_insert`]; `cap` is
+    /// `ROOT` in production and tiny in tests (a 2³²-node trie cannot be
+    /// built to exercise the overflow path for real).
+    pub(crate) fn try_insert_bounded(
+        &mut self,
+        d: &DataLabel,
+        cap: u32,
+    ) -> Result<ItemId, EngineError> {
+        if self.labels.len() as u64 >= cap as u64 {
+            return Err(EngineError::StoreFull { what: "label id", capacity: cap as u64 });
+        }
+        let id = ItemId(self.labels.len() as u32);
+        let out = match &d.out {
+            Some(p) => Some((self.try_intern_path(&p.path, cap)?, p.port)),
+            None => None,
+        };
+        let inp = match &d.inp {
+            Some(p) => Some((self.try_intern_path(&p.path, cap)?, p.port)),
+            None => None,
+        };
+        // Count raw edges only once the label is definitely stored, so a
+        // rejected insert cannot skew the sharing metric.
+        self.raw_edges +=
+            d.out.as_ref().map_or(0, |p| p.path.len()) + d.inp.as_ref().map_or(0, |p| p.path.len());
+        self.labels.push(StoredLabel { out, inp });
+        Ok(id)
+    }
+
+    /// Interns a slice of labels, returning their ids (in order). Panics on
+    /// id-space exhaustion, like [`LabelStore::insert`].
     pub fn insert_all(&mut self, labels: &[DataLabel]) -> Vec<ItemId> {
         labels.iter().map(|d| self.insert(d)).collect()
     }
 
-    fn intern_path(&mut self, path: &[EdgeLabel]) -> u32 {
-        self.raw_edges += path.len();
+    /// Non-panicking [`LabelStore::insert_all`]: stops at the first label
+    /// that cannot be interned, leaving every earlier label stored.
+    pub fn try_insert_all(&mut self, labels: &[DataLabel]) -> Result<Vec<ItemId>, EngineError> {
+        labels.iter().map(|d| self.try_insert(d)).collect()
+    }
+
+    fn try_intern_path(&mut self, path: &[EdgeLabel], cap: u32) -> Result<u32, EngineError> {
         let mut cur = ROOT;
         for &e in path {
             cur = match self.intern.get(&(cur, e)) {
                 Some(&n) => n,
                 None => {
                     let n = self.nodes.len() as u32;
-                    assert!(n < ROOT, "label store trie overflow");
+                    if n >= cap {
+                        return Err(EngineError::StoreFull {
+                            what: "trie node",
+                            capacity: cap as u64,
+                        });
+                    }
                     self.nodes.push((cur, e));
                     self.intern.insert((cur, e), n);
                     n
                 }
             };
         }
-        cur
+        Ok(cur)
     }
 
     /// Number of stored labels.
@@ -191,47 +245,13 @@ impl LabelStore {
         for n in 0..node_count {
             let parent = decode_node(r.read_gamma()?, n)?;
             let e = codec.read_edge(r)?;
-            // Each edge must continue its parent's path: a plain edge
-            // expands the module the parent path ends at, and a recursion
-            // chain enters the cycle at that same module. This is the
-            // chaining the decoder's matrix products assume (I(k,·) has
-            // lhs(k)-many rows; a chain at offset t starts on modules[t]'s
-            // arity) — without it a forged trie would feed π mismatched
-            // dimensions.
+            // Each edge must continue its parent's path — the chaining rule
+            // shared with the delta-label reader
+            // ([`wf_snapshot::edge_target_module`]); without it a forged
+            // trie would feed π mismatched matrix dimensions.
             let parent_module =
                 if parent == ROOT { grammar.start() } else { node_module[parent as usize] };
-            let module = match e {
-                EdgeLabel::Plain { k, i } => {
-                    if k.index() >= grammar.production_count() {
-                        return Err(SnapshotError::Malformed("edge production out of range"));
-                    }
-                    let p = grammar.production(k);
-                    if p.lhs != parent_module {
-                        return Err(SnapshotError::Malformed("edge production breaks the path"));
-                    }
-                    if i as usize >= p.rhs.node_count() {
-                        return Err(SnapshotError::Malformed("edge position out of range"));
-                    }
-                    p.rhs.nodes()[i as usize]
-                }
-                EdgeLabel::Rec { s, t, i } => {
-                    let Some(cycle) = cycles.get(s as usize) else {
-                        return Err(SnapshotError::Malformed("edge cycle out of range"));
-                    };
-                    let l = cycle.len() as u64;
-                    if t as u64 >= l {
-                        return Err(SnapshotError::Malformed("edge cycle offset out of range"));
-                    }
-                    if cycle.modules[t as usize] != parent_module {
-                        return Err(SnapshotError::Malformed("edge cycle breaks the path"));
-                    }
-                    // Chain child `i` under offset `t` is an instance of the
-                    // cycle module at `t + i` (wrapping; `i` is reduced
-                    // first so an adversarial chain index near `u64::MAX`
-                    // cannot overflow the sum).
-                    cycle.modules[((t as u64 + i % l) % l) as usize]
-                }
-            };
+            let module = edge_target_module(grammar, cycles, parent_module, e)?;
             if intern.insert((parent, e), n as u32).is_some() {
                 return Err(SnapshotError::Malformed("duplicate trie edge"));
             }
@@ -433,6 +453,46 @@ mod tests {
         w.write_bits(200, 8); // ...port 200
         w.write_gamma(1);
         assert!(matches!(read(&w.finish()), Err(SnapshotError::Malformed(_))));
+    }
+
+    /// Id-space exhaustion must surface as a typed [`EngineError::StoreFull`]
+    /// through the `try_*` path (the panicking forms document the same
+    /// contract). A 2³²-node trie cannot be built in a test, so the
+    /// capacity-parameterized core is exercised with a tiny bound; the
+    /// public path uses the same code with `cap = ROOT`.
+    #[test]
+    fn overflow_is_a_typed_error_through_try_insert() {
+        let ex = paper_example();
+        let fvl = Fvl::new(&ex.spec).unwrap();
+        let (run, _) = figure3_run(&ex);
+        let labeler = fvl.labeler(&run);
+        let labels = labeler.labels();
+
+        // A bound big enough for the first label but not the whole run.
+        let mut store = LabelStore::new();
+        let mut full = None;
+        for (i, d) in labels.iter().enumerate() {
+            match store.try_insert_bounded(d, 4) {
+                Ok(id) => assert_eq!(id.0 as usize, i, "ids stay dense until overflow"),
+                Err(e) => {
+                    assert!(
+                        matches!(e, EngineError::StoreFull { capacity: 4, .. }),
+                        "expected StoreFull, got {e:?}"
+                    );
+                    full = Some(i);
+                    break;
+                }
+            }
+        }
+        let failed_at = full.expect("a 4-node budget cannot hold the Figure 3 run");
+        // The failed insert stored no label; the store stays consistent
+        // and serviceable (earlier labels still materialize).
+        assert_eq!(store.len(), failed_at);
+        for (i, d) in labels.iter().enumerate().take(failed_at) {
+            assert_eq!(&store.materialize(ItemId(i as u32)), d);
+        }
+        // The unbounded path accepts the same labels fine.
+        assert!(store.try_insert(&labels[failed_at]).is_ok());
     }
 
     #[test]

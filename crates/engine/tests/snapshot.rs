@@ -92,6 +92,73 @@ proptest! {
     }
 }
 
+/// Mutate-after-load: a loaded engine is a *live* engine, not a read-only
+/// replica. Inserting more labels and registering a new view after a load,
+/// then saving and loading again, must agree with a cold-built engine that
+/// saw everything from the start — ids, trie sharing and `all_pairs`
+/// answers included. (Before this pin, only pristine save→load was
+/// covered.)
+#[test]
+fn mutate_after_load_roundtrips_like_a_cold_engine() {
+    let w = bioaid(9);
+    let fvl = Fvl::new(&w.spec).unwrap();
+    let pg = ProdGraph::new(&w.spec.grammar);
+    let mut rng = StdRng::seed_from_u64(9);
+    let (_, run) = sample::sample_run(&w, &pg, &mut rng, 200);
+    let labeler = fvl.labeler(&run);
+    let labels = labeler.labels();
+    let half = labels.len() / 2;
+    let view_a = views::random_safe_view(&w, &mut rng, 6);
+    let view_b = views::random_safe_view(&w, &mut rng, 10);
+
+    // Save with half the labels and one view…
+    let mut engine = QueryEngine::new(&fvl);
+    engine.insert_labels(&labels[..half]);
+    let va = engine.add_view(view_a.clone());
+    engine.compile(va, VariantKind::Default).unwrap();
+    let mut bytes = Vec::new();
+    engine.save(&mut bytes).unwrap();
+    drop(engine);
+
+    // …load, grow (rest of the labels + a second view), save again…
+    let mut grown = QueryEngine::load(&fvl, &mut bytes.as_slice()).unwrap();
+    let more_ids = grown.insert_labels(&labels[half..]);
+    assert_eq!(more_ids.first().map(|id| id.0 as usize), Some(half), "ids continue densely");
+    let vb = grown.add_view(view_b.clone());
+    for kind in VARIANTS {
+        grown.compile(vb, kind).unwrap();
+    }
+    let mut bytes2 = Vec::new();
+    grown.save(&mut bytes2).unwrap();
+
+    // …and the re-load must be indistinguishable from a cold build.
+    let mut warm = QueryEngine::load(&fvl, &mut bytes2.as_slice()).unwrap();
+    let mut cold = QueryEngine::new(&fvl);
+    let items = cold.insert_labels(labels);
+    assert_eq!(cold.add_view(view_a), va);
+    assert_eq!(cold.add_view(view_b), vb);
+    assert_eq!(warm.store().len(), cold.store().len());
+    assert_eq!(
+        warm.store().edge_stats().0,
+        cold.store().edge_stats().0,
+        "the grown trie shares prefixes exactly like a cold one"
+    );
+    cold.compile(va, VariantKind::Default).unwrap();
+    for kind in VARIANTS {
+        cold.compile(vb, kind).unwrap();
+    }
+    for (vid, kinds) in [(va, &VARIANTS[1..2]), (vb, &VARIANTS[..])] {
+        for &kind in kinds {
+            let vref = warm.compile(vid, kind).unwrap();
+            assert_eq!(
+                warm.all_pairs(vref, &items),
+                cold.all_pairs(vref, &items),
+                "{kind:?} diverges after mutate-and-reload"
+            );
+        }
+    }
+}
+
 #[test]
 fn truncation_at_every_byte_is_rejected_typed() {
     let bytes = build_and_save(3, 60, 6);

@@ -1,0 +1,201 @@
+//! Delta records: the snapshot form of *what one publish added*.
+//!
+//! Generation snapshots (`wf-engine`) persist a whole published engine;
+//! a delta record persists only the increment between two consecutive
+//! generations — the data labels inserted and the views registered or
+//! compiled. A warm restart then replays `base ‖ delta ‖ delta ‖ …` from
+//! one append-only stream instead of rewriting the full store on every
+//! publish (Lipstick-style provenance is append-heavy: runs grow step by
+//! step, views accrete as users refine them).
+//!
+//! This module owns the pieces of that format that are *label-shaped*: a
+//! validated wire form of one [`DataLabel`] (paths via the §5 edge codec,
+//! ports range-checked against the terminal module's signature) and the
+//! edge-chaining rule [`edge_target_module`] every persisted path must
+//! satisfy — shared with the label-store trie reader in `wf-engine`, so
+//! the workspace has exactly one copy of the check that keeps forged paths
+//! from feeding π mismatched matrix dimensions.
+
+use crate::error::SnapshotError;
+use wf_analysis::CycleInfo;
+use wf_bitio::{BitReader, BitWriter};
+use wf_core::{DataLabel, LabelCodec, PortLabel};
+use wf_model::{Grammar, ModuleId};
+use wf_run::EdgeLabel;
+
+/// The module a path ends at after following `e` from a node whose path
+/// ends at `parent_module` — or a typed rejection when the edge cannot
+/// legally continue that path. A plain edge must expand the module the
+/// parent path ends at; a recursion-chain edge must enter its cycle at
+/// that same module. This chaining is what the decoder's matrix products
+/// assume (`I(k,·)` has `lhs(k)`-many rows; a chain at offset `t` starts
+/// on `modules[t]`'s arity) — without it, forged input would hand π
+/// matrices of mismatched dimensions.
+pub fn edge_target_module(
+    grammar: &Grammar,
+    cycles: &[CycleInfo],
+    parent_module: ModuleId,
+    e: EdgeLabel,
+) -> Result<ModuleId, SnapshotError> {
+    match e {
+        EdgeLabel::Plain { k, i } => {
+            if k.index() >= grammar.production_count() {
+                return Err(SnapshotError::Malformed("edge production out of range"));
+            }
+            let p = grammar.production(k);
+            if p.lhs != parent_module {
+                return Err(SnapshotError::Malformed("edge production breaks the path"));
+            }
+            if i as usize >= p.rhs.node_count() {
+                return Err(SnapshotError::Malformed("edge position out of range"));
+            }
+            Ok(p.rhs.nodes()[i as usize])
+        }
+        EdgeLabel::Rec { s, t, i } => {
+            let Some(cycle) = cycles.get(s as usize) else {
+                return Err(SnapshotError::Malformed("edge cycle out of range"));
+            };
+            let l = cycle.len() as u64;
+            if t as u64 >= l {
+                return Err(SnapshotError::Malformed("edge cycle offset out of range"));
+            }
+            if cycle.modules[t as usize] != parent_module {
+                return Err(SnapshotError::Malformed("edge cycle breaks the path"));
+            }
+            // Chain child `i` under offset `t` is an instance of the cycle
+            // module at `t + i` (wrapping; `i` is reduced first so an
+            // adversarial chain index near `u64::MAX` cannot overflow).
+            Ok(cycle.modules[((t as u64 + i % l) % l) as usize])
+        }
+    }
+}
+
+fn write_side(w: &mut BitWriter, codec: &LabelCodec, p: &PortLabel) {
+    w.write_gamma(p.path.len() as u64 + 1);
+    for e in &p.path {
+        codec.write_edge(w, e);
+    }
+    w.write_bits(p.port as u64, 8);
+}
+
+/// Writes one data label in the delta wire form: two presence bits, then
+/// per present side the full path (γ length, §5 edge codec) and an 8-bit
+/// port. Deltas are small increments, so the two sides are written whole —
+/// prefix sharing across labels is the *store trie's* job and is recovered
+/// the moment the label is re-interned on replay.
+pub fn write_label(w: &mut BitWriter, codec: &LabelCodec, d: &DataLabel) {
+    w.push_bit(d.out.is_some());
+    w.push_bit(d.inp.is_some());
+    if let Some(o) = &d.out {
+        write_side(w, codec, o);
+    }
+    if let Some(i) = &d.inp {
+        write_side(w, codec, i);
+    }
+}
+
+fn read_side(
+    r: &mut BitReader<'_>,
+    codec: &LabelCodec,
+    grammar: &Grammar,
+    cycles: &[CycleInfo],
+    outputs: bool,
+) -> Result<PortLabel, SnapshotError> {
+    let len = (r.read_gamma()? - 1) as usize;
+    let mut module = grammar.start();
+    let mut path = Vec::with_capacity(len.min(1 << 16));
+    for _ in 0..len {
+        let e = codec.read_edge(r)?;
+        module = edge_target_module(grammar, cycles, module, e)?;
+        path.push(e);
+    }
+    let port = r.read_bits(8)? as u8;
+    let sig = grammar.sig(module);
+    let arity = if outputs { sig.outputs() } else { sig.inputs() };
+    if port as usize >= arity {
+        return Err(SnapshotError::Malformed("label port out of range"));
+    }
+    Ok(PortLabel { path, port })
+}
+
+/// Inverse of [`write_label`]. Every edge is checked to continue its path
+/// ([`edge_target_module`]) and every port against the terminal module's
+/// arity, so a replayed label can never index a signature or reachability
+/// matrix out of range — bad bytes fail *here*, typed, not inside π.
+pub fn read_label(
+    r: &mut BitReader<'_>,
+    codec: &LabelCodec,
+    grammar: &Grammar,
+    cycles: &[CycleInfo],
+) -> Result<DataLabel, SnapshotError> {
+    let has_out = r.read_bit()?;
+    let has_inp = r.read_bit()?;
+    if !has_out && !has_inp {
+        return Err(SnapshotError::Malformed("label with no endpoint"));
+    }
+    let out = has_out.then(|| read_side(r, codec, grammar, cycles, true)).transpose()?;
+    let inp = has_inp.then(|| read_side(r, codec, grammar, cycles, false)).transpose()?;
+    Ok(DataLabel { out, inp })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_analysis::ProdGraph;
+    use wf_core::Fvl;
+    use wf_model::fixtures::paper_example;
+    use wf_run::fixtures::figure3_run;
+
+    #[test]
+    fn labels_roundtrip_validated() {
+        let ex = paper_example();
+        let fvl = Fvl::new(&ex.spec).unwrap();
+        let (run, _) = figure3_run(&ex);
+        let labeler = fvl.labeler(&run);
+        let cycles = fvl.prod_graph().cycles().unwrap();
+        for d in labeler.labels() {
+            let mut w = BitWriter::new();
+            write_label(&mut w, fvl.codec(), d);
+            let bits = w.finish();
+            let mut r = BitReader::new(&bits);
+            let back = read_label(&mut r, fvl.codec(), &ex.spec.grammar, cycles).unwrap();
+            assert_eq!(r.remaining(), 0);
+            assert_eq!(&back, d);
+        }
+    }
+
+    #[test]
+    fn rejects_broken_paths_and_ports() {
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let pg = ProdGraph::new(g);
+        let cycles = pg.cycles().unwrap();
+        let fvl = Fvl::new(&ex.spec).unwrap();
+        let read =
+            |bits: &wf_bitio::BitVec| read_label(&mut BitReader::new(bits), fvl.codec(), g, cycles);
+        // Neither endpoint present.
+        let mut w = BitWriter::new();
+        w.push_bit(false);
+        w.push_bit(false);
+        assert!(matches!(read(&w.finish()), Err(SnapshotError::Malformed(_))));
+        // A non-start production as the first edge breaks the path.
+        let (k_deep, _) = g
+            .productions()
+            .find(|(_, p)| p.lhs != g.start())
+            .expect("paper grammar has non-start productions");
+        let mut w = BitWriter::new();
+        w.push_bit(true);
+        w.push_bit(false);
+        w.write_gamma(2); // one edge
+        fvl.codec().write_edge(&mut w, &EdgeLabel::Plain { k: k_deep, i: 0 });
+        w.write_bits(0, 8);
+        assert!(matches!(read(&w.finish()), Err(SnapshotError::Malformed(_))));
+        // An out-of-arity port at the start module (empty path).
+        let mut w = BitWriter::new();
+        w.push_bit(true);
+        w.push_bit(false);
+        w.write_gamma(1); // empty path
+        w.write_bits(200, 8);
+        assert!(matches!(read(&w.finish()), Err(SnapshotError::Malformed(_))));
+    }
+}

@@ -19,6 +19,9 @@
 //!   typed [`SnapshotError`]s before any payload bit is interpreted.
 //! * [`fingerprint`] — the structural spec hash stored in the header.
 //! * [`view`] — the snapshot form of a registered view `(Δ′, λ′)`.
+//! * [`delta`] — the snapshot form of a *generation increment* (the data
+//!   labels and views one publish added), validated on read; base + deltas
+//!   replay from one append-only stream via [`read_container_opt`].
 //!
 //! The payload *sections* live with the data they serialize:
 //! [`wf_core::snapshot`] provides matrix / dependency-assignment
@@ -27,11 +30,15 @@
 //! user-facing `QueryEngine::save` / `QueryEngine::load`.
 
 pub mod container;
+pub mod delta;
 pub mod error;
 pub mod fingerprint;
 pub mod view;
 
-pub use container::{read_container, write_container, Container, FORMAT_VERSION, MAGIC};
+pub use container::{
+    read_container, read_container_opt, write_container, Container, FORMAT_VERSION, MAGIC,
+};
+pub use delta::{edge_target_module, read_label, write_label};
 pub use error::SnapshotError;
 pub use fingerprint::spec_fingerprint;
 pub use view::{read_view, write_view};

@@ -1,0 +1,227 @@
+//! Churn workloads: interleaved inserts, view registrations and query
+//! batches — the live-update serving shape.
+//!
+//! The uniform / hot-key / mixed generators in [`crate::queries`] model a
+//! *static* world: a fixed item population, queries only. Real provenance
+//! stores are append-heavy (runs grow step by step) and view-accretive
+//! (repository users register views as they search and refine), so a
+//! serving engine faces reads *interleaved with* writes. This module
+//! generates that interleaving deterministically per seed, in terms every
+//! layer understands: dense item indices (`u32`, insertion order — exactly
+//! the engine's `ItemId` space) and opaque view seeds the caller
+//! materializes with [`crate::views::random_safe_view`].
+//!
+//! The generator is population-aware: a query batch only ever draws item
+//! indices below the number of items inserted *earlier in its own stream*
+//! (plus the initial population), so replaying a stream op-by-op against a
+//! writer/engine can never reference an item that does not exist yet.
+
+use crate::queries::PairDist;
+use rand::Rng;
+
+/// One operation of a churn stream.
+#[derive(Clone, Debug)]
+pub enum ChurnOp {
+    /// Insert the next `count` labels (the caller holds the label source;
+    /// counts are what keeps the generator engine-agnostic).
+    Insert { count: usize },
+    /// Register (and compile) one view, derived from `seed` — callers
+    /// materialize it via [`crate::views::random_safe_view`] so the stream
+    /// stays independent of any concrete grammar.
+    RegisterView { seed: u64 },
+    /// Answer a batch of item-index pairs. Every index is `< ` the stream's
+    /// item population at this point, so the batch is valid the moment the
+    /// preceding ops have been applied.
+    QueryBatch { pairs: Vec<(u32, u32)> },
+}
+
+/// Shape of a churn stream: op-mix weights plus batch/chunk sizes.
+#[derive(Clone, Debug)]
+pub struct ChurnSpec {
+    /// Items that exist before the stream starts (a warm store).
+    pub initial_items: usize,
+    /// Relative weight of [`ChurnOp::Insert`] ops.
+    pub insert_weight: f64,
+    /// Relative weight of [`ChurnOp::RegisterView`] ops.
+    pub view_weight: f64,
+    /// Relative weight of [`ChurnOp::QueryBatch`] ops.
+    pub query_weight: f64,
+    /// Labels per insert op.
+    pub insert_chunk: usize,
+    /// Pairs per query batch.
+    pub batch: usize,
+    /// Endpoint distribution of query pairs (hot keys age gracefully: the
+    /// "hot" prefix is the oldest items, which every generation has).
+    pub dist: PairDist,
+}
+
+impl Default for ChurnSpec {
+    fn default() -> Self {
+        Self {
+            initial_items: 1024,
+            insert_weight: 0.2,
+            view_weight: 0.02,
+            query_weight: 0.78,
+            insert_chunk: 16,
+            batch: 64,
+            dist: PairDist::Uniform,
+        }
+    }
+}
+
+fn draw_item(rng: &mut impl Rng, population: u32, dist: PairDist) -> u32 {
+    match dist {
+        PairDist::Uniform => rng.gen_range(0..population),
+        PairDist::HotKey { hot_items, hot_prob } => {
+            let hot = (hot_items as u32).clamp(1, population);
+            if rng.gen_bool(hot_prob) {
+                rng.gen_range(0..hot)
+            } else {
+                rng.gen_range(0..population)
+            }
+        }
+    }
+}
+
+/// One churn stream of `ops` operations. Deterministic per `rng` state;
+/// query batches respect the growing population (see module docs). With
+/// `initial_items == 0`, queries are suppressed until the first insert has
+/// landed (an empty store has nothing to ask about).
+///
+/// # Panics
+/// If all three weights are zero, or any is negative or non-finite (same
+/// per-weight discipline as [`crate::queries::sample_mix`] — a NaN weight
+/// must fail loudly, not bias the scan).
+pub fn churn_stream(rng: &mut impl Rng, ops: usize, spec: &ChurnSpec) -> Vec<ChurnOp> {
+    let weights = [spec.insert_weight, spec.view_weight, spec.query_weight];
+    for (i, w) in weights.iter().enumerate() {
+        assert!(w.is_finite() && *w >= 0.0, "churn weight {i} is {w}: must be finite and >= 0");
+    }
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "churn weights must have positive mass");
+    let mut population = spec.initial_items as u32;
+    let mut out = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        let mut x = rng.gen_range(0.0..total);
+        let mut op = weights.len() - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                op = i;
+                break;
+            }
+            x -= w;
+        }
+        match op {
+            0 => {
+                let count = spec.insert_chunk.max(1);
+                population = population.saturating_add(count as u32);
+                out.push(ChurnOp::Insert { count });
+            }
+            1 => out.push(ChurnOp::RegisterView { seed: rng.gen_range(0..u32::MAX as u64) }),
+            _ => {
+                if population == 0 {
+                    // Nothing to query yet; churn forward instead.
+                    let count = spec.insert_chunk.max(1);
+                    population = population.saturating_add(count as u32);
+                    out.push(ChurnOp::Insert { count });
+                    continue;
+                }
+                let pairs = (0..spec.batch)
+                    .map(|_| {
+                        (
+                            draw_item(rng, population, spec.dist),
+                            draw_item(rng, population, spec.dist),
+                        )
+                    })
+                    .collect();
+                out.push(ChurnOp::QueryBatch { pairs });
+            }
+        }
+    }
+    out
+}
+
+/// Per-worker churn streams (materialized worker-by-worker from one `rng`,
+/// like [`crate::queries::worker_streams`]): `workers` independent streams
+/// of `per_worker` ops. Each stream is self-consistent — its queries
+/// reference only its own population — which is the shape one
+/// writer-per-stream (or a sharded ingest tier) is driven with.
+pub fn churn_streams(
+    rng: &mut impl Rng,
+    workers: usize,
+    per_worker: usize,
+    spec: &ChurnSpec,
+) -> Vec<Vec<ChurnOp>> {
+    (0..workers).map(|_| churn_stream(rng, per_worker, spec)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn streams_are_deterministic_and_population_safe() {
+        let spec = ChurnSpec { initial_items: 8, insert_chunk: 4, batch: 16, ..Default::default() };
+        let a = churn_stream(&mut StdRng::seed_from_u64(5), 400, &spec);
+        let b = churn_stream(&mut StdRng::seed_from_u64(5), 400, &spec);
+        assert_eq!(a.len(), 400);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "same seed, same stream");
+
+        // Replay the population bookkeeping: every queried index must be
+        // below the population at that point in the stream.
+        let mut population = spec.initial_items as u32;
+        let (mut inserts, mut queries) = (0usize, 0usize);
+        for op in &a {
+            match op {
+                ChurnOp::Insert { count } => {
+                    population += *count as u32;
+                    inserts += 1;
+                }
+                ChurnOp::RegisterView { .. } => {}
+                ChurnOp::QueryBatch { pairs } => {
+                    queries += 1;
+                    assert_eq!(pairs.len(), 16);
+                    for &(x, y) in pairs {
+                        assert!(x < population && y < population, "query past the population");
+                    }
+                }
+            }
+        }
+        assert!(inserts > 0 && queries > 0, "the default mix interleaves reads and writes");
+    }
+
+    #[test]
+    fn empty_start_defers_queries_until_items_exist() {
+        let spec = ChurnSpec { initial_items: 0, ..Default::default() };
+        let ops = churn_stream(&mut StdRng::seed_from_u64(1), 200, &spec);
+        let mut population = 0u32;
+        for op in &ops {
+            match op {
+                ChurnOp::Insert { count } => population += *count as u32,
+                ChurnOp::QueryBatch { .. } => {
+                    assert!(population > 0, "a query op before any insert")
+                }
+                ChurnOp::RegisterView { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn worker_streams_are_independent() {
+        let spec = ChurnSpec::default();
+        let streams = churn_streams(&mut StdRng::seed_from_u64(2), 3, 50, &spec);
+        assert_eq!(streams.len(), 3);
+        assert!(streams.iter().all(|s| s.len() == 50));
+        // Materialized from one rng: the streams differ.
+        assert_ne!(format!("{:?}", streams[0]), format!("{:?}", streams[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_weight_fails_loudly() {
+        let spec = ChurnSpec { insert_weight: f64::NAN, ..Default::default() };
+        churn_stream(&mut StdRng::seed_from_u64(3), 10, &spec);
+    }
+}

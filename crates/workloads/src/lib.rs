@@ -16,7 +16,11 @@
 //! * [`queries`] — serving-shape query workloads (uniform pairs, hot-key
 //!   skew, per-view traffic mixes) for the `wf-engine` layer and the
 //!   throughput benches.
+//! * [`churn`] — live-update workloads: per-worker streams interleaving
+//!   label inserts, view registrations and query batches, for the
+//!   generational engine and the `update_throughput` bench.
 
+pub mod churn;
 pub mod gen;
 pub mod queries;
 pub mod sample;

@@ -13,8 +13,8 @@
 //! | [`analysis`] | `wf-analysis` | safety / λ\* (Lemma 1), recursion classes (Thm. 7), production graph (§4.1) |
 //! | [`run`] | `wf-run` | derivations, compressed parse trees, view projection, oracles |
 //! | [`fvl`] | `wf-core` | the FVL labeling scheme: data labels, view labels, π (§4) |
-//! | [`engine`] | `wf-engine` | batched, allocation-free query serving: view registry, interned label store |
-//! | [`snapshot`] | `wf-snapshot` | versioned, checksummed binary snapshots for warm-start serving |
+//! | [`engine`] | `wf-engine` | batched, allocation-free query serving: view registry, interned label store, live-update generations |
+//! | [`snapshot`] | `wf-snapshot` | versioned, checksummed binary snapshots + delta records for warm-start serving |
 //! | [`drl`] | `wf-drl` | the black-box baseline of the evaluation (§6) |
 //! | [`workloads`] | `wf-workloads` | BioAID-like and Figure-26 synthetic generators |
 //!
