@@ -33,6 +33,21 @@ pub enum VariantKind {
 }
 
 impl VariantKind {
+    /// Every variant, in [`VariantKind::code`] order. The canonical way to
+    /// sweep "all three variants" in tests, fuzzers and benches — adding a
+    /// variant extends this array and every sweep follows.
+    pub const ALL: [VariantKind; 3] =
+        [VariantKind::SpaceEfficient, VariantKind::Default, VariantKind::QueryEfficient];
+
+    /// Stable human-readable name (report keys, fuzz divergence messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            VariantKind::SpaceEfficient => "space_efficient",
+            VariantKind::Default => "default",
+            VariantKind::QueryEfficient => "query_efficient",
+        }
+    }
+
     /// Stable dense code of the variant (0, 1, 2) — the registry's slot
     /// index and the snapshot wire value.
     #[inline]

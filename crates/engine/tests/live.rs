@@ -6,13 +6,14 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use wf_analysis::ProdGraph;
 use wf_core::{Fvl, VariantKind};
 use wf_engine::{
-    EngineGeneration, EngineWriter, LiveEngine, QueryEngine, SnapshotError, WorkerScratch,
+    EngineGeneration, EngineWriter, ItemId, LiveEngine, QueryEngine, SnapshotError, WorkerScratch,
 };
+use wf_workloads::churn::{churn_stream, ChurnOp, ChurnSpec};
 use wf_workloads::{bioaid, sample, views, Workload};
 
 const VARIANTS: [VariantKind; 3] =
@@ -110,45 +111,131 @@ fn base_plus_deltas_replay_to_the_published_state() {
     }
 }
 
+/// A named churn mix for the racing proptest: the fixed interleaving the
+/// test used to hard-code is replaced by generated op streams, biased two
+/// ways to stress different publish shapes.
+#[derive(Clone, Copy, Debug)]
+enum Mix {
+    /// Mostly label inserts: generations grow fast, registries rarely.
+    InsertHeavy,
+    /// Mostly view registrations: registries grow (and compile) under
+    /// serving, stores rarely.
+    ViewHeavy,
+}
+
+impl Mix {
+    fn spec(self, initial: usize) -> ChurnSpec {
+        match self {
+            Mix::InsertHeavy => ChurnSpec {
+                initial_items: initial,
+                insert_weight: 0.7,
+                view_weight: 0.05,
+                query_weight: 0.25,
+                insert_chunk: 10,
+                batch: 48,
+                ..ChurnSpec::default()
+            },
+            Mix::ViewHeavy => ChurnSpec {
+                initial_items: initial,
+                insert_weight: 0.15,
+                view_weight: 0.55,
+                query_weight: 0.3,
+                insert_chunk: 6,
+                batch: 48,
+                ..ChurnSpec::default()
+            },
+        }
+    }
+}
+
+/// Materializes a [`ChurnOp::RegisterView`] seed the same way everywhere
+/// (writer and references must derive the identical view).
+fn churn_view(w: &Workload, vseed: u64) -> (wf_model::View, VariantKind) {
+    let mut vrng = StdRng::seed_from_u64(vseed);
+    let composites = w.spec.grammar.composite_modules().count().max(1);
+    let size = vrng.gen_range(1..=composites);
+    (views::random_safe_view(w, &mut vrng, size), VARIANTS[(vseed % 3) as usize])
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
 
-    /// Readers racing a publishing writer, across all three variants:
-    /// every batch a reader answers must be element-identical to the
-    /// answers of a sequential, single-generation [`QueryEngine`] built to
-    /// the state of the generation the reader was served — i.e. every
-    /// observation is of *some* published generation, never a torn mix.
+    /// Readers racing a writer that replays a *generated churn stream*
+    /// (view-heavy and insert-heavy mixes from `wf-workloads::churn`,
+    /// publishing every few ops): every batch a reader answers must be
+    /// element-identical to the answers of a sequential single-generation
+    /// [`QueryEngine`] built to the state of the generation the reader
+    /// was served — i.e. every observation is of *some* published
+    /// generation, never a torn mix, regardless of how inserts, view
+    /// registrations and publishes interleave.
     #[test]
-    fn racing_readers_observe_only_published_generations(seed in 0u64..200) {
+    fn racing_readers_observe_only_published_generations(
+        seed in 0u64..200,
+        mix in prop_oneof![Just(Mix::InsertHeavy), Just(Mix::ViewHeavy)],
+    ) {
         let w = bioaid(seed % 3);
         let fvl = shared_fvl(&w);
         let pg = ProdGraph::new(&w.spec.grammar);
         let mut rng = StdRng::seed_from_u64(seed);
-        let (_, run) = sample::sample_run(&w, &pg, &mut rng, 120);
-        let labels = fvl.labeler(&run).labels().to_vec();
-        let view = views::random_safe_view(&w, &mut rng, 8);
+        let (_, run) = sample::sample_run(&w, &pg, &mut rng, 160);
+        let mut labels = fvl.labeler(&run).labels().to_vec();
+        let view0 = views::random_safe_view(&w, &mut rng, 8);
         let initial = labels.len() / 2;
-        // Pairs over the initial items only: valid in every generation.
-        let pairs: Vec<_> = sample::sample_query_pairs(&run, &mut rng, 64)
-            .into_iter()
-            .map(|(a, b)| {
-                use wf_engine::ItemId;
-                (ItemId(a.0 % initial as u32), ItemId(b.0 % initial as u32))
-            })
+
+        let ops = churn_stream(&mut rng, 24, &mix.spec(initial));
+        // Pad the label pool to cover the stream's total insert demand
+        // (duplicates get fresh ids, so population arithmetic is exact).
+        let needed = initial
+            + ops.iter().map(|op| match op { ChurnOp::Insert { count } => *count, _ => 0 }).sum::<usize>();
+        let mut i = 0usize;
+        while labels.len() < needed {
+            labels.push(labels[i].clone());
+            i += 1;
+        }
+        // Reader batches: the stream's own query pairs, folded onto the
+        // initial population so they are valid in every generation.
+        let mut pairs: Vec<(ItemId, ItemId)> = ops
+            .iter()
+            .filter_map(|op| match op { ChurnOp::QueryBatch { pairs } => Some(pairs), _ => None })
+            .flatten()
+            .map(|&(a, b)| (ItemId(a % initial as u32), ItemId(b % initial as u32)))
+            .take(64)
             .collect();
+        if pairs.is_empty() {
+            pairs = sample::sample_query_pairs(&run, &mut rng, 64)
+                .into_iter()
+                .map(|(a, b)| (ItemId(a.0 % initial as u32), ItemId(b.0 % initial as u32)))
+                .collect();
+        }
 
         for kind in VARIANTS {
             let mut writer = EngineWriter::from_fvl(fvl.clone());
             writer.insert_labels(&labels[..initial]);
-            let vref = writer.register_view(view.clone(), kind).unwrap();
+            let vref = writer.register_view(view0.clone(), kind).unwrap();
             let live = LiveEngine::new(writer.base().clone());
             writer.publish(&live);
 
-            // The writer will publish `chunks` more generations, each
-            // adding a slice of the remaining labels.
-            let tail = &labels[initial..];
-            let chunks = 4usize;
-            let final_seqno = 1 + chunks as u64;
+            // The writer replays the churn stream, publishing every
+            // `publish_every` ops; the journal records the exact state
+            // (label count, view seeds) behind each published seqno so the
+            // sequential references can be rebuilt afterwards.
+            let publish_every = 4usize;
+            let mut journal: Vec<(u64, usize, Vec<u64>)> = vec![(1, initial, Vec::new())];
+            let expected_final = {
+                // Publishes that will actually happen: only ops that stage
+                // state (inserts / views) make a publish non-empty.
+                let mut seqno = 1u64;
+                let mut staged = false;
+                for (ix, op) in ops.iter().enumerate() {
+                    staged |= !matches!(op, ChurnOp::QueryBatch { .. });
+                    if (ix + 1) % publish_every == 0 && staged {
+                        seqno += 1;
+                        staged = false;
+                    }
+                }
+                if staged { seqno + 1 } else { seqno }
+            };
+
             let observations = std::thread::scope(|s| {
                 let live = &live;
                 let pairs = &pairs;
@@ -157,10 +244,10 @@ proptest! {
                         s.spawn(move || {
                             let mut ws = WorkerScratch::new();
                             let mut seen = Vec::new();
-                            for _ in 0..10_000 {
+                            for _ in 0..20_000 {
                                 let gen = live.read();
                                 let ans = gen.query_batch(&mut ws, vref, pairs);
-                                let done = gen.seqno() == final_seqno;
+                                let done = gen.seqno() == expected_final;
                                 seen.push((gen.seqno(), ans));
                                 if done {
                                     break;
@@ -170,46 +257,68 @@ proptest! {
                         })
                     })
                     .collect();
+
                 let mut writer = writer;
-                for (i, chunk) in tail.chunks(tail.len().div_ceil(chunks)).enumerate() {
-                    std::thread::sleep(std::time::Duration::from_millis(1));
-                    writer.insert_labels(chunk);
-                    let g = writer.publish(live);
-                    prop_assert_eq!(g.seqno(), 2 + i as u64);
+                let mut next_label = initial;
+                let mut view_seeds: Vec<u64> = Vec::new();
+                for (ix, op) in ops.iter().enumerate() {
+                    match op {
+                        ChurnOp::Insert { count } => {
+                            writer.insert_labels(&labels[next_label..next_label + count]);
+                            next_label += count;
+                        }
+                        ChurnOp::RegisterView { seed: vseed } => {
+                            let (view, vkind) = churn_view(&w, *vseed);
+                            writer.register_view(view, vkind).unwrap();
+                            view_seeds.push(*vseed);
+                        }
+                        ChurnOp::QueryBatch { .. } => {} // readers own the queries
+                    }
+                    if (ix + 1) % publish_every == 0 && writer.has_staged_changes() {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        let g = writer.publish(live);
+                        journal.push((g.seqno(), next_label, view_seeds.clone()));
+                    }
                 }
+                if writer.has_staged_changes() {
+                    let g = writer.publish(live);
+                    journal.push((g.seqno(), next_label, view_seeds.clone()));
+                }
+
                 let mut all = Vec::new();
                 for r in readers {
                     all.extend(r.join().expect("reader panicked"));
                 }
                 all
             });
+            prop_assert_eq!(journal.last().unwrap().0, expected_final, "{:?}", mix);
 
             // Verify each observation against a sequential reference built
-            // to exactly that generation's state.
-            let label_count_at = |seqno: u64| {
-                let extra = (seqno.saturating_sub(1)) as usize
-                    * tail.len().div_ceil(chunks);
-                initial + extra.min(tail.len())
-            };
-            for seqno in 1..=final_seqno {
+            // to exactly that generation's journaled state.
+            for (seqno, label_count, view_seeds) in &journal {
                 let mut reference = QueryEngine::new(fvl.as_ref());
-                reference.insert_labels(&labels[..label_count_at(seqno)]);
-                let rref = reference.register_view(view.clone(), kind).unwrap();
+                reference.insert_labels(&labels[..*label_count]);
+                let rref = reference.register_view(view0.clone(), kind).unwrap();
                 prop_assert_eq!(rref, vref, "handles are chain-stable");
+                for vseed in view_seeds {
+                    let (view, vkind) = churn_view(&w, *vseed);
+                    reference.register_view(view, vkind).unwrap();
+                }
                 let expected = reference.query_batch(rref, &pairs);
-                for (s, ans) in observations.iter().filter(|(s, _)| *s == seqno) {
+                for (s, ans) in observations.iter().filter(|(s, _)| s == seqno) {
                     prop_assert_eq!(
                         ans,
                         &expected,
-                        "{:?}: observation of generation {} is not the sequential answer",
+                        "{:?}/{:?}: observation of generation {} is not the sequential answer",
                         kind,
+                        mix,
                         s
                     );
                 }
             }
             // Liveness: both readers reached the final generation.
             prop_assert!(
-                observations.iter().filter(|(s, _)| *s == final_seqno).count() >= 2,
+                observations.iter().filter(|(s, _)| *s == expected_final).count() >= 2,
                 "readers must observe the final publish"
             );
         }

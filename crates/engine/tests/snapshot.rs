@@ -222,6 +222,67 @@ fn version_and_spec_mismatches_are_typed() {
     assert!(matches!(QueryEngine::load(&fvl, &mut &b""[..]), Err(SnapshotError::Truncated)));
 }
 
+/// A warm-restart stream whose delta record carries a *valid* checksum but
+/// a forged label — one whose first edge uses a production that does not
+/// expand the start module. The integrity layer admits the container, so
+/// only the path-chaining validator behind it
+/// ([`wf_snapshot::edge_target_module`]) stands between the forgery and π
+/// being handed mismatched matrices. It must reject structurally — a
+/// `Malformed`, never `ChecksumMismatch` (the checksum is honest here) and
+/// never a panic — and the stream's base prefix must stay replayable.
+#[test]
+fn valid_checksum_delta_with_broken_label_chain_is_rejected_structurally() {
+    use std::sync::Arc;
+    use wf_bitio::BitWriter;
+    use wf_engine::{EngineGeneration, EngineWriter, LiveEngine};
+    use wf_run::EdgeLabel;
+    use wf_snapshot::{spec_fingerprint, write_container};
+
+    let w = bioaid(8);
+    let fvl = Arc::new(Fvl::from_arc(Arc::new(w.spec.clone())).unwrap());
+    let pg = ProdGraph::new(&w.spec.grammar);
+    let mut rng = StdRng::seed_from_u64(8);
+    let (_, run) = sample::sample_run(&w, &pg, &mut rng, 60);
+    let mut writer = EngineWriter::from_fvl(fvl.clone());
+    writer.insert_labels(fvl.labeler(&run).labels());
+    let live = LiveEngine::new(writer.base().clone());
+    let g1 = writer.publish(&live);
+    let mut stream = Vec::new();
+    g1.save(&mut stream).unwrap();
+    let base_len = stream.len();
+
+    // Hand-assemble the delta record exactly as the writer frames it
+    // (0x04 section tag, γ base/new seqnos chaining onto g1, one label,
+    // no views, no compilations) — except the label's edge is forged.
+    let g = &w.spec.grammar;
+    let (k_deep, _) = g
+        .productions()
+        .find(|(_, p)| p.lhs != g.start())
+        .expect("workload grammar has non-start productions");
+    let mut bw = BitWriter::new();
+    bw.write_bits(0x04, 8); // SECTION_DELTA
+    bw.write_gamma(g1.seqno() + 1);
+    bw.write_gamma(g1.seqno() + 2);
+    bw.write_gamma(2); // one inserted label…
+    bw.push_bit(true); // …out side only…
+    bw.push_bit(false);
+    bw.write_gamma(2); // …with a one-edge path that breaks at the root.
+    fvl.codec().write_edge(&mut bw, &EdgeLabel::Plain { k: k_deep, i: 0 });
+    bw.write_bits(0, 8);
+    bw.write_gamma(1); // no views
+    bw.write_gamma(1); // no compilations
+    write_container(&mut stream, spec_fingerprint(g, fvl.prod_graph()), &bw.finish()).unwrap();
+
+    match EngineGeneration::replay(fvl.clone(), &mut stream.as_slice()) {
+        Err(SnapshotError::Malformed(_)) => {}
+        Err(other) => panic!("forged delta must fail structurally, got {other}"),
+        Ok(_) => panic!("forged delta must not replay"),
+    }
+    let recovered = EngineGeneration::replay(fvl, &mut &stream[..base_len])
+        .expect("the honest base prefix still replays");
+    assert_eq!(recovered.seqno(), g1.seqno());
+}
+
 #[test]
 fn save_load_save_is_byte_identical() {
     // Determinism check: a loaded engine re-saves to the exact same bytes,

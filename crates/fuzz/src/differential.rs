@@ -1,0 +1,469 @@
+//! Differential oracles: three labeling variants, the naive run-graph
+//! oracle, the interned engine path, and the generational live path must
+//! all give element-identical answers on every generated case.
+//!
+//! The equivalence contract, precisely:
+//!
+//! * For every generated `(spec, run, view)` and every ordered item pair
+//!   `(d1, d2)`: `Fvl::query` under Space-Efficient, Default and
+//!   Query-Efficient, the [`wf_run::RunOracle`]'s brute-force reachability
+//!   over the flattened run graph, and `QueryEngine` batched queries over
+//!   trie-interned labels agree **as `Option<bool>`** — visibility
+//!   (`None`) included, not just the boolean.
+//! * For every churn stream replayed through `EngineWriter` /
+//!   [`LiveEngine`]: each published generation answers every batch exactly
+//!   like a sequential single-generation [`QueryEngine`] holding the same
+//!   published state, and a warm [`EngineGeneration::replay`] of the
+//!   base ‖ delta stream reproduces the final generation's answers.
+//!
+//! Any violation is reported as a [`Divergence`] naming the case seed it
+//! reproduces from; the harness never panics on a generated input.
+
+use crate::specgen::{adversarial_workload, SpecShape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use wf_core::{Fvl, QueryScratch, VariantKind};
+use wf_engine::{
+    EngineGeneration, EngineWriter, ItemId, LiveEngine, QueryEngine, ViewRef, WorkerScratch,
+};
+use wf_model::{View, ViewSpec};
+use wf_run::{DataId, RunOracle};
+use wf_workloads::churn::{churn_stream, ChurnOp, ChurnSpec};
+use wf_workloads::{sample, views, Workload};
+
+/// A differential disagreement (or a generated input the stack rejected),
+/// with enough context to reproduce and localize it.
+#[derive(Debug)]
+pub struct Divergence(pub String);
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+macro_rules! diverge {
+    ($($arg:tt)*) => { return Err(Divergence(format!($($arg)*))) };
+}
+
+/// What one differential case covered (aggregated into sweep stats).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiffOutcome {
+    pub views: u64,
+    pub queries: u64,
+    pub items: u64,
+}
+
+/// Generates and checks one full differential case from one seed: an
+/// adversarial spec, a run (sizes biased to include empty and single-item
+/// runs), a set of adversarial view partitions, and an all-variant /
+/// oracle / engine comparison over a query set (the full pair square on
+/// small runs).
+pub fn check_spec(seed: u64, budget: usize) -> Result<DiffOutcome, Divergence> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (shape, w) = adversarial_workload(&mut rng, budget);
+    check_workload(seed, &shape, &w, &mut rng)
+}
+
+fn fail_ctx(seed: u64, shape: &SpecShape) -> String {
+    format!("case seed {seed:#x} (shape {shape:?})")
+}
+
+fn check_workload(
+    seed: u64,
+    shape: &SpecShape,
+    w: &Workload,
+    rng: &mut StdRng,
+) -> Result<DiffOutcome, Divergence> {
+    let fvl = match Fvl::new(&w.spec) {
+        Ok(f) => f,
+        Err(e) => diverge!("{}: generated spec rejected by Fvl: {e}", fail_ctx(seed, shape)),
+    };
+    let pg = fvl.prod_graph();
+
+    // Run sizes bathtub-biased: minimal runs (wind-down only) are the
+    // single-item edge case; larger ones exercise recursion unrolling.
+    let target = match rng.gen_range(0..4u8) {
+        0 => 0,
+        1 => 1,
+        _ => rng.gen_range(2..48usize),
+    };
+    let (_, run) = sample::sample_run(w, pg, rng, target);
+    let labels = fvl.labeler(&run).labels().to_vec();
+
+    // Query set: the full ordered square on small runs, sampled otherwise.
+    let n = run.item_count();
+    let pairs: Vec<(DataId, DataId)> = if n <= 16 {
+        (0..n as u32).flat_map(|a| (0..n as u32).map(move |b| (DataId(a), DataId(b)))).collect()
+    } else {
+        sample::sample_query_pairs(&run, rng, 64)
+    };
+
+    // Adversarial view partitions: the default view (everything expanded
+    // that can be), a minimal view (start only), and random partitions in
+    // between — sizes bathtub-biased across the composite count.
+    let composites = w.spec.grammar.composite_modules().count();
+    let mut view_set: Vec<View> = vec![w.spec.default_view()];
+    for _ in 0..3 {
+        let size = match rng.gen_range(0..3u8) {
+            0 => 1,
+            1 => composites.max(1),
+            _ => rng.gen_range(1..=composites.max(1)),
+        };
+        view_set.push(views::random_safe_view(w, rng, size));
+    }
+
+    // The engine path runs alongside: labels interned once, each view
+    // registered under every variant, batches compared element-wise.
+    let mut engine = QueryEngine::new(&fvl);
+    let items = engine.insert_labels(&labels);
+    let engine_pairs: Vec<(ItemId, ItemId)> =
+        pairs.iter().map(|&(a, b)| (items[a.0 as usize], items[b.0 as usize])).collect();
+
+    let mut out = DiffOutcome { views: 0, queries: 0, items: n as u64 };
+    let mut scratch = QueryScratch::new();
+    for (vix, view) in view_set.iter().enumerate() {
+        let vs = ViewSpec::new(&w.spec, view);
+        let oracle = match RunOracle::new(&w.spec.grammar, &vs, &run) {
+            Ok(o) => o,
+            Err(e) => diverge!(
+                "{}: view {vix} rejected by the oracle (unsafe?): {e:?}",
+                fail_ctx(seed, shape)
+            ),
+        };
+        let mut variant_labels = Vec::new();
+        for kind in VariantKind::ALL {
+            match fvl.label_view(view, kind) {
+                Ok(vl) => variant_labels.push((kind, vl)),
+                Err(e) => diverge!(
+                    "{}: view {vix} rejected by {} labeling: {e}",
+                    fail_ctx(seed, shape),
+                    kind.name()
+                ),
+            }
+        }
+        let mut engine_refs: Vec<(VariantKind, ViewRef)> = Vec::new();
+        for kind in VariantKind::ALL {
+            match engine.register_view(view.clone(), kind) {
+                Ok(r) => engine_refs.push((kind, r)),
+                Err(e) => diverge!(
+                    "{}: view {vix} rejected by engine registration ({}): {e}",
+                    fail_ctx(seed, shape),
+                    kind.name()
+                ),
+            }
+        }
+
+        for (pix, &(d1, d2)) in pairs.iter().enumerate() {
+            let expected = oracle.depends_on(d1, d2);
+            for (kind, vl) in &variant_labels {
+                let got = fvl.query_with(
+                    vl,
+                    &mut scratch,
+                    &labels[d1.0 as usize],
+                    &labels[d2.0 as usize],
+                );
+                if got != expected {
+                    diverge!(
+                        "{}: view {vix} pair {pix} ({},{}) — {} answered {:?}, oracle {:?}",
+                        fail_ctx(seed, shape),
+                        d1.0,
+                        d2.0,
+                        kind.name(),
+                        got,
+                        expected
+                    );
+                }
+            }
+            out.queries += 1;
+        }
+        for (kind, vref) in &engine_refs {
+            let batch = engine.query_batch(*vref, &engine_pairs);
+            for (pix, (&(d1, d2), got)) in pairs.iter().zip(&batch).enumerate() {
+                let expected = oracle.depends_on(d1, d2);
+                if *got != expected {
+                    diverge!(
+                        "{}: view {vix} pair {pix} ({},{}) — engine {} answered {:?}, oracle {:?}",
+                        fail_ctx(seed, shape),
+                        d1.0,
+                        d2.0,
+                        kind.name(),
+                        got,
+                        expected
+                    );
+                }
+            }
+        }
+        out.views += 1;
+    }
+    Ok(out)
+}
+
+/// The live-engine differential: one seed generates an adversarial spec, a
+/// label pool and a churn stream (mix itself randomized between
+/// insert-heavy, view-heavy and query-heavy), then replays the stream
+/// through an [`EngineWriter`] publishing into a [`LiveEngine`] (every
+/// publish appending a delta record). Every query batch is answered by the
+/// *published* generation via the lock-free read path and compared to a
+/// sequential [`QueryEngine`] mirroring exactly the published ops; at the
+/// end the append-only stream is replayed cold and must reproduce the
+/// final generation's answers.
+pub fn check_live_churn(seed: u64, budget: usize, ops: usize) -> Result<DiffOutcome, Divergence> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (shape, w) = adversarial_workload(&mut rng, budget);
+    let fvl = match Fvl::from_arc(Arc::new(w.spec.clone())) {
+        Ok(f) => Arc::new(f),
+        Err(e) => diverge!("{}: generated spec rejected by Fvl: {e}", fail_ctx(seed, &shape)),
+    };
+
+    // The op mix is part of the fuzzed input.
+    let (iw, vw, qw) = match rng.gen_range(0..3u8) {
+        0 => (0.7, 0.05, 0.25), // insert-heavy
+        1 => (0.15, 0.4, 0.45), // view-heavy
+        _ => (0.1, 0.02, 0.88), // query-heavy
+    };
+    let spec = ChurnSpec {
+        initial_items: rng.gen_range(0..24),
+        insert_weight: iw,
+        view_weight: vw,
+        query_weight: qw,
+        insert_chunk: rng.gen_range(1..8),
+        batch: rng.gen_range(1..24),
+        ..ChurnSpec::default()
+    };
+    let stream = churn_stream(&mut rng, ops, &spec);
+
+    // Label pool: one run large enough to feed every insert in the stream.
+    let needed = spec.initial_items
+        + stream
+            .iter()
+            .map(|op| match op {
+                ChurnOp::Insert { count } => *count,
+                _ => 0,
+            })
+            .sum::<usize>();
+    let (_, run) = sample::sample_run(&w, fvl.prod_graph(), &mut rng, needed.max(1));
+    let mut labels = fvl.labeler(&run).labels().to_vec();
+    if labels.is_empty() {
+        diverge!("{}: a run produced zero data items", fail_ctx(seed, &shape));
+    }
+    // Degenerate acyclic specs have a *bounded* maximum run size, so the
+    // pool may undershoot the stream's demand — pad by cycling. The store
+    // assigns a fresh id to every insert (duplicates included), so the
+    // population arithmetic stays exact and repeated labels maximize trie
+    // sharing, itself a corner worth fuzzing.
+    let mut i = 0usize;
+    while labels.len() < needed {
+        labels.push(labels[i].clone());
+        i += 1;
+    }
+
+    let mut writer = EngineWriter::from_fvl(fvl.clone());
+    let mut next_label = 0usize;
+    let mut insert_next = |writer: &mut EngineWriter, count: usize| {
+        let ids = writer.insert_labels(&labels[next_label..next_label + count]);
+        next_label += count;
+        ids
+    };
+    insert_next(&mut writer, spec.initial_items);
+    let live = LiveEngine::new(writer.base().clone());
+    let mut delta_stream = Vec::new();
+    writer
+        .base()
+        .save(&mut delta_stream)
+        .map_err(|e| Divergence(format!("{}: base save failed: {e}", fail_ctx(seed, &shape))))?;
+    // Initial items land in generation 1 (the empty origin is generation 0).
+    writer.publish_with_delta(&live, &mut delta_stream).map_err(|e| {
+        Divergence(format!("{}: initial publish failed: {e}", fail_ctx(seed, &shape)))
+    })?;
+
+    // The sequential reference mirrors *published* state only: ops applied
+    // to the writer stay pending until the next publish drains them.
+    let mut reference = QueryEngine::new(&fvl);
+    reference.insert_labels(&labels[..spec.initial_items]);
+    let mut pending: Vec<ChurnOp> = Vec::new();
+    let mut compiled: Vec<ViewRef> = Vec::new();
+    let mut pending_compiled: Vec<ViewRef> = Vec::new();
+    let publish_every = rng.gen_range(1..=5usize);
+
+    let mut out = DiffOutcome::default();
+    let mut ws = WorkerScratch::new();
+    let mut since_publish = 0usize;
+    for (opix, op) in stream.iter().enumerate() {
+        match op {
+            ChurnOp::Insert { count } => {
+                insert_next(&mut writer, *count);
+                pending.push(op.clone());
+            }
+            ChurnOp::RegisterView { seed: vseed } => {
+                let mut vrng = StdRng::seed_from_u64(*vseed);
+                let composites = w.spec.grammar.composite_modules().count().max(1);
+                let size = vrng.gen_range(1..=composites);
+                let view = views::random_safe_view(&w, &mut vrng, size);
+                let kind = VariantKind::ALL[(*vseed % 3) as usize];
+                let vref = writer.register_view(view, kind).map_err(|e| {
+                    Divergence(format!(
+                        "{}: live view registration rejected: {e}",
+                        fail_ctx(seed, &shape)
+                    ))
+                })?;
+                if !compiled.contains(&vref) && !pending_compiled.contains(&vref) {
+                    pending_compiled.push(vref);
+                }
+                pending.push(op.clone());
+            }
+            ChurnOp::QueryBatch { pairs } => {
+                let gen = live.read();
+                let population = gen.store().len() as u32;
+                if population == 0 || compiled.is_empty() {
+                    continue;
+                }
+                let item_pairs: Vec<(ItemId, ItemId)> = pairs
+                    .iter()
+                    .map(|&(a, b)| (ItemId(a % population), ItemId(b % population)))
+                    .collect();
+                for &vref in &compiled {
+                    let got = gen.query_batch(&mut ws, vref, &item_pairs);
+                    let expected = reference.query_batch(vref, &item_pairs);
+                    if got != expected {
+                        diverge!(
+                            "{}: op {opix} — generation {} disagrees with the sequential \
+                             reference on view {vref:?}",
+                            fail_ctx(seed, &shape),
+                            gen.seqno()
+                        );
+                    }
+                    out.queries += item_pairs.len() as u64;
+                }
+            }
+        }
+        since_publish += 1;
+        if since_publish >= publish_every && writer.has_staged_changes() {
+            since_publish = 0;
+            writer.publish_with_delta(&live, &mut delta_stream).map_err(|e| {
+                Divergence(format!("{}: publish failed: {e}", fail_ctx(seed, &shape)))
+            })?;
+            // Drain the published ops into the sequential reference.
+            for p in pending.drain(..) {
+                match p {
+                    ChurnOp::Insert { .. } => {}
+                    ChurnOp::RegisterView { seed: vseed } => {
+                        let mut vrng = StdRng::seed_from_u64(vseed);
+                        let composites = w.spec.grammar.composite_modules().count().max(1);
+                        let size = vrng.gen_range(1..=composites);
+                        let view = views::random_safe_view(&w, &mut vrng, size);
+                        let kind = VariantKind::ALL[(vseed % 3) as usize];
+                        let r = reference.register_view(view, kind).map_err(|e| {
+                            Divergence(format!(
+                                "{}: reference view registration rejected: {e}",
+                                fail_ctx(seed, &shape)
+                            ))
+                        })?;
+                        out.views += 1;
+                        if !compiled.contains(&r) {
+                            compiled.push(r);
+                        }
+                    }
+                    ChurnOp::QueryBatch { .. } => unreachable!("queries are never staged"),
+                }
+            }
+            // Inserts: mirror the published store length exactly.
+            let published_len = writer.base().store().len();
+            if reference.store().len() < published_len {
+                let from = reference.store().len();
+                reference.insert_labels(&labels[from..published_len]);
+            }
+            pending_compiled.retain(|r| {
+                if !compiled.contains(r) {
+                    compiled.push(*r);
+                }
+                false
+            });
+            if !handles_match(&compiled, &reference) {
+                diverge!("{}: view handles drifted from the reference", fail_ctx(seed, &shape));
+            }
+        }
+    }
+
+    // Final barrier: publish the tail, then warm-replay the append-only
+    // stream and compare all_pairs per compiled view.
+    writer.publish_with_delta(&live, &mut delta_stream).map_err(|e| {
+        Divergence(format!("{}: final publish failed: {e}", fail_ctx(seed, &shape)))
+    })?;
+    let final_gen = live.snapshot();
+    let published_len = final_gen.store().len();
+    if reference.store().len() < published_len {
+        let from = reference.store().len();
+        reference.insert_labels(&labels[from..published_len]);
+    }
+    for p in pending.drain(..) {
+        if let ChurnOp::RegisterView { seed: vseed } = p {
+            let mut vrng = StdRng::seed_from_u64(vseed);
+            let composites = w.spec.grammar.composite_modules().count().max(1);
+            let size = vrng.gen_range(1..=composites);
+            let view = views::random_safe_view(&w, &mut vrng, size);
+            let kind = VariantKind::ALL[(vseed % 3) as usize];
+            let r = reference.register_view(view, kind).map_err(|e| {
+                Divergence(format!("{}: reference rejected: {e}", fail_ctx(seed, &shape)))
+            })?;
+            out.views += 1;
+            if !compiled.contains(&r) {
+                compiled.push(r);
+            }
+        }
+    }
+
+    let fvl2 = Fvl::from_arc(Arc::new(w.spec.clone()))
+        .map_err(|e| Divergence(format!("{}: replay Fvl: {e}", fail_ctx(seed, &shape))))?;
+    let replayed = EngineGeneration::replay(Arc::new(fvl2), &mut delta_stream.as_slice())
+        .map_err(|e| Divergence(format!("{}: warm replay failed: {e}", fail_ctx(seed, &shape))))?;
+    if replayed.seqno() != final_gen.seqno() || replayed.store().len() != final_gen.store().len() {
+        diverge!(
+            "{}: warm replay landed on generation {} ({} items), live is {} ({} items)",
+            fail_ctx(seed, &shape),
+            replayed.seqno(),
+            replayed.store().len(),
+            final_gen.seqno(),
+            final_gen.store().len()
+        );
+    }
+    let all_items: Vec<ItemId> = (0..published_len as u32).map(ItemId).collect();
+    for &vref in &compiled {
+        let expected = reference.all_pairs(vref, &all_items);
+        if final_gen.all_pairs(&mut ws, vref, &all_items) != expected {
+            diverge!("{}: final generation diverges on {vref:?}", fail_ctx(seed, &shape));
+        }
+        if replayed.all_pairs(&mut ws, vref, &all_items) != expected {
+            diverge!("{}: warm replay diverges on {vref:?}", fail_ctx(seed, &shape));
+        }
+    }
+    out.items = published_len as u64;
+    Ok(out)
+}
+
+fn handles_match(compiled: &[ViewRef], reference: &QueryEngine<'_>) -> bool {
+    compiled.iter().all(|r| reference.registry().label(*r).is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_known_seed_sweep_is_divergence_free() {
+        for i in 0..12u64 {
+            let seed = crate::case_seed(0xD1FF, i);
+            let out = check_spec(seed, 10).unwrap_or_else(|d| panic!("{d}"));
+            assert!(out.queries > 0, "case {i} asked nothing");
+        }
+    }
+
+    #[test]
+    fn live_churn_seeds_are_divergence_free() {
+        for i in 0..4u64 {
+            let seed = crate::case_seed(0x11FE, i);
+            check_live_churn(seed, 8, 24).unwrap_or_else(|d| panic!("{d}"));
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Mutation fuzzing of the snapshot/delta byte decoders.
+//!
+//! The corpus is a set of *valid* append-only streams — a base snapshot
+//! from [`EngineGeneration::save`] followed by delta records appended by
+//! `EngineWriter::publish_with_delta` — over two different specs (so
+//! cross-stream splices exercise the fingerprint check, not just the
+//! chain check). Mutants are produced by bit flips, byte stomps,
+//! truncations, garbage extension, splices, container duplication and
+//! reordering, and — the sharp ones — payload/header tampering followed by
+//! [`wf_snapshot::reseal_container`], which forges a *valid checksum over
+//! invalid structure* so the structural validators behind the checksum are
+//! the ones under test.
+//!
+//! The contract, per mutant class:
+//!
+//! * **Integrity-preserving mutations** (anything that does not forge the
+//!   checksum — flips, stomps, truncations, splices, reorderings): decoding
+//!   must return a typed [`wf_snapshot::SnapshotError`] — never panic,
+//!   never hang — or, when the mutant happens to be byte-identical to a
+//!   valid stream (e.g. a truncation landing exactly on a container
+//!   boundary), decode to a state whose full digest — seqno, store size,
+//!   edge counts, registry size, and the complete dependent-pair set of
+//!   every compiled view — equals that of a pristine prefix of the stream.
+//!   Any other `Ok` is silent corruption: the checksum failed at its one
+//!   job.
+//! * **Checksum-forged mutations** (`payload_reseal` / `header_reseal`,
+//!   which tamper and then rewrite a valid checksum): the checksum
+//!   *cannot* reject these, and a flipped bit that still decodes to a
+//!   well-formed payload is indistinguishable from a legitimately
+//!   different snapshot — so `Ok` is acceptable, but the decoded state
+//!   must be *fully functional*: digesting it (which answers every pair
+//!   under every compiled view) must complete without a panic. The
+//!   structural validators are the subject here: most forgeries must
+//!   still die with typed `malformed`/`truncated`/`spec_mismatch` errors,
+//!   and the ones that survive must have been validated into a safe state.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use wf_core::{Fvl, VariantKind};
+use wf_engine::{
+    EngineGeneration, EngineWriter, ItemId, LiveEngine, ViewId, ViewRef, WorkerScratch,
+};
+use wf_snapshot::reseal_container;
+use wf_workloads::{sample, views, Workload};
+
+use crate::specgen::adversarial_workload;
+
+/// Everything a generation's observable state is: if two digests are
+/// equal, every query against the two generations answers identically.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct StateDigest {
+    seqno: u64,
+    items: usize,
+    edges: (usize, usize),
+    views: usize,
+    compiled: usize,
+    /// Per compiled view (in handle order): the full dependent-pair set.
+    answers: Vec<(ViewRef, Vec<(ItemId, ItemId)>)>,
+}
+
+fn digest(gen: &EngineGeneration) -> StateDigest {
+    let mut ws = WorkerScratch::new();
+    let all: Vec<ItemId> = (0..gen.store().len() as u32).map(ItemId).collect();
+    let mut answers = Vec::new();
+    for i in 0..gen.registry().view_count() as u32 {
+        for kind in VariantKind::ALL {
+            let r = ViewRef { id: ViewId(i), kind };
+            if gen.registry().label(r).is_some() {
+                answers.push((r, gen.all_pairs(&mut ws, r, &all)));
+            }
+        }
+    }
+    StateDigest {
+        seqno: gen.seqno(),
+        items: gen.store().len(),
+        edges: gen.store().edge_stats(),
+        views: gen.registry().view_count(),
+        compiled: gen.registry().compiled_count(),
+        answers,
+    }
+}
+
+/// One valid append-only stream plus the ground truth needed to judge
+/// mutants of it.
+pub struct CorpusStream {
+    /// The pristine bytes: base container ‖ delta record ‖ delta record…
+    pub bytes: Vec<u8>,
+    /// Cumulative end offset of each container (so mutation operators can
+    /// cut, duplicate and reorder on real framing boundaries).
+    pub boundaries: Vec<usize>,
+    /// The spec the stream belongs to (decoding happens against it).
+    fvl: Arc<Fvl<'static>>,
+    /// The spec fingerprint the containers carry.
+    fingerprint: u64,
+    /// Digest of the generation each boundary prefix decodes to.
+    prefix_digests: Vec<StateDigest>,
+}
+
+/// The mutation corpus: valid streams over two distinct specs.
+pub struct MutationCorpus {
+    pub streams: Vec<CorpusStream>,
+}
+
+fn build_stream(seed: u64, publishes: usize) -> CorpusStream {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (_, w): (_, Workload) = adversarial_workload(&mut rng, 10);
+    let fvl = Arc::new(Fvl::from_arc(Arc::new(w.spec.clone())).expect("corpus spec is valid"));
+    let (_, run) = sample::sample_run(&w, fvl.prod_graph(), &mut rng, 8 * publishes.max(1));
+    let labels = fvl.labeler(&run).labels().to_vec();
+
+    let mut writer = EngineWriter::from_fvl(fvl.clone());
+    let live = LiveEngine::new(writer.base().clone());
+    let mut bytes = Vec::new();
+    writer.base().save(&mut bytes).expect("base save");
+    let mut boundaries = vec![bytes.len()];
+    let mut prefix_digests = vec![digest(writer.base())];
+
+    let composites = w.spec.grammar.composite_modules().count().max(1);
+    let mut next = 0usize;
+    for round in 0..publishes {
+        let chunk = rng.gen_range(1..=4.min(labels.len() - next).max(1));
+        writer.insert_labels(&labels[next..(next + chunk).min(labels.len())]);
+        next = (next + chunk).min(labels.len());
+        if round % 2 == 0 {
+            let size = rng.gen_range(1..=composites);
+            let view = views::random_safe_view(&w, &mut rng, size);
+            let kind = VariantKind::ALL[round % 3];
+            writer.register_view(view, kind).expect("corpus view compiles");
+        }
+        let gen = writer.publish_with_delta(&live, &mut bytes).expect("publish");
+        boundaries.push(bytes.len());
+        prefix_digests.push(digest(&gen));
+    }
+    let fingerprint = wf_snapshot::spec_fingerprint(&fvl.spec().grammar, fvl.prod_graph());
+    CorpusStream { bytes, boundaries, fvl, fingerprint, prefix_digests }
+}
+
+/// Builds the corpus for one seed: two multi-publish streams over two
+/// *different* adversarial specs, plus a base-only stream. Deterministic
+/// per seed. Streams are guaranteed pairwise-distinct in spec fingerprint
+/// (re-rolled otherwise): an accidental collision would make a
+/// cross-stream splice a semantically valid stream, and its hybrid state
+/// would be misread as silent corruption.
+pub fn mutation_corpus(seed: u64) -> MutationCorpus {
+    let mut streams: Vec<CorpusStream> = Vec::new();
+    for (salt, publishes) in [(0u64, 4usize), (1, 3), (2, 0)] {
+        let mut attempt = salt;
+        loop {
+            let s = build_stream(crate::case_seed(seed, attempt), publishes);
+            if streams.iter().all(|t| t.fingerprint != s.fingerprint) {
+                streams.push(s);
+                break;
+            }
+            attempt += 16;
+        }
+    }
+    MutationCorpus { streams }
+}
+
+/// Aggregate verdicts of a mutation round. The invariants a healthy
+/// decoder satisfies: `panics == 0`, `wrong == 0`, everything else is
+/// either a typed rejection (histogrammed by
+/// [`wf_snapshot::SnapshotError::class`])
+/// or a mutant whose state is provably identical to a pristine prefix.
+#[derive(Clone, Debug, Default)]
+pub struct MutationStats {
+    pub mutants: u64,
+    /// Typed rejections by error class.
+    pub rejected: BTreeMap<&'static str, u64>,
+    /// Mutants that decoded `Ok` and digest-matched a pristine prefix.
+    pub ok_valid_prefix: u64,
+    /// Checksum-forged mutants that decoded `Ok` to a functional (fully
+    /// queryable) state not matching a pristine prefix — the outcome the
+    /// checksum can by definition not prevent (see module docs).
+    pub ok_forged: u64,
+    /// Decoder (or post-decode query) panics (must be zero).
+    pub panics: u64,
+    /// *Integrity-preserving* mutants that decoded `Ok` with state
+    /// matching no pristine prefix — silent corruption (must be zero).
+    pub wrong: u64,
+}
+
+impl MutationStats {
+    pub fn merge(&mut self, other: &MutationStats) {
+        self.mutants += other.mutants;
+        self.ok_valid_prefix += other.ok_valid_prefix;
+        self.ok_forged += other.ok_forged;
+        self.panics += other.panics;
+        self.wrong += other.wrong;
+        for (k, v) in &other.rejected {
+            *self.rejected.entry(k).or_default() += v;
+        }
+    }
+
+    /// Distinct rejection classes observed (coverage of the error space).
+    pub fn classes(&self) -> usize {
+        self.rejected.len()
+    }
+}
+
+/// The container slice `[start, end)` of container `ix` in `s`.
+fn container_range(s: &CorpusStream, ix: usize) -> (usize, usize) {
+    let start = if ix == 0 { 0 } else { s.boundaries[ix - 1] };
+    (start, s.boundaries[ix])
+}
+
+/// Produces one mutant of `stream` (possibly splicing bytes from `other`).
+fn mutate_bytes(
+    rng: &mut StdRng,
+    stream: &CorpusStream,
+    other: &CorpusStream,
+) -> (&'static str, Vec<u8>) {
+    let mut m = stream.bytes.clone();
+    let op = rng.gen_range(0..9u8);
+    match op {
+        0 => {
+            // Bit flips anywhere (header, framing, payload).
+            for _ in 0..rng.gen_range(1..=4) {
+                let bit = rng.gen_range(0..m.len() * 8);
+                m[bit / 8] ^= 1 << (bit % 8);
+            }
+            ("bit_flip", m)
+        }
+        1 => {
+            let at = rng.gen_range(0..m.len());
+            m[at] = rng.gen_range(0..=255u8);
+            ("byte_stomp", m)
+        }
+        2 => {
+            // Truncation at an arbitrary cut — boundary cuts legitimately
+            // decode to a pristine prefix, everything else must reject.
+            let cut = rng.gen_range(0..m.len());
+            m.truncate(cut);
+            ("truncate", m)
+        }
+        3 => {
+            let extra = rng.gen_range(1..64usize);
+            m.extend((0..extra).map(|_| rng.gen_range(0..=255u8)));
+            ("extend_garbage", m)
+        }
+        4 => {
+            // Cross-stream splice: our prefix, the other spec's suffix.
+            let ours = rng.gen_range(0..=stream.boundaries.len() - 1);
+            let theirs = rng.gen_range(0..other.boundaries.len());
+            let (_, cut) = container_range(stream, ours);
+            let (tail_start, _) = container_range(other, theirs);
+            m.truncate(cut);
+            m.extend_from_slice(&other.bytes[tail_start..]);
+            ("splice", m)
+        }
+        5 => {
+            // Duplicate one container in place (replays a seqno twice or a
+            // base mid-stream — the chain validator's job).
+            let ix = rng.gen_range(0..stream.boundaries.len());
+            let (a, b) = container_range(stream, ix);
+            let dup = m[a..b].to_vec();
+            let insert_at = stream.boundaries[rng.gen_range(0..stream.boundaries.len())];
+            m.splice(insert_at..insert_at, dup);
+            ("dup_container", m)
+        }
+        6 => {
+            // Swap two containers (out-of-order delta chain).
+            let n = stream.boundaries.len();
+            let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            let (lo, hi) = (i.min(j), i.max(j));
+            if lo == hi {
+                m.rotate_left(1);
+                return ("rotate", m);
+            }
+            let (a1, b1) = container_range(stream, lo);
+            let (a2, b2) = container_range(stream, hi);
+            let mut out = Vec::with_capacity(m.len());
+            out.extend_from_slice(&m[..a1]);
+            out.extend_from_slice(&m[a2..b2]);
+            out.extend_from_slice(&m[b1..a2]);
+            out.extend_from_slice(&m[a1..b1]);
+            out.extend_from_slice(&m[b2..]);
+            ("swap_containers", out)
+        }
+        7 => {
+            // Payload tamper under a forged-valid checksum: the structural
+            // validators behind the checksum are the target.
+            let ix = rng.gen_range(0..stream.boundaries.len());
+            let (a, b) = container_range(stream, ix);
+            if b - a > 36 {
+                for _ in 0..rng.gen_range(1..=8) {
+                    let at = rng.gen_range(a + 36..b);
+                    m[at] = rng.gen_range(0..=255u8);
+                }
+            }
+            reseal_container(&mut m[a..]);
+            ("payload_reseal", m)
+        }
+        _ => {
+            // Header-field tamper + reseal: fingerprint (spec mismatch),
+            // version (foreign format), declared bit length (framing lies).
+            let ix = rng.gen_range(0..stream.boundaries.len());
+            let (a, _) = container_range(stream, ix);
+            match rng.gen_range(0..3u8) {
+                0 => m[a + 12] ^= rng.gen_range(1..=255u8),
+                1 => m[a + 8] ^= rng.gen_range(1..=255u8),
+                _ => {
+                    let delta = rng.gen_range(1..=64u64);
+                    let cur = u64::from_le_bytes(m[a + 20..a + 28].try_into().unwrap());
+                    let lied = if rng.gen_bool(0.5) {
+                        cur.wrapping_add(delta)
+                    } else {
+                        cur.saturating_sub(delta)
+                    };
+                    m[a + 20..a + 28].copy_from_slice(&lied.to_le_bytes());
+                }
+            }
+            reseal_container(&mut m[a..]);
+            ("header_reseal", m)
+        }
+    }
+}
+
+/// Runs `iterations` mutants against the decoders and classifies every
+/// verdict. Deterministic per `(seed, corpus)`; any `panics` or `wrong`
+/// count is a decoder bug reproducible from the seed.
+pub fn mutation_round(seed: u64, corpus: &MutationCorpus, iterations: usize) -> MutationStats {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = MutationStats::default();
+    for _ in 0..iterations {
+        let six = rng.gen_range(0..corpus.streams.len());
+        let oix = rng.gen_range(0..corpus.streams.len());
+        let stream = &corpus.streams[six];
+        let other = &corpus.streams[oix];
+        let (op, mutant) = mutate_bytes(&mut rng, stream, other);
+        stats.mutants += 1;
+        let forged = matches!(op, "payload_reseal" | "header_reseal");
+
+        // Digesting runs inside the unwind guard on purpose: it answers
+        // every pair under every compiled view, so a decoded-but-poisoned
+        // generation that panics at *query* time is caught and counted,
+        // not crashed on.
+        let fvl = stream.fvl.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            EngineGeneration::replay(fvl, &mut mutant.as_slice())
+                .map(|gen| (gen.seqno(), gen.store().len(), digest(&gen)))
+        }));
+        match outcome {
+            Err(_) => {
+                stats.panics += 1;
+                eprintln!("decoder PANIC: op {op}, streams ({six}, {oix}), seed {seed:#x}");
+            }
+            Ok(Err(e)) => *stats.rejected.entry(e.class()).or_default() += 1,
+            Ok(Ok((seqno, items, d))) => {
+                if stream.prefix_digests.contains(&d) {
+                    stats.ok_valid_prefix += 1;
+                } else if forged {
+                    stats.ok_forged += 1;
+                } else {
+                    stats.wrong += 1;
+                    eprintln!(
+                        "SILENT CORRUPTION: op {op}, streams ({six}, {oix}), seed {seed:#x} — \
+                         mutant decoded to seqno {seqno} / {items} items, matching no \
+                         pristine prefix"
+                    );
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pristine_streams_replay_to_their_final_digest() {
+        let corpus = mutation_corpus(0xC0FFEE);
+        for s in &corpus.streams {
+            let gen = EngineGeneration::replay(s.fvl.clone(), &mut s.bytes.as_slice())
+                .expect("pristine stream replays");
+            assert_eq!(&digest(&gen), s.prefix_digests.last().unwrap());
+        }
+    }
+
+    #[test]
+    fn a_mutation_round_never_panics_or_corrupts() {
+        let corpus = mutation_corpus(0xC0FFEE);
+        let stats = mutation_round(0xBEEF, &corpus, 400);
+        assert_eq!(stats.panics, 0, "decoder panicked: {stats:?}");
+        assert_eq!(stats.wrong, 0, "silent corruption: {stats:?}");
+        assert_eq!(stats.mutants, 400);
+        // The round must actually exercise the error space, not fall into
+        // one rejection bucket.
+        assert!(stats.classes() >= 3, "rejection histogram too flat: {stats:?}");
+    }
+
+    #[test]
+    fn boundary_truncations_decode_to_pristine_prefixes() {
+        let corpus = mutation_corpus(0xC0FFEE);
+        let s = &corpus.streams[0];
+        for (ix, &cut) in s.boundaries.iter().enumerate() {
+            let prefix = &s.bytes[..cut];
+            let gen = EngineGeneration::replay(s.fvl.clone(), &mut &prefix[..])
+                .expect("boundary prefix replays");
+            assert_eq!(digest(&gen), s.prefix_digests[ix]);
+        }
+    }
+}

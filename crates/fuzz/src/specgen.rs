@@ -1,0 +1,261 @@
+//! Grammar-driven adversarial spec generation.
+//!
+//! The workflow-spec grammar is the fuzz grammar: a spec *is* a set of
+//! grammar productions, so generating adversarial specs means making
+//! adversarial choices at every structural decision the grammar allows —
+//! how deep the composite nesting goes, how long each recursion ring is,
+//! how many earlier composites a production embeds (fan-out), how dense
+//! the terminal dependency matrices are, and how narrow the port
+//! signatures get. The friendly generators in `wf-workloads` sample all of
+//! these mid-range; this module samples them **extreme-biased**: each
+//! dimension independently lands on its minimum or maximum half the time
+//! ("bathtub" sampling), so the corpus is dominated by the shapes that
+//! break implementations — depth-heavy chains, single-port degenerate
+//! modules, all-ones and barely-proper matrices, rings longer than any
+//! hand-written test.
+//!
+//! Safety by construction is inherited from [`SpecGen`] (single base
+//! production per composite, identity-adapter recursion, pinned mirrors),
+//! so every generated spec is a *valid* input whose three labeling
+//! variants must agree with the oracle — any disagreement is a real bug,
+//! not generator noise. The generator never emits a spec the engine may
+//! reject: that property is itself pinned by `fuzz_corpus` tests.
+
+use rand::Rng;
+use wf_model::ModuleId;
+use wf_workloads::gen::{GenParams, SpecGen};
+use wf_workloads::Workload;
+
+/// Hard caps of the shape sampler (the size budget's dimensions).
+const MAX_LEVELS: usize = 6;
+const MAX_CYCLE_LEN: usize = 5;
+const MAX_FILL: usize = 10;
+const MAX_DEGREE: u8 = 6;
+
+/// One sampled structural shape — the fuzz grammar's derivation record.
+/// Printed on failure so a bad case is legible before it is replayed.
+#[derive(Clone, Debug)]
+pub struct SpecShape {
+    /// Nesting levels, innermost first (deep recursion chains).
+    pub levels: usize,
+    /// Per level: recursion ring length (0 = no recursion at this level —
+    /// acyclic levels are a corpus member, not an accident).
+    pub cycle_len: Vec<usize>,
+    /// Per level: fresh fill atomics in the base production.
+    pub fill: Vec<usize>,
+    /// Per level: how many earlier level entries the base production
+    /// embeds (wide fan-out; 0 for the innermost level).
+    pub fanout: Vec<usize>,
+    /// Per level: whether a non-entry ring member gets a mirror production
+    /// (exercises the multi-production safety machinery).
+    pub mirror: Vec<bool>,
+    /// Port signature width of fill atomics (1 = degenerate single-port).
+    pub degree: u8,
+    /// Terminal dependency density (0.0 and 1.0 are *common* here:
+    /// barely-proper identity-repaired matrices and complete ones).
+    pub density: f64,
+    /// Boundary caps of generated workflows.
+    pub max_in: usize,
+    pub max_out: usize,
+    /// Coarse mode (single-source/single-sink, black-box λ).
+    pub coarse: bool,
+}
+
+/// Extreme-biased draw from `lo..=hi`: half the time a boundary value
+/// (min or max), otherwise uniform. The bathtub curve is what pushes the
+/// corpus into the corners uniform sampling visits almost never.
+fn bathtub(rng: &mut impl Rng, lo: usize, hi: usize) -> usize {
+    if lo >= hi {
+        return lo;
+    }
+    match rng.gen_range(0..4u8) {
+        0 => lo,
+        1 => hi,
+        _ => rng.gen_range(lo..=hi),
+    }
+}
+
+impl SpecShape {
+    /// Samples a shape under `budget` (approximate module budget: levels ×
+    /// (fill + ring) is kept below it, so shrinking the budget shrinks
+    /// failures).
+    pub fn sample(rng: &mut impl Rng, budget: usize) -> SpecShape {
+        let budget = budget.max(2);
+        let levels = bathtub(rng, 1, MAX_LEVELS.min(budget));
+        let per_level = (budget / levels).max(1);
+        let mut cycle_len = Vec::with_capacity(levels);
+        let mut fill = Vec::with_capacity(levels);
+        let mut fanout = Vec::with_capacity(levels);
+        let mut mirror = Vec::with_capacity(levels);
+        for level in 0..levels {
+            cycle_len.push(bathtub(rng, 0, MAX_CYCLE_LEN.min(per_level)));
+            // The innermost level has nothing to embed and must produce at
+            // least one node of its own.
+            let lo_fill = usize::from(level == 0);
+            fill.push(bathtub(rng, lo_fill, MAX_FILL.min(per_level)));
+            fanout.push(if level == 0 { 0 } else { bathtub(rng, 1, level.min(3)) });
+            mirror.push(rng.gen_bool(0.3));
+        }
+        let density = match rng.gen_range(0..4u8) {
+            0 => 0.0,
+            1 => 1.0,
+            _ => rng.gen_range(0.05..0.95),
+        };
+        let degree = bathtub(rng, 1, MAX_DEGREE as usize) as u8;
+        SpecShape {
+            levels,
+            cycle_len,
+            fill,
+            fanout,
+            mirror,
+            degree,
+            density,
+            max_in: bathtub(rng, 1, 4),
+            max_out: bathtub(rng, 1, 7),
+            coarse: rng.gen_bool(0.2),
+        }
+    }
+
+    fn params(&self) -> GenParams {
+        GenParams {
+            workflow_size: 0, // node counts are driven by fill/fanout below
+            module_degree: self.degree,
+            dep_density: self.density,
+            max_in: self.max_in,
+            max_out: self.max_out,
+            coarse: self.coarse,
+        }
+    }
+
+    /// Materializes the shape into a guaranteed-safe workload.
+    pub fn build(&self, rng: &mut impl Rng) -> Workload {
+        let p = self.params();
+        let mut g = SpecGen::new();
+        let mut cycles: Vec<(Vec<ModuleId>, ModuleId)> = Vec::new();
+        let mut no_expand: Vec<ModuleId> = Vec::new();
+        let mut tops: Vec<ModuleId> = Vec::new();
+        for level in 0..self.levels {
+            // Wide fan-out: embed a random subset of earlier entries —
+            // possibly the same entry reachable along several paths.
+            let mut inner = Vec::new();
+            for _ in 0..self.fanout[level] {
+                if tops.is_empty() {
+                    break;
+                }
+                inner.push(tops[rng.gen_range(0..tops.len())]);
+            }
+            // Always embed the previous entry so the final start module
+            // derives every level (deep chains stay deep).
+            if level > 0 && !inner.contains(tops.last().unwrap()) {
+                inner.push(*tops.last().unwrap());
+            }
+            inner.dedup();
+            let entry = g.base_production(
+                rng,
+                &p,
+                &format!("F{}_{}", level + 1, 1),
+                &inner,
+                self.fill[level],
+            );
+            let ring = self.cycle_len[level];
+            if ring >= 1 {
+                let mut members = vec![entry];
+                for i in 1..ring {
+                    members.push(g.cycle_member(&format!("F{}_{}", level + 1, i + 1), entry));
+                }
+                // Optional mirror on a non-entry member: a second
+                // non-recursive production pinned to the entry's λ*. Such
+                // members must never enter Δ′ (their mirror is pinned to
+                // the *default* λ*, which view-randomized terminals break).
+                if self.mirror[level] && ring >= 2 {
+                    let m = members[ring - 1];
+                    let mat = g.lambda.get(entry).expect("entry has λ*").clone();
+                    g.mirror_production(m, mat);
+                    no_expand.push(m);
+                }
+                for i in 0..members.len() {
+                    g.recursive_production(
+                        members[i],
+                        members[(i + 1) % members.len()],
+                        self.coarse,
+                    );
+                }
+                cycles.push((members, entry));
+            }
+            tops.push(entry);
+        }
+        let start = *tops.last().expect("at least one level");
+        Workload::from_gen(g, start, cycles, no_expand)
+    }
+}
+
+/// One adversarial workload from one RNG: sample a [`SpecShape`] under
+/// `budget`, build it. The sequence of draws is deterministic per RNG
+/// state, so a seeded `StdRng` reproduces the workload exactly.
+pub fn adversarial_workload(rng: &mut impl Rng, budget: usize) -> (SpecShape, Workload) {
+    let shape = SpecShape::sample(rng, budget);
+    let w = shape.build(rng);
+    (shape, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wf_analysis::{classify, RecursionClass};
+
+    /// The generator's core contract: every shape in the corpus builds a
+    /// valid, strictly-linear, safe-by-construction spec — the engine may
+    /// never reject one (generator bugs would otherwise masquerade as
+    /// engine bugs in the differential sweep).
+    #[test]
+    fn corpus_specs_are_always_valid() {
+        let mut rng = StdRng::seed_from_u64(0xFA22);
+        for budget in [2, 6, 24] {
+            for _ in 0..40 {
+                let (shape, w) = adversarial_workload(&mut rng, budget);
+                let g = &w.spec.grammar;
+                // Fully acyclic shapes (every ring length 0) are corpus
+                // members too — those classify as NonRecursive.
+                let class = classify(g);
+                assert!(
+                    class == RecursionClass::StrictlyLinear
+                        || class == RecursionClass::NonRecursive,
+                    "shape {shape:?} classified {class:?}"
+                );
+                let dv = w.spec.default_view();
+                assert!(
+                    wf_analysis::is_safe(&wf_model::ViewSpec::new(&w.spec, &dv)),
+                    "shape {shape:?} built an unsafe spec"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let (s1, w1) = adversarial_workload(&mut StdRng::seed_from_u64(7), 12);
+        let (s2, w2) = adversarial_workload(&mut StdRng::seed_from_u64(7), 12);
+        assert_eq!(format!("{s1:?}"), format!("{s2:?}"));
+        assert_eq!(w1.spec.grammar.module_count(), w2.spec.grammar.module_count());
+        assert_eq!(w1.spec.grammar.production_count(), w2.spec.grammar.production_count());
+    }
+
+    /// The bathtub sampler actually reaches the corners.
+    #[test]
+    fn corpus_reaches_structural_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (mut deep, mut degenerate, mut long_ring, mut acyclic, mut dense) =
+            (false, false, false, false, false);
+        for _ in 0..300 {
+            let shape = SpecShape::sample(&mut rng, 24);
+            deep |= shape.levels >= 4;
+            degenerate |= shape.degree == 1 && shape.max_in == 1;
+            long_ring |= shape.cycle_len.iter().any(|&r| r >= 4);
+            acyclic |= shape.cycle_len.iter().all(|&r| r == 0);
+            dense |= shape.density == 1.0;
+        }
+        assert!(deep && degenerate && long_ring && acyclic && dense);
+    }
+}

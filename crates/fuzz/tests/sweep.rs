@@ -1,0 +1,58 @@
+//! Bounded fuzz sweeps as ordinary `cargo test` suites — deterministic
+//! seeds, small fixed iteration counts, so they run in every tier-1 pass.
+//! The CI fuzz-smoke job runs the same campaigns at 10 000+ iterations
+//! via `examples/fuzz_sweep.rs`; any failure here or there prints the case
+//! seed, and `--example fuzz_sweep -- --case <seed>` replays it.
+
+use wf_fuzz::{
+    case_seed, check_live_churn, check_spec, mutation_corpus, mutation_round, FuzzReport,
+};
+
+/// The differential campaign, bounded: adversarial specs at three size
+/// budgets, every answer compared across the three variants, the naive
+/// oracle, and the engine path.
+#[test]
+fn bounded_differential_sweep() {
+    let mut report = FuzzReport::default();
+    for (budget, cases) in [(4usize, 40u64), (10, 40), (20, 20)] {
+        for i in 0..cases {
+            let seed = case_seed(0x5EED ^ budget as u64, i);
+            match check_spec(seed, budget) {
+                Ok(out) => report.absorb_spec(&out),
+                Err(d) => panic!("differential divergence (budget {budget}): {d}"),
+            }
+        }
+    }
+    assert!(report.queries > 5_000, "sweep compared too little: {report:?}");
+    assert!(report.views > 100, "sweep checked too few views: {report:?}");
+}
+
+/// The live-engine campaign, bounded: churn streams with randomized op
+/// mixes replayed through writer/live-engine against a sequential
+/// reference, each case ending in a warm replay of its delta stream.
+#[test]
+fn bounded_live_churn_sweep() {
+    let mut report = FuzzReport::default();
+    for i in 0..12u64 {
+        let seed = case_seed(0x11FE5EED, i);
+        match check_live_churn(seed, 10, 36) {
+            Ok(out) => report.absorb_live(&out),
+            Err(d) => panic!("live-engine divergence: {d}"),
+        }
+    }
+    assert!(report.items > 0, "live sweep published nothing: {report:?}");
+}
+
+/// The decoder campaign, bounded: every mutant is rejected with a typed
+/// error, decodes to a pristine prefix, or (checksum-forged only) decodes
+/// to a fully functional state. No panics, no silent corruption, and the
+/// rejection histogram must span several error classes.
+#[test]
+fn bounded_mutation_sweep() {
+    let corpus = mutation_corpus(0x5EED);
+    let stats = mutation_round(0x5EED ^ 0xD0D0, &corpus, 1_500);
+    assert_eq!(stats.panics, 0, "decoder panicked: {stats:?}");
+    assert_eq!(stats.wrong, 0, "silent corruption: {stats:?}");
+    assert_eq!(stats.mutants, 1_500);
+    assert!(stats.classes() >= 4, "rejection histogram too flat: {stats:?}");
+}

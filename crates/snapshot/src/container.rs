@@ -91,6 +91,36 @@ pub fn write_container(
     Ok(())
 }
 
+/// Recomputes and overwrites the checksum of the container starting at
+/// `bytes[0]`, returning the container's total length in bytes — or `None`
+/// when the buffer is too short to hold the header plus its declared
+/// payload (the caller's mutation already destroyed the framing).
+///
+/// This is a *testing and fuzzing* hook: corruption of the payload is
+/// normally caught by the checksum before a single bit is interpreted, so
+/// exercising the structural validators behind it requires forging payloads
+/// whose checksum is valid. Production code never needs this — a legitimate
+/// writer produces a correct checksum via [`write_container`].
+pub fn reseal_container(bytes: &mut [u8]) -> Option<usize> {
+    if bytes.len() < 36 {
+        return None;
+    }
+    let fingerprint = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let bits = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+    let payload_bytes = usize::try_from(bits.div_ceil(64).checked_mul(8)?).ok()?;
+    let total = 36usize.checked_add(payload_bytes)?;
+    if bytes.len() < total {
+        return None;
+    }
+    let words: Vec<u64> = bytes[36..total]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let sum = checksum(fingerprint, bits, &words);
+    bytes[28..36].copy_from_slice(&sum.to_le_bytes());
+    Some(total)
+}
+
 fn read_u64(from: &mut impl Read) -> Result<u64, SnapshotError> {
     let mut buf = [0u8; 8];
     from.read_exact(&mut buf)?;

@@ -198,4 +198,165 @@ mod tests {
         w.write_bits(200, 8);
         assert!(matches!(read(&w.finish()), Err(SnapshotError::Malformed(_))));
     }
+
+    /// Every rejection branch of [`edge_target_module`], hit directly —
+    /// including the wrap guard that keeps an adversarial chain index near
+    /// `u64::MAX` from overflowing the offset arithmetic.
+    #[test]
+    fn edge_target_module_rejects_every_break_class() {
+        use wf_model::ProdId;
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let pg = ProdGraph::new(g);
+        let cycles = pg.cycles().unwrap();
+        let start = g.start();
+        let reason = |r: Result<ModuleId, SnapshotError>| match r {
+            Err(SnapshotError::Malformed(m)) => m,
+            other => panic!("expected Malformed, got {other:?}"),
+        };
+        let k_oob = ProdId(g.production_count() as u32);
+        assert_eq!(
+            reason(edge_target_module(g, cycles, start, EdgeLabel::Plain { k: k_oob, i: 0 })),
+            "edge production out of range"
+        );
+        let (k_deep, _) = g.productions().find(|(_, p)| p.lhs != start).unwrap();
+        assert_eq!(
+            reason(edge_target_module(g, cycles, start, EdgeLabel::Plain { k: k_deep, i: 0 })),
+            "edge production breaks the path"
+        );
+        let (k0, p0) = g.productions().find(|(_, p)| p.lhs == start).unwrap();
+        let i_oob = p0.rhs.node_count() as u32;
+        assert_eq!(
+            reason(edge_target_module(g, cycles, start, EdgeLabel::Plain { k: k0, i: i_oob })),
+            "edge position out of range"
+        );
+        let s_oob = cycles.len() as u32;
+        assert_eq!(
+            reason(edge_target_module(g, cycles, start, EdgeLabel::Rec { s: s_oob, t: 0, i: 0 })),
+            "edge cycle out of range"
+        );
+        let entry = cycles[0].modules[0];
+        let t_oob = cycles[0].len() as u32;
+        assert_eq!(
+            reason(edge_target_module(g, cycles, entry, EdgeLabel::Rec { s: 0, t: t_oob, i: 0 })),
+            "edge cycle offset out of range"
+        );
+        // A parent the cycle does not stand on at offset t: any other
+        // module of the same cycle (distinct by construction).
+        let wrong = cycles[0].modules[1 % cycles[0].len()];
+        let not_on_cycle = g.modules().find(|m| !cycles[0].modules.contains(m)).unwrap_or(wrong);
+        assert_eq!(
+            reason(edge_target_module(
+                g,
+                cycles,
+                not_on_cycle,
+                EdgeLabel::Rec { s: 0, t: 0, i: 0 }
+            )),
+            "edge cycle breaks the path"
+        );
+        // Near-u64::MAX chain index: reduced mod cycle length, no overflow.
+        let l = cycles[0].len() as u64;
+        let want = cycles[0].modules[(u64::MAX % l % l) as usize];
+        let far = EdgeLabel::Rec { s: 0, t: 0, i: u64::MAX };
+        assert_eq!(edge_target_module(g, cycles, entry, far).unwrap(), want);
+    }
+
+    /// The satellite of the fuzzing harness this module anchors: payloads
+    /// whose container checksum is *genuinely valid* (sealed by
+    /// [`crate::write_container`] or re-sealed by
+    /// [`crate::reseal_container`]) but whose label structure is forged.
+    /// The integrity layer must pass them through and the structural
+    /// validators in [`read_label`] must reject them typed — checksums
+    /// catch accidents, path chaining catches adversaries.
+    #[test]
+    fn valid_checksum_forged_payloads_fail_structurally() {
+        use crate::{read_container, reseal_container, spec_fingerprint, write_container};
+        let ex = paper_example();
+        let g = &ex.spec.grammar;
+        let pg = ProdGraph::new(g);
+        let cycles = pg.cycles().unwrap();
+        let fvl = Fvl::new(&ex.spec).unwrap();
+        let codec = fvl.codec();
+        let fp = spec_fingerprint(g, &pg);
+
+        let seal = |w: BitWriter| {
+            let mut out = Vec::new();
+            write_container(&mut out, fp, &w.finish()).unwrap();
+            out
+        };
+        let read_back = |bytes: &[u8]| {
+            let c = read_container(&mut &bytes[..]).expect("checksum layer admits the container");
+            read_label(&mut BitReader::new(&c.payload), codec, g, cycles)
+        };
+        let (k0, p0) = g.productions().find(|(_, p)| p.lhs == g.start()).unwrap();
+        let j = p0.rhs.nodes().iter().position(|&m| m != g.start()).unwrap() as u32;
+
+        // Chaining breaks mid-path: a valid first edge into a child, then a
+        // start production again — its LHS no longer matches the path head.
+        let mut w = BitWriter::new();
+        w.push_bit(true);
+        w.push_bit(false);
+        w.write_gamma(3); // two edges
+        codec.write_edge(&mut w, &EdgeLabel::Plain { k: k0, i: j });
+        codec.write_edge(&mut w, &EdgeLabel::Plain { k: k0, i: j });
+        w.write_bits(0, 8);
+        let deep_break = seal(w);
+        assert!(matches!(read_back(&deep_break), Err(SnapshotError::Malformed(_))));
+
+        // Cycle-offset mismatch inside an otherwise well-framed label: the
+        // paper grammar's second cycle has length 1, so offset 1 is out of
+        // range yet encodable in the codec's fixed field width.
+        assert_eq!(cycles[1].len(), 1, "fixture's second cycle is the self-loop");
+        let mut w = BitWriter::new();
+        w.push_bit(true);
+        w.push_bit(false);
+        w.write_gamma(2);
+        codec.write_edge(&mut w, &EdgeLabel::Rec { s: 1, t: 1, i: 0 });
+        w.write_bits(0, 8);
+        assert!(matches!(read_back(&seal(w)), Err(SnapshotError::Malformed(_))));
+
+        // A declared path length in the billions with no bits behind it:
+        // must terminate immediately as Truncated — no hang, no huge
+        // allocation (the reader caps its preallocation).
+        let mut w = BitWriter::new();
+        w.push_bit(true);
+        w.push_bit(false);
+        w.write_gamma((1u64 << 40) + 1);
+        assert!(matches!(read_back(&seal(w)), Err(SnapshotError::Truncated)));
+
+        // Out-of-arity port at the end of a *valid* one-edge path.
+        let mut w = BitWriter::new();
+        w.push_bit(true);
+        w.push_bit(false);
+        w.write_gamma(2);
+        codec.write_edge(&mut w, &EdgeLabel::Plain { k: k0, i: j });
+        w.write_bits(250, 8);
+        assert!(matches!(read_back(&seal(w)), Err(SnapshotError::Malformed(_))));
+
+        // Second side forged behind a valid first side: the out side is a
+        // legal empty path, the inp side repeats the broken deep chain.
+        let mut w = BitWriter::new();
+        w.push_bit(true);
+        w.push_bit(true);
+        w.write_gamma(1); // out: empty path
+        w.write_bits(0, 8);
+        w.write_gamma(3); // inp: the broken two-edge chain
+        codec.write_edge(&mut w, &EdgeLabel::Plain { k: k0, i: j });
+        codec.write_edge(&mut w, &EdgeLabel::Plain { k: k0, i: j });
+        w.write_bits(0, 8);
+        assert!(matches!(read_back(&seal(w)), Err(SnapshotError::Malformed(_))));
+
+        // Layering check: tampering a sealed payload trips the checksum
+        // first; resealing lets the same bytes through to the structural
+        // layer, which still rejects them.
+        let mut tampered = deep_break.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0x04;
+        assert!(matches!(
+            read_container(&mut tampered.as_slice()),
+            Err(SnapshotError::ChecksumMismatch)
+        ));
+        reseal_container(&mut tampered).expect("framing is intact");
+        assert!(read_back(&tampered).is_err(), "resealed forgery must still fail structurally");
+    }
 }

@@ -23,6 +23,25 @@ pub enum SnapshotError {
     Malformed(&'static str),
 }
 
+impl SnapshotError {
+    /// Stable short name of the rejection class (one per enum variant,
+    /// payload-independent). This is the key fuzzers and operators bucket
+    /// rejections under — e.g. the mutation fuzzer's rejection histogram —
+    /// so it must stay coarse: two corruptions differing only in *where*
+    /// they broke the structure share a class.
+    pub fn class(&self) -> &'static str {
+        match self {
+            SnapshotError::Io(_) => "io",
+            SnapshotError::BadMagic => "bad_magic",
+            SnapshotError::UnsupportedVersion { .. } => "unsupported_version",
+            SnapshotError::Truncated => "truncated",
+            SnapshotError::ChecksumMismatch => "checksum_mismatch",
+            SnapshotError::SpecMismatch { .. } => "spec_mismatch",
+            SnapshotError::Malformed(_) => "malformed",
+        }
+    }
+}
+
 impl std::fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -36,7 +36,8 @@ pub mod fingerprint;
 pub mod view;
 
 pub use container::{
-    read_container, read_container_opt, write_container, Container, FORMAT_VERSION, MAGIC,
+    read_container, read_container_opt, reseal_container, write_container, Container,
+    FORMAT_VERSION, MAGIC,
 };
 pub use delta::{edge_target_module, read_label, write_label};
 pub use error::SnapshotError;

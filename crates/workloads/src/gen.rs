@@ -143,7 +143,12 @@ impl SpecGen {
         fill: usize,
     ) -> ModuleId {
         // Node list: coarse mode pins a source atomic first; inner modules
-        // and fill atomics are interleaved randomly after it.
+        // and fill atomics are interleaved randomly after it. A zero-width
+        // request (no inner modules, zero fill) would materialize an empty
+        // RHS, which the grammar rightly rejects (`EmptyWorkflow`) — floor
+        // the plan at one fill atomic so degenerate callers (the grammar
+        // fuzzer reaches this corner) still get a valid spec.
+        let fill = if inner.is_empty() { fill.max(1) } else { fill };
         let mut mids: Vec<ModuleId> = inner.to_vec();
         for _ in 0..fill {
             mids.push(self.fill_atomic(rng, p));
@@ -400,5 +405,58 @@ mod tests {
         g.gb.start(mid);
         let grammar = g.gb.finish().unwrap();
         grammar.check_proper(&grammar.full_expand()).unwrap();
+    }
+
+    /// Regression (surfaced by the `wf-fuzz` grammar fuzzer): a zero-width
+    /// request — no inner modules, zero fill — used to materialize an
+    /// empty RHS and die with `EmptyWorkflow`. The generator now floors
+    /// the plan at one atomic instead of emitting a spec the grammar
+    /// rejects.
+    #[test]
+    fn zero_width_base_production_still_builds_a_valid_spec() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = GenParams::default();
+        let mut g = SpecGen::new();
+        let a = g.base_production(&mut rng, &p, "A", &[], 0);
+        assert!(g.sig(a).inputs() >= 1 && g.sig(a).outputs() >= 1);
+        // Zero fill *with* inner modules stays zero-fill (the inner
+        // modules are the width).
+        let b = g.base_production(&mut rng, &p, "B", &[a], 0);
+        g.gb.start(b);
+        let grammar = g.gb.finish().unwrap();
+        grammar.check_proper(&grammar.full_expand()).unwrap();
+        assert_eq!(grammar.composite_modules().count(), 2);
+    }
+
+    /// Regression (surfaced by the `wf-fuzz` grammar fuzzer): degenerate
+    /// parameter corners — single-port modules, density 0 and 1, boundary
+    /// caps of 1 — must all produce proper, safe specs the engine accepts.
+    #[test]
+    fn degenerate_parameter_corners_build_safe_specs() {
+        use wf_analysis::{classify, is_safe, RecursionClass};
+        use wf_model::{Spec, ViewSpec};
+        for (density, degree) in [(0.0, 1u8), (1.0, 1), (0.0, 6), (1.0, 6)] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let p = GenParams {
+                workflow_size: 0,
+                module_degree: degree,
+                dep_density: density,
+                max_in: 1,
+                max_out: 1,
+                coarse: false,
+            };
+            let mut g = SpecGen::new();
+            let a = g.base_production(&mut rng, &p, "A", &[], 1);
+            let b = g.base_production(&mut rng, &p, "B", &[a], 0);
+            g.gb.start(b);
+            let grammar = g.gb.finish().unwrap();
+            assert_eq!(classify(&grammar), RecursionClass::NonRecursive);
+            let spec = Spec::new(grammar, g.deps).unwrap();
+            let dv = spec.default_view();
+            assert!(
+                is_safe(&ViewSpec::new(&spec, &dv)),
+                "density {density} degree {degree} built an unsafe spec"
+            );
+        }
     }
 }

@@ -48,7 +48,13 @@ pub struct Workload {
 }
 
 impl Workload {
-    fn from_gen(
+    /// Finalizes a [`SpecGen`] into a workload: `start` becomes the start
+    /// module, `cycles` lists every recursion ring as `(members, entry)`,
+    /// and `no_expand` the mirror-constrained composites views must never
+    /// expand. Public plumbing so external generators (the adversarial
+    /// grammar fuzzer in `wf-fuzz`) can drive [`SpecGen`] into shapes the
+    /// friendly generators here never reach.
+    pub fn from_gen(
         g: SpecGen,
         start: ModuleId,
         cycles: Vec<(Vec<ModuleId>, ModuleId)>,

@@ -44,6 +44,30 @@ mod tests {
         }
     }
 
+    /// Regression (surfaced by the `wf-fuzz` grammar fuzzer): an acyclic
+    /// spec has a *bounded* maximal run, so a target far above that bound
+    /// must terminate with the maximal run — not spin or panic — and a
+    /// zero target must yield the minimal (wind-down only) run. Callers
+    /// needing N labels from such specs pad by repetition.
+    #[test]
+    fn bounded_specs_terminate_below_unreachable_targets() {
+        use crate::gen::{GenParams, SpecGen};
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = GenParams::default();
+        let mut g = SpecGen::new();
+        let a = g.base_production(&mut rng, &p, "A", &[], 2);
+        let b = g.base_production(&mut rng, &p, "B", &[a], 1);
+        let w = Workload::from_gen(g, b, vec![], vec![]);
+        let pg = ProdGraph::new(&w.spec.grammar);
+        let (_, maximal) = sample_run(&w, &pg, &mut rng, 10_000);
+        assert!(maximal.is_complete());
+        assert!(maximal.item_count() < 10_000, "acyclic runs are bounded");
+        let (_, minimal) = sample_run(&w, &pg, &mut rng, 0);
+        assert!(minimal.is_complete());
+        assert!(minimal.item_count() >= 1);
+        assert!(minimal.item_count() <= maximal.item_count());
+    }
+
     #[test]
     fn query_pairs_are_in_range() {
         let w = bioaid(1);

@@ -169,6 +169,24 @@ mod tests {
         }
     }
 
+    /// Regression (surfaced by the `wf-fuzz` grammar fuzzer): extreme
+    /// target sizes — zero and far beyond the composite count — must
+    /// still produce safe, nonempty views (zero clamps to the start
+    /// module alone; oversize saturates at every expandable composite).
+    #[test]
+    fn extreme_target_sizes_stay_safe() {
+        let w = bioaid(1);
+        let composites = w.spec.grammar.composite_modules().count();
+        let mut rng = StdRng::seed_from_u64(6);
+        for size in [0, composites, 10 * composites] {
+            for _ in 0..5 {
+                let v = random_safe_view(&w, &mut rng, size);
+                assert!(v.size() >= 1, "target {size} built an empty view");
+                assert!(wf_analysis::is_safe(&ViewSpec::new(&w.spec, &v)));
+            }
+        }
+    }
+
     #[test]
     fn synthetic_views_are_safe() {
         let w =

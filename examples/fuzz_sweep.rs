@@ -1,0 +1,142 @@
+//! The adversarial correctness sweep: grammar-driven differential fuzzing
+//! plus decoder mutation fuzzing, at configurable scale.
+//!
+//! Three campaigns run back to back:
+//!
+//! 1. **Differential specs** — each case generates an adversarial spec
+//!    from the grammar (bathtub-biased structure), a run, a set of
+//!    adversarial view partitions and a query set, then demands
+//!    element-identical answers from all three labeling variants, the
+//!    naive run-graph reachability oracle, and the interned engine path.
+//! 2. **Live churn** — each case replays a generated churn stream through
+//!    `EngineWriter`/`LiveEngine`, comparing every published generation
+//!    against a sequential reference engine and finishing with a warm
+//!    replay of the append-only delta stream.
+//! 3. **Decoder mutants** — snapshot/delta streams are mutated (bit
+//!    flips, truncations, splices, reorderings, checksum-resealed forgeries)
+//!    and every mutant must be rejected with a typed error or decode to a
+//!    provably pristine prefix state.
+//!
+//! Every failure prints the case seed; rerun just that case with
+//! `--case <seed>`. The sweep writes `BENCH_fuzz_coverage.json` at the
+//! workspace root (checked by the CI fuzz-smoke job).
+//!
+//! Run with: `cargo run --release --example fuzz_sweep -- --specs 10000 --mutants 10000`
+
+use std::process::ExitCode;
+use wfprov::fuzz::{
+    case_seed, check_live_churn, check_spec, mutation_corpus, mutation_round, FuzzReport,
+};
+
+struct Args {
+    seed: u64,
+    specs: u64,
+    live: u64,
+    mutants: usize,
+    budget: usize,
+    case: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args { seed: 0xF022, specs: 500, live: 50, mutants: 2000, budget: 12, case: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| panic!("{name} needs a value")).parse::<u64>().unwrap()
+        };
+        match flag.as_str() {
+            "--seed" => a.seed = val("--seed"),
+            "--specs" => a.specs = val("--specs"),
+            "--live" => a.live = val("--live"),
+            "--mutants" => a.mutants = val("--mutants") as usize,
+            "--budget" => a.budget = val("--budget") as usize,
+            "--case" => a.case = Some(val("--case")),
+            other => panic!("unknown flag {other} (see examples/fuzz_sweep.rs)"),
+        }
+    }
+    a
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    // Single-case reproduction mode: replay one differential case (and its
+    // live-churn sibling) under both budgets a sweep uses.
+    if let Some(seed) = args.case {
+        println!("replaying case seed {seed:#x} (budget {})", args.budget);
+        match check_spec(seed, args.budget) {
+            Ok(out) => println!("  spec case: ok ({} views, {} queries)", out.views, out.queries),
+            Err(d) => {
+                println!("  spec case: DIVERGENCE\n  {d}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match check_live_churn(seed, args.budget, 40) {
+            Ok(out) => println!("  live case: ok ({} queries)", out.queries),
+            Err(d) => {
+                println!("  live case: DIVERGENCE\n  {d}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut report = FuzzReport { seed: args.seed, ..FuzzReport::default() };
+
+    // --- Campaign 1: differential spec cases. ---------------------------
+    println!("differential sweep: {} spec cases (budget {})…", args.specs, args.budget);
+    for i in 0..args.specs {
+        let seed = case_seed(args.seed, i);
+        match check_spec(seed, args.budget) {
+            Ok(out) => report.absorb_spec(&out),
+            Err(d) => {
+                report.divergences += 1;
+                eprintln!("DIVERGENCE (spec case {i}, reproduce with --case {seed}):\n  {d}");
+            }
+        }
+        if (i + 1) % 1000 == 0 {
+            println!("  {} / {} cases, {} answers compared", i + 1, args.specs, report.queries);
+        }
+    }
+
+    // --- Campaign 2: live-engine churn replay. --------------------------
+    println!("live-churn sweep: {} cases…", args.live);
+    for i in 0..args.live {
+        let seed = case_seed(args.seed ^ 0x11FE, i);
+        match check_live_churn(seed, args.budget, 40) {
+            Ok(out) => report.absorb_live(&out),
+            Err(d) => {
+                report.divergences += 1;
+                eprintln!("DIVERGENCE (live case {i}, reproduce with --case {seed}):\n  {d}");
+            }
+        }
+    }
+
+    // --- Campaign 3: decoder mutation fuzzing. --------------------------
+    println!("mutation sweep: {} mutants…", args.mutants);
+    let corpus = mutation_corpus(args.seed);
+    report.mutation = mutation_round(args.seed ^ 0xD0D0, &corpus, args.mutants);
+
+    let json = report.to_json();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_fuzz_coverage.json");
+    std::fs::write(path, &json).expect("write BENCH_fuzz_coverage.json");
+    print!("{json}");
+    println!("wrote {path}");
+
+    let m = &report.mutation;
+    if report.divergences > 0 || m.panics > 0 || m.wrong > 0 {
+        eprintln!(
+            "FUZZ FAILURES: {} divergences, {} decoder panics, {} silent corruptions",
+            report.divergences, m.panics, m.wrong
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "all clear: {} spec cases, {} live cases, {} mutants ({} rejection classes)",
+        report.spec_cases,
+        report.live_cases,
+        m.mutants,
+        m.classes()
+    );
+    ExitCode::SUCCESS
+}

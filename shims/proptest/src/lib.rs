@@ -82,7 +82,7 @@ impl ProptestConfig {
 
 /// Everything the tests import with `use proptest::prelude::*`.
 pub mod prelude {
-    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
     pub use crate::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
@@ -213,6 +213,15 @@ mod tests {
         fn maps_and_vecs(v in crate::collection::vec((0u8..10).prop_map(|x| x * 2), 0..16)) {
             prop_assert!(v.len() < 16);
             prop_assert!(v.iter().all(|&x| x % 2 == 0 && x < 20));
+        }
+
+        #[test]
+        fn just_produces_the_constant(
+            tag in prop_oneof![Just("insert-heavy"), Just("view-heavy")],
+            k in Just(7u8),
+        ) {
+            prop_assert!(tag == "insert-heavy" || tag == "view-heavy");
+            prop_assert_eq!(k, 7);
         }
 
         #[test]

@@ -117,6 +117,21 @@ macro_rules! impl_arbitrary_int {
 
 impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+/// The constant strategy: always produces a clone of the given value.
+/// The real crate's `Just`; the unit case of [`Union`] — combined with
+/// [`prop_oneof!`](crate::prop_oneof) it draws uniformly from an
+/// enumerated set of non-numeric values (e.g. workload mix presets).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
 /// Strategy for the full domain of `T` (see [`any`]).
 pub struct Any<T>(PhantomData<T>);
 

@@ -17,6 +17,7 @@
 //! | [`snapshot`] | `wf-snapshot` | versioned, checksummed binary snapshots + delta records for warm-start serving |
 //! | [`drl`] | `wf-drl` | the black-box baseline of the evaluation (§6) |
 //! | [`workloads`] | `wf-workloads` | BioAID-like and Figure-26 synthetic generators |
+//! | [`fuzz`] | `wf-fuzz` | adversarial correctness harness: grammar-driven spec fuzzing, differential oracles, decoder mutation fuzzing |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@ pub use wf_core as fvl;
 pub use wf_digraph as digraph;
 pub use wf_drl as drl;
 pub use wf_engine as engine;
+pub use wf_fuzz as fuzz;
 pub use wf_model as model;
 pub use wf_run as run;
 pub use wf_snapshot as snapshot;
