@@ -1,170 +1,332 @@
-//! Live-update serving: what publishing costs the writer, and what it
-//! costs the *readers* — which, with RCU-style generations, should be
-//! approximately nothing.
+//! Live-update serving: what publishing costs the writer — across store
+//! sizes from 4k to 10⁶ items — and what it costs the *readers*, which,
+//! with RCU-style generations over a sharded store, should be
+//! approximately nothing at every size.
 //!
-//! Besides the Criterion printout, the run writes
-//! `BENCH_update_throughput.json` (workspace root) with:
+//! The headline claim under test is the sharded copy-on-write store's cost
+//! model: a publish stages against a clone that shares every shard with
+//! the served generation and un-shares only the tail shard(s) the insert
+//! batch lands in, so publish latency tracks the *increment* (touched
+//! shards), not the store size. The sweep measures, per store size:
 //!
-//! * `publish_ns` — latency of one stage-and-publish cycle (a chunk of
-//!   fresh labels staged against the copy-on-write clone, frozen into the
-//!   next generation, swapped into the `LiveEngine`). This is the whole
-//!   writer-side price of RCU: mean / p50 / p95 over repeated cycles.
-//! * `reader_qps` — sustained single-reader throughput (batched queries,
-//!   each batch fetched through the lock-free `LiveEngine::read` fast
-//!   path) while a writer publishes at 0, 1 and 10 Hz. The read path
-//!   takes no lock, so the 1 Hz figure is expected within a few percent
-//!   of the 0 Hz baseline (`qps_ratio_1hz_vs_0hz` reports it directly);
-//!   on a single-core host the 10 Hz figure additionally absorbs the
-//!   writer's honest CPU share (clones + publishes), which is the real
-//!   cost a one-core deployment would see.
+//! * `publish_ns` — one stage-and-publish cycle (stage a 16-label chunk,
+//!   freeze, Arc-swap) on the sharded store: mean / p50 / p95 / p99 /
+//!   p999 over ≥100 cycles (fixed-bucket histogram, `wf_bench::LatencyHistogram`),
+//!   plus the mean number of shards each cycle touched.
+//! * `publish_baseline_ns` — the same cycles against a store built with
+//!   `shard_capacity = u32::MAX`: one ever-growing shard, i.e. exactly
+//!   the pre-shard (PR 5) store whose clone is O(n). This column is the
+//!   recorded linear baseline the flat sharded column is judged against.
+//! * `publish_skewed_ns` — publish cycles whose insert sizes come from
+//!   `wf_workloads::churn::InsertLocality::Skewed` (log-uniform bursts up
+//!   to 512 × chunk): bursty ingest spans several shards per publish, so
+//!   the touched-shards axis moves while total size does not matter.
+//! * `reader_qps` — sustained single-reader throughput (batched queries
+//!   through the lock-free `LiveEngine::read` fast path) while the writer
+//!   publishes at 0 Hz and 1 Hz. The read path takes no lock and the swap
+//!   is O(directory), so 1 Hz must sit within a few percent of 0 Hz at
+//!   *every* size (`qps_ratio_1hz_vs_0hz`).
 //!
-//! Every reader batch is answered against *some* published generation by
-//! construction (the engine tests pin that invariant adversarially); this
-//! bench measures the price of that guarantee.
+//! The run writes `BENCH_update_throughput.json` (workspace root); CI's
+//! bench-smoke step regenerates it in `--test` mode and `bench_check`
+//! asserts the sweep shape plus the scaling sanity bound (sharded publish
+//! p50 at the largest size ≤ 3× the smallest — an accidental O(n)
+//! regression fails CI even on a noisy one-core container).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use wf_bench::Bench;
-use wf_core::{Fvl, VariantKind};
-use wf_engine::{EngineWriter, ItemId, LiveEngine, WorkerScratch};
-use wf_workloads::queries::{sample_pairs, PairDist};
+use wf_bench::{Bench, LatencyHistogram};
+use wf_core::{DataLabel, Fvl, VariantKind};
+use wf_engine::{EngineWriter, ItemId, LabelStore, LiveEngine, ViewRef, WorkerScratch};
+use wf_workloads::churn::{ChurnOp, ChurnSpec, InsertLocality};
 
-const RATES_HZ: [u64; 3] = [0, 1, 10];
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
 const CHUNK: usize = 16;
 const BATCH: usize = 1024;
+const BURST: usize = 512;
 
-fn percentile(sorted_ns: &[f64], p: f64) -> f64 {
-    let i = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
-    sorted_ns[i]
+/// One measured sweep point.
+struct SweepRow {
+    items: usize,
+    shards: usize,
+    publish: LatencyHistogram,
+    publish_touched_mean: f64,
+    baseline: LatencyHistogram,
+    skewed: LatencyHistogram,
+    skewed_touched_mean: f64,
+    /// `(rate_hz, best qps, publishes in the best trial)`.
+    qps: Vec<(u64, f64, u64)>,
+}
+
+/// Stage `count` labels from the cycling pool and publish; returns
+/// `(latency_ns, shards touched)`.
+fn publish_cycle<'a>(
+    writer: &mut EngineWriter,
+    live: &LiveEngine,
+    pool: &mut impl Iterator<Item = &'a DataLabel>,
+    count: usize,
+) -> (u64, usize) {
+    let base_len = writer.base().store().len();
+    let t = Instant::now();
+    for _ in 0..count {
+        writer.insert_label(pool.next().expect("pool cycles forever"));
+    }
+    let gen = writer.publish(live);
+    (t.elapsed().as_nanos() as u64, gen.store().shards_touched_since(base_len))
+}
+
+/// Hot-key query pairs over the live population `0..items`.
+fn reader_pairs(rng: &mut StdRng, items: usize) -> Vec<(ItemId, ItemId)> {
+    let population = items as u32;
+    let hot = population.min(64);
+    (0..BATCH)
+        .map(|_| {
+            let draw = |rng: &mut StdRng| {
+                if rng.gen_bool(0.5) {
+                    rng.gen_range(0..hot)
+                } else {
+                    rng.gen_range(0..population)
+                }
+            };
+            (ItemId(draw(rng)), ItemId(draw(rng)))
+        })
+        .collect()
+}
+
+/// Best-of-`trials` reader throughput while this thread publishes at
+/// `rate` Hz (0 = no publishes). Returns `(qps, publishes)` of the best
+/// trial — peak-of-N is robust against the scheduling noise a sub-second
+/// window picks up on a busy host, and capacity is the quantity under
+/// test.
+#[allow(clippy::too_many_arguments)]
+fn reader_qps_at<'a>(
+    writer: &mut EngineWriter,
+    live: &LiveEngine,
+    vref: ViewRef,
+    pairs: &[(ItemId, ItemId)],
+    pool: &mut impl Iterator<Item = &'a DataLabel>,
+    rate: u64,
+    window: Duration,
+    trials: usize,
+) -> (f64, u64) {
+    let mut best = (0.0f64, 0u64);
+    for _ in 0..trials {
+        // Warm the reader path (scratch, trie, caches).
+        {
+            let gen = live.read();
+            let mut ws = WorkerScratch::new();
+            std::hint::black_box(gen.query_batch(&mut ws, vref, pairs));
+        }
+        let stop = AtomicBool::new(false);
+        let (qps, publishes) = std::thread::scope(|s| {
+            let stop_ref = &stop;
+            let reader = s.spawn(move || {
+                let mut ws = WorkerScratch::new();
+                let mut answered = 0u64;
+                while !stop_ref.load(Ordering::Relaxed) {
+                    let gen = live.read();
+                    std::hint::black_box(gen.query_batch(&mut ws, vref, pairs));
+                    answered += pairs.len() as u64;
+                }
+                answered
+            });
+            let t = Instant::now();
+            let mut publishes = 0u64;
+            if let Some(period_ns) = 1_000_000_000u64.checked_div(rate) {
+                // Publishes land at t = 0, 1/rate, 2/rate, …: every trial
+                // at rate R performs exactly ⌈window·R⌉ of them.
+                let period = Duration::from_nanos(period_ns);
+                let mut next = Duration::ZERO;
+                loop {
+                    let now = t.elapsed();
+                    if now >= window {
+                        break;
+                    }
+                    if now >= next {
+                        publish_cycle(writer, live, pool, CHUNK);
+                        publishes += 1;
+                        next += period;
+                    } else {
+                        std::thread::sleep(next.min(window) - now);
+                    }
+                }
+            } else {
+                // rate 0: the quiet baseline — no publisher at all.
+                std::thread::sleep(window);
+            }
+            stop.store(true, Ordering::Relaxed);
+            let answered = reader.join().expect("reader thread panicked");
+            (answered as f64 / t.elapsed().as_secs_f64(), publishes)
+        });
+        if qps > best.0 {
+            best = (qps, publishes);
+        }
+    }
+    best
+}
+
+/// The largest swept size's writer/live/pairs/view survive the sweep to
+/// feed the Criterion entries.
+type LargestSurvivor = (EngineWriter, LiveEngine, Vec<(ItemId, ItemId)>, ViewRef);
+
+fn hist_json(h: &LatencyHistogram) -> String {
+    format!(
+        "{{ \"mean\": {:.0}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"p999\": {}, \"cycles\": {} }}",
+        h.mean(),
+        h.percentile(0.5),
+        h.percentile(0.95),
+        h.percentile(0.99),
+        h.percentile(0.999),
+        h.count()
+    )
 }
 
 fn bench_update_throughput(c: &mut Criterion) {
     let quick = std::env::args().any(|a| a == "--test");
-    let window = if quick { Duration::from_millis(150) } else { Duration::from_millis(1000) };
-    let latency_cycles = if quick { 6 } else { 40 };
+    // The quick sweep still spans ≥4 sizes up to ≥256k: CI's bench-smoke
+    // regenerates the JSON in `--test` mode, and `bench_check` asserts the
+    // sweep shape on whatever the last run wrote.
+    let sizes: &[usize] = if quick {
+        &[4_096, 32_768, 131_072, 262_144]
+    } else {
+        &[4_096, 65_536, 262_144, 1_048_576]
+    };
+    let cycles = if quick { 100 } else { 150 };
+    let window = if quick { Duration::from_millis(150) } else { Duration::from_millis(500) };
+    let trials = if quick { 1 } else { 6 };
+    let rates_hz: [u64; 2] = [0, 1];
 
     let bench = Bench::fine(1);
     let fvl = Arc::new(Fvl::from_arc(Arc::new(bench.workload.spec.clone())).unwrap());
     let run = bench.run_of(42, 5_000);
-    let labels = fvl.labeler(&run).labels().to_vec();
+    // The label pool: a real run's labels, cycled to fill any store size
+    // (re-interning an already seen label is legal and realistic —
+    // repeated sub-runs — and keeps pool construction out of the measured
+    // path).
+    let pool_labels = fvl.labeler(&run).labels().to_vec();
     let view = bench.safe_view(7, 8);
-    // The first `initial` labels form generation 1; the tail feeds churn.
-    let initial = labels.len().saturating_sub(1_000).max(1);
-    let tail = &labels[initial..];
 
-    let mut writer = EngineWriter::from_fvl(fvl.clone());
-    writer.insert_labels(&labels[..initial]);
-    let vref = writer.register_view(view, VariantKind::Default).unwrap();
-    let live = LiveEngine::new(writer.base().clone());
-    writer.publish(&live);
+    // Skewed insert sizes, drawn once from the churn generator so the
+    // bench exercises the same locality axis the workloads crate defines.
+    let skew_spec = ChurnSpec {
+        initial_items: 0,
+        insert_weight: 1.0,
+        view_weight: 0.0,
+        query_weight: 0.0,
+        insert_chunk: CHUNK,
+        locality: InsertLocality::Skewed { burst: BURST },
+        ..ChurnSpec::default()
+    };
+    let skew_counts: Vec<usize> =
+        wf_workloads::churn::churn_stream(&mut StdRng::seed_from_u64(11), cycles, &skew_spec)
+            .into_iter()
+            .map(|op| match op {
+                ChurnOp::Insert { count } => count,
+                other => unreachable!("pure-insert mix produced {other:?}"),
+            })
+            .collect();
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-    let dist = PairDist::HotKey { hot_items: 64, hot_prob: 0.5 };
-    let pairs: Vec<(ItemId, ItemId)> = sample_pairs(&run, &mut rng, BATCH, dist)
-        .into_iter()
-        .map(|(a, b)| (ItemId(a.0 % initial as u32), ItemId(b.0 % initial as u32)))
-        .collect();
+    let mut rows: Vec<SweepRow> = Vec::new();
+    // The largest size's writer/live survive the sweep for the Criterion
+    // entries below — publish cost at 10⁶ items is the number that proves
+    // the point.
+    let mut last: Option<LargestSurvivor> = None;
 
-    // Churn source: cycle chunks of the tail forever (re-interning an
-    // already seen label is legal and realistic — repeated sub-runs).
-    let mut chunk_iter = tail.chunks(CHUNK).cycle();
-
-    // --- Publish latency: stage one chunk, publish, repeat. -------------
-    let mut lat_ns: Vec<f64> = (0..latency_cycles)
-        .map(|_| {
-            let chunk = chunk_iter.next().expect("cycle is infinite");
-            let t = Instant::now();
-            writer.insert_labels(chunk);
-            writer.publish(&live);
-            t.elapsed().as_nanos() as f64
-        })
-        .collect();
-    lat_ns.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let lat_mean = lat_ns.iter().sum::<f64>() / lat_ns.len() as f64;
-    let (lat_p50, lat_p95) = (percentile(&lat_ns, 0.5), percentile(&lat_ns, 0.95));
-
-    // --- Reader throughput under writer rates. --------------------------
-    // One reader thread answers batches through the lock-free read fast
-    // path; the writer (this thread) publishes at the target rate. The
-    // generation the reader holds changes under it — its qps must not.
-    //
-    // Rates are measured in interleaved trials and each rate reports its
-    // best trial: the quantity of interest is the read path's *capacity*
-    // under a publishing writer, and peak-of-N is robust against the
-    // external scheduling noise a 1-2 s window on a busy host picks up
-    // (which otherwise dwarfs the ~0.01% of CPU a 1 Hz writer uses).
-    let trials = if quick { 1 } else { 4 };
-    let mut qps_by_rate: Vec<(u64, f64, u64)> = RATES_HZ.iter().map(|&r| (r, 0.0, 0)).collect();
-    for _ in 0..trials {
-        for (slot, &rate) in qps_by_rate.iter_mut().zip(RATES_HZ.iter()) {
-            // Warm the reader path (scratch, trie, caches).
-            {
-                let gen = live.read();
-                let mut ws = WorkerScratch::new();
-                std::hint::black_box(gen.query_batch(&mut ws, vref, &pairs));
-            }
-            let stop = AtomicBool::new(false);
-            let (qps, publishes) = std::thread::scope(|s| {
-                let live_ref = &live;
-                let stop_ref = &stop;
-                let pairs_ref = &pairs;
-                let reader = s.spawn(move || {
-                    let mut ws = WorkerScratch::new();
-                    let mut answered = 0u64;
-                    while !stop_ref.load(Ordering::Relaxed) {
-                        let gen = live_ref.read();
-                        std::hint::black_box(gen.query_batch(&mut ws, vref, pairs_ref));
-                        answered += pairs_ref.len() as u64;
-                    }
-                    answered
-                });
-                let t = Instant::now();
-                let mut publishes = 0u64;
-                if rate == 0 {
-                    std::thread::sleep(window);
-                } else {
-                    // Publishes land at t = 0, 1/rate, 2/rate, …: every
-                    // trial at rate R performs exactly ⌈window·R⌉ of them.
-                    let period = Duration::from_nanos(1_000_000_000 / rate.max(1));
-                    let mut next = Duration::ZERO;
-                    loop {
-                        let now = t.elapsed();
-                        if now >= window {
-                            break;
-                        }
-                        if now >= next {
-                            let chunk = chunk_iter.next().expect("cycle is infinite");
-                            writer.insert_labels(chunk);
-                            writer.publish(&live);
-                            publishes += 1;
-                            next += period;
-                        } else {
-                            std::thread::sleep(next.min(window) - now);
-                        }
-                    }
-                }
-                stop.store(true, Ordering::Relaxed);
-                let answered = reader.join().expect("reader thread panicked");
-                let qps = answered as f64 / t.elapsed().as_secs_f64();
-                (qps, publishes)
-            });
-            if qps > slot.1 {
-                *slot = (rate, qps, publishes);
-            }
+    for &size in sizes {
+        let mut pool = pool_labels.iter().cycle();
+        // Sharded writer at the default capacity, filled to `size`.
+        let mut writer = EngineWriter::from_fvl(fvl.clone());
+        for _ in 0..size {
+            writer.insert_label(pool.next().expect("pool cycles forever"));
         }
+        let vref = writer.register_view(view.clone(), VariantKind::Default).unwrap();
+        let live = LiveEngine::new(writer.base().clone());
+        writer.publish(&live);
+        let shards = writer.base().store().shard_count();
+
+        // The pre-shard baseline: same labels, one unbounded shard, so
+        // every staged chunk re-clones the whole store.
+        let mut baseline_writer = EngineWriter::from_fvl_with_shard_capacity(fvl.clone(), u32::MAX);
+        for _ in 0..size {
+            baseline_writer.insert_label(pool.next().expect("pool cycles forever"));
+        }
+        let baseline_live = LiveEngine::new(baseline_writer.base().clone());
+        baseline_writer.publish(&baseline_live);
+
+        // Reader throughput first, while the store is at exactly `size`.
+        let pairs = reader_pairs(&mut StdRng::seed_from_u64(9), size);
+        // Untimed warm-up window: a size's first measured windows
+        // otherwise run against cold caches (and a not-yet-ramped CPU
+        // governor), which depresses whichever rate happens to go first
+        // — observed as a 0 Hz baseline sitting well under its own 1 Hz
+        // neighbour at the smallest size.
+        let _ = reader_qps_at(&mut writer, &live, vref, &pairs, &mut pool, 0, window / 2, 1);
+        let qps: Vec<(u64, f64, u64)> = rates_hz
+            .iter()
+            .map(|&rate| {
+                let (qps, publishes) = reader_qps_at(
+                    &mut writer,
+                    &live,
+                    vref,
+                    &pairs,
+                    &mut pool,
+                    rate,
+                    window,
+                    trials,
+                );
+                (rate, qps, publishes)
+            })
+            .collect();
+
+        // Publish latency, sharded vs baseline, fixed 16-label chunks.
+        let mut publish = LatencyHistogram::new();
+        let mut touched_total = 0usize;
+        for _ in 0..cycles {
+            let (ns, touched) = publish_cycle(&mut writer, &live, &mut pool, CHUNK);
+            publish.record(ns);
+            touched_total += touched;
+        }
+        let mut baseline = LatencyHistogram::new();
+        for _ in 0..cycles {
+            let (ns, _) = publish_cycle(&mut baseline_writer, &baseline_live, &mut pool, CHUNK);
+            baseline.record(ns);
+        }
+
+        // Publish latency under bursty (skewed-locality) ingest: the
+        // touched-shards axis moves, the latency should track it.
+        let mut skewed = LatencyHistogram::new();
+        let mut skew_touched_total = 0usize;
+        for &count in &skew_counts {
+            let (ns, touched) = publish_cycle(&mut writer, &live, &mut pool, count);
+            skewed.record(ns);
+            skew_touched_total += touched;
+        }
+
+        rows.push(SweepRow {
+            items: size,
+            shards,
+            publish,
+            publish_touched_mean: touched_total as f64 / cycles as f64,
+            baseline,
+            skewed,
+            skewed_touched_mean: skew_touched_total as f64 / skew_counts.len() as f64,
+            qps,
+        });
+        last = Some((writer, live, pairs, vref));
     }
-    let baseline = qps_by_rate[0].1;
-    let ratio_1hz = qps_by_rate[1].1 / baseline;
 
     // --- JSON report. ---------------------------------------------------
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"update_throughput\",");
-    let _ = writeln!(json, "  \"items_initial\": {initial},");
+    let _ = writeln!(json, "  \"shard_capacity\": {},", LabelStore::DEFAULT_SHARD_CAPACITY);
     let _ = writeln!(json, "  \"insert_chunk\": {CHUNK},");
+    let _ = writeln!(json, "  \"skew_burst\": {BURST},");
     let _ = writeln!(json, "  \"batch\": {BATCH},");
     let _ = writeln!(
         json,
@@ -173,28 +335,55 @@ fn bench_update_throughput(c: &mut Criterion) {
     );
     let _ = writeln!(
         json,
-        "  \"metric_note\": \"publish_ns = stage {CHUNK} labels + freeze + Arc swap (the full \
-         RCU writer price, copy-on-write clone included). reader_qps = one reader thread, \
-         batched queries via the lock-free LiveEngine::read fast path, while a writer publishes \
-         at the keyed rate (Hz). Readers never take a lock, so 1 Hz should sit within a few \
-         percent of the 0 Hz baseline.\","
+        "  \"metric_note\": \"Per swept store size: publish_ns = stage {CHUNK} labels + freeze + \
+         Arc swap on the sharded (capacity {}) store; publish_baseline_ns = identical cycles on a \
+         single-shard (capacity = u32::MAX, i.e. pre-shard O(n) clone) store; publish_skewed_ns = \
+         cycles whose insert sizes are log-uniform bursts up to {BURST}x chunk \
+         (InsertLocality::Skewed), moving the touched-shards axis. reader_qps = one reader \
+         thread, batched hot-key queries via the lock-free LiveEngine::read fast path, while the \
+         writer publishes at the keyed rate (Hz); best of {trials} trial(s). Sharded p50 should \
+         stay roughly flat across sizes while the baseline grows linearly.\",",
+        LabelStore::DEFAULT_SHARD_CAPACITY
     );
-    let _ = writeln!(
-        json,
-        "  \"publish_ns\": {{ \"mean\": {lat_mean:.0}, \"p50\": {lat_p50:.0}, \"p95\": \
-         {lat_p95:.0}, \"cycles\": {} }},",
-        lat_ns.len()
-    );
-    let _ = writeln!(json, "  \"reader_qps\": {{");
-    for (i, (rate, qps, publishes)) in qps_by_rate.iter().enumerate() {
+    let _ = writeln!(json, "  \"sweep\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let ratio = row.qps[1].1 / row.qps[0].1;
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"items\": {},", row.items);
+        let _ = writeln!(json, "      \"shards\": {},", row.shards);
+        let _ = writeln!(json, "      \"publish_ns\": {},", hist_json(&row.publish));
         let _ = writeln!(
             json,
-            "    \"{rate}\": {{ \"qps\": {qps:.0}, \"publishes\": {publishes} }}{}",
-            if i + 1 < qps_by_rate.len() { "," } else { "" }
+            "      \"publish_touched_shards_mean\": {:.2},",
+            row.publish_touched_mean
         );
+        let _ = writeln!(json, "      \"publish_baseline_ns\": {},", hist_json(&row.baseline));
+        let _ = writeln!(json, "      \"publish_skewed_ns\": {},", hist_json(&row.skewed));
+        let _ =
+            writeln!(json, "      \"skewed_touched_shards_mean\": {:.2},", row.skewed_touched_mean);
+        let _ = writeln!(json, "      \"reader_qps\": {{");
+        for (j, (rate, qps, publishes)) in row.qps.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        \"{rate}\": {{ \"qps\": {qps:.0}, \"publishes\": {publishes} }}{}",
+                if j + 1 < row.qps.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "      }},");
+        let _ = writeln!(json, "      \"qps_ratio_1hz_vs_0hz\": {ratio:.3}");
+        let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
     }
-    let _ = writeln!(json, "  }},");
-    let _ = writeln!(json, "  \"qps_ratio_1hz_vs_0hz\": {ratio_1hz:.3}");
+    let _ = writeln!(json, "  ],");
+    let (first, last_row) = (&rows[0], &rows[rows.len() - 1]);
+    let scale = last_row.publish.percentile(0.5) as f64 / first.publish.percentile(0.5) as f64;
+    let scale_baseline =
+        last_row.baseline.percentile(0.5) as f64 / first.baseline.percentile(0.5) as f64;
+    let _ = writeln!(json, "  \"scaling\": {{");
+    let _ = writeln!(json, "    \"smallest_items\": {},", first.items);
+    let _ = writeln!(json, "    \"largest_items\": {},", last_row.items);
+    let _ = writeln!(json, "    \"publish_p50_ratio_largest_vs_smallest\": {scale:.3},");
+    let _ = writeln!(json, "    \"baseline_p50_ratio_largest_vs_smallest\": {scale_baseline:.3}");
+    let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_update_throughput.json");
     if let Err(e) = std::fs::write(path, &json) {
@@ -203,20 +392,24 @@ fn bench_update_throughput(c: &mut Criterion) {
         println!("wrote {path}");
     }
 
-    // --- Criterion entries (for the human-readable printout). -----------
+    // --- Criterion entries (for the human-readable printout), at the
+    // largest swept size — where flat publishing is hardest. -------------
+    let (mut writer, live, pairs, vref) = last.expect("the sweep is non-empty");
+    let mut pool = pool_labels.iter().cycle();
     let mut g = c.benchmark_group("update_throughput");
-    g.bench_function("stage_chunk_and_publish", |b| {
-        b.iter(|| {
-            let chunk = chunk_iter.next().expect("cycle is infinite");
-            writer.insert_labels(chunk);
-            writer.publish(&live)
-        })
+    g.bench_function("stage_chunk_and_publish_at_max_size", |b| {
+        b.iter(|| publish_cycle(&mut writer, &live, &mut pool, CHUNK))
     });
     g.bench_function("live_read_fast_path", |b| b.iter(|| std::hint::black_box(live.read())));
+    g.bench_function("read_query_batch_at_max_size", |b| {
+        let mut ws = WorkerScratch::new();
+        b.iter(|| {
+            let gen = live.read();
+            std::hint::black_box(gen.query_batch(&mut ws, vref, &pairs))
+        })
+    });
     g.finish();
 }
-
-use rand::SeedableRng;
 
 criterion_group!(benches, bench_update_throughput);
 criterion_main!(benches);

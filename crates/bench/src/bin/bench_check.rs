@@ -1,0 +1,417 @@
+//! CI gate over `BENCH_update_throughput.json`: validates the sweep shape
+//! the sharded-store bench writes and asserts the scaling sanity check.
+//!
+//! `cargo run --release -p wf-bench --bin bench_check [path]` (default:
+//! `BENCH_update_throughput.json` in the current directory — the workspace
+//! root, where bench-smoke runs). Exit 0 iff:
+//!
+//! * the sweep has ≥ 4 sizes, strictly increasing, the largest ≥ 262144;
+//! * every sweep entry carries `publish_ns` with p50/p99/p999 and ≥ 100
+//!   cycles, a `publish_baseline_ns` column, and reader qps at 0 and 1 Hz;
+//! * sharded publish p50 at the largest size ≤ 3× the smallest — an
+//!   accidental O(n) publish regression fails CI here (the recorded
+//!   baseline column shows what linear looks like: ~80× over the same
+//!   span), while 3× stays loose enough for a noisy one-core container.
+//!
+//! No serde in this workspace (offline shims only), so the JSON is parsed
+//! by the little recursive-descent reader below — it handles exactly the
+//! JSON subset our benches emit (objects, arrays, numbers, strings,
+//! booleans), which is all the gate needs.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// A parsed JSON value (the subset the bench reports use).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".into())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(format!(
+                "expected '{}' at byte {}, found '{}'",
+                b as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                other => return Err(format!("expected ',' or '}}', found '{}'", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                other => return Err(format!("expected ',' or ']', found '{}'", other as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or_else(|| String::from("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| String::from("unterminated escape"))?;
+                    self.pos += 1;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        other => other as char, // \uXXXX never appears in our reports
+                    });
+                }
+                other => out.push(other as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// The gate itself, separated from I/O so tests drive it with strings.
+/// Returns the human-readable summary on success, the failure on error.
+fn check(doc: &Json) -> Result<String, String> {
+    doc.get("shard_capacity")
+        .and_then(Json::num)
+        .filter(|&c| c >= 1.0)
+        .ok_or("missing or invalid shard_capacity")?;
+    let sweep = doc.get("sweep").and_then(Json::arr).ok_or("missing sweep array")?;
+    if sweep.len() < 4 {
+        return Err(format!("sweep has {} sizes, need >= 4", sweep.len()));
+    }
+    let mut prev_items = 0f64;
+    let mut p50s: Vec<(f64, f64)> = Vec::new();
+    let mut summary = String::from("items      shards  publish_p50  baseline_p50  qps_1hz/0hz\n");
+    for (i, entry) in sweep.iter().enumerate() {
+        let items = entry
+            .get("items")
+            .and_then(Json::num)
+            .ok_or_else(|| format!("sweep[{i}]: missing items"))?;
+        if items <= prev_items {
+            return Err(format!("sweep[{i}]: sizes must be strictly increasing"));
+        }
+        prev_items = items;
+        let publish =
+            entry.get("publish_ns").ok_or_else(|| format!("sweep[{i}]: missing publish_ns"))?;
+        for field in ["mean", "p50", "p99", "p999"] {
+            publish
+                .get(field)
+                .and_then(Json::num)
+                .ok_or_else(|| format!("sweep[{i}]: publish_ns missing {field}"))?;
+        }
+        let cycles = publish
+            .get("cycles")
+            .and_then(Json::num)
+            .ok_or_else(|| format!("sweep[{i}]: publish_ns missing cycles"))?;
+        if cycles < 100.0 {
+            return Err(format!("sweep[{i}]: {cycles} publish cycles, need >= 100"));
+        }
+        let baseline = entry
+            .get("publish_baseline_ns")
+            .and_then(|b| b.get("p50"))
+            .and_then(Json::num)
+            .ok_or_else(|| format!("sweep[{i}]: missing publish_baseline_ns.p50"))?;
+        let qps =
+            entry.get("reader_qps").ok_or_else(|| format!("sweep[{i}]: missing reader_qps"))?;
+        for rate in ["0", "1"] {
+            qps.get(rate)
+                .and_then(|r| r.get("qps"))
+                .and_then(Json::num)
+                .ok_or_else(|| format!("sweep[{i}]: missing reader_qps at {rate} Hz"))?;
+        }
+        let ratio = entry
+            .get("qps_ratio_1hz_vs_0hz")
+            .and_then(Json::num)
+            .ok_or_else(|| format!("sweep[{i}]: missing qps_ratio_1hz_vs_0hz"))?;
+        let p50 = publish.get("p50").and_then(Json::num).expect("validated above");
+        p50s.push((items, p50));
+        summary.push_str(&format!(
+            "{items:<10} {:<7} {p50:<12} {baseline:<13} {ratio}\n",
+            entry.get("shards").and_then(Json::num).unwrap_or(0.0),
+        ));
+    }
+    let largest = p50s.last().expect("sweep is non-empty");
+    if largest.0 < 262_144.0 {
+        return Err(format!("largest swept size is {}, need >= 262144", largest.0));
+    }
+    // The scaling sanity check: flat-ish publish cost in total store size.
+    let smallest = p50s[0];
+    let scale = largest.1 / smallest.1;
+    if scale > 3.0 {
+        return Err(format!(
+            "publish p50 scaled {scale:.2}x from {} to {} items (limit 3x): the sharded \
+             store's O(touched) publish contract looks broken",
+            smallest.0, largest.0
+        ));
+    }
+    summary.push_str(&format!(
+        "publish p50 scaling {}k -> {}k items: {scale:.2}x (limit 3x) — ok\n",
+        smallest.0 as u64 / 1024,
+        largest.0 as u64 / 1024
+    ));
+    Ok(summary)
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_update_throughput.json".into());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_check: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&doc) {
+        Ok(summary) => {
+            println!("bench_check: {path} ok\n{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_check: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep_entry(items: u64, p50: u64, cycles: u64) -> String {
+        format!(
+            r#"{{"items": {items}, "shards": {}, "publish_ns": {{"mean": {p50}, "p50": {p50}, "p95": {p50}, "p99": {p50}, "p999": {p50}, "cycles": {cycles}}}, "publish_baseline_ns": {{"p50": {}}}, "reader_qps": {{"0": {{"qps": 1000000}}, "1": {{"qps": 990000}}}}, "qps_ratio_1hz_vs_0hz": 0.99}}"#,
+            items / 1024,
+            items * 10
+        )
+    }
+
+    fn doc(entries: &[String]) -> Json {
+        parse(&format!(r#"{{"shard_capacity": 1024, "sweep": [{}]}}"#, entries.join(",")))
+            .expect("test fixture parses")
+    }
+
+    #[test]
+    fn parses_the_benchs_own_output_shape() {
+        let v = parse(r#"{"a": [1, 2.5, -3e2], "b": {"s": "x\n\"y\"", "t": true, "n": null}}"#)
+            .unwrap();
+        assert_eq!(v.get("a").and_then(Json::arr).map(<[Json]>::len), Some(3));
+        assert_eq!(v.get("a").unwrap().arr().unwrap()[2], Json::Num(-300.0));
+        assert_eq!(v.get("b").unwrap().get("s"), Some(&Json::Str("x\n\"y\"".into())));
+        assert!(parse("{").is_err());
+        assert!(parse("{}extra").is_err());
+    }
+
+    #[test]
+    fn accepts_a_flat_sweep() {
+        let d = doc(&[
+            sweep_entry(4096, 9000, 150),
+            sweep_entry(65536, 9500, 150),
+            sweep_entry(262144, 11000, 150),
+            sweep_entry(1048576, 13000, 150),
+        ]);
+        let summary = check(&d).expect("a flat sweep passes");
+        assert!(summary.contains("ok"));
+    }
+
+    #[test]
+    fn rejects_linear_scaling() {
+        let d = doc(&[
+            sweep_entry(4096, 9000, 150),
+            sweep_entry(65536, 90000, 150),
+            sweep_entry(262144, 400000, 150),
+            sweep_entry(1048576, 1600000, 150),
+        ]);
+        let err = check(&d).expect_err("an O(n) curve must fail");
+        assert!(err.contains("limit 3x"), "{err}");
+    }
+
+    #[test]
+    fn rejects_structural_shortfalls() {
+        // Too few sizes.
+        let d = doc(&[sweep_entry(4096, 9000, 150), sweep_entry(262144, 9000, 150)]);
+        assert!(check(&d).unwrap_err().contains(">= 4"));
+        // Largest size too small.
+        let d = doc(&[
+            sweep_entry(1024, 9000, 150),
+            sweep_entry(2048, 9000, 150),
+            sweep_entry(4096, 9000, 150),
+            sweep_entry(8192, 9000, 150),
+        ]);
+        assert!(check(&d).unwrap_err().contains(">= 262144"));
+        // Too few cycles.
+        let d = doc(&[
+            sweep_entry(4096, 9000, 6),
+            sweep_entry(65536, 9000, 150),
+            sweep_entry(262144, 9000, 150),
+            sweep_entry(1048576, 9000, 150),
+        ]);
+        assert!(check(&d).unwrap_err().contains(">= 100"));
+        // Sizes must increase.
+        let d = doc(&[
+            sweep_entry(4096, 9000, 150),
+            sweep_entry(4096, 9000, 150),
+            sweep_entry(262144, 9000, 150),
+            sweep_entry(1048576, 9000, 150),
+        ]);
+        assert!(check(&d).unwrap_err().contains("increasing"));
+        // Missing sweep entirely.
+        let bare = parse(r#"{"shard_capacity": 1024}"#).unwrap();
+        assert!(check(&bare).unwrap_err().contains("sweep"));
+    }
+
+    #[test]
+    fn accepts_the_committed_report() {
+        // The workspace-root JSON this gate guards in CI: whatever is
+        // committed must pass its own gate.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_update_throughput.json");
+        let text = std::fs::read_to_string(path).expect("committed bench report exists");
+        let doc = parse(&text).expect("committed bench report parses");
+        check(&doc).expect("committed bench report passes the gate");
+    }
+}

@@ -80,6 +80,115 @@ pub fn process_cpu_ns() -> Option<u64> {
     }
 }
 
+/// A fixed-bucket log-linear latency histogram: tail percentiles from a
+/// few KB of memory, no per-sample storage, no sorting.
+///
+/// Publish latencies are the canonical customer: a mean over 6 cycles
+/// (what the update bench reported before this existed) hides exactly the
+/// tail a flat-publish claim is about. The bucket layout is the HDR idea
+/// at its smallest — values below 64 are exact; above, each power-of-two
+/// octave splits into 32 linear sub-buckets, bounding relative error at
+/// ~3% (half a sub-bucket) across the full `u64` range in 1920 buckets.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u32>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// Sub-buckets per octave (and the threshold below which values are exact).
+const HIST_SUB: u64 = 32;
+/// `log2(HIST_SUB)` — octaves below this need no splitting.
+const HIST_SUB_BITS: u32 = 5;
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        // Highest index: z = 63 → (63 - 5) * 32 + 63 = 1919.
+        Self { buckets: vec![0; 1920], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Bucket index of `v`: identity below `2 * HIST_SUB`, then
+    /// `(octave, sub-bucket)` with the sub-bucket being the top
+    /// `HIST_SUB_BITS` bits after the leading one.
+    fn index(v: u64) -> usize {
+        if v < 2 * HIST_SUB {
+            return v as usize;
+        }
+        let z = 63 - v.leading_zeros(); // v in [2^z, 2^(z+1))
+        let shift = z - HIST_SUB_BITS;
+        ((shift as u64 * HIST_SUB) + (v >> shift)) as usize
+    }
+
+    /// Midpoint of bucket `idx`'s value range — what percentiles report.
+    fn midpoint(idx: usize) -> u64 {
+        if idx < 2 * HIST_SUB as usize {
+            return idx as u64;
+        }
+        let shift = (idx as u64 / HIST_SUB) as u32 - 1;
+        let lo = (idx as u64 % HIST_SUB + HIST_SUB) << shift;
+        lo + ((1u64 << shift) >> 1)
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `p` in `[0, 1]` (0.5 = median, 0.999 = p999):
+    /// the midpoint of the bucket holding the `⌈p·count⌉`-th smallest
+    /// sample, clamped to the observed min/max so tiny sample counts never
+    /// report a value outside what was recorded. Returns 0 on an empty
+    /// histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n as u64;
+            if seen >= rank {
+                return Self::midpoint(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Average and maximum encoded data-label size, in bits.
 pub fn label_bits_stats(fvl: &Fvl<'_>, labels: &[DataLabel]) -> (f64, usize) {
     let mut total = 0usize;
@@ -148,6 +257,56 @@ pub fn query_ns(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn histogram_is_exact_below_the_linear_threshold() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        assert!((h.mean() - 31.5).abs() < 1e-9);
+        // Small values land in exact buckets: quantiles are exact ranks.
+        assert_eq!(h.percentile(0.5), 31);
+        assert_eq!(h.percentile(1.0), 63);
+        assert_eq!(h.percentile(0.0), 0);
+    }
+
+    #[test]
+    fn histogram_percentiles_stay_within_relative_error() {
+        // 1..=100_000 uniformly: every percentile is known in closed form.
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (p, expect) in [(0.5, 50_000.0), (0.99, 99_000.0), (0.999, 99_900.0)] {
+            let got = h.percentile(p) as f64;
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.03, "p{p}: got {got}, want ~{expect} (rel err {rel:.4})");
+        }
+        assert!((h.mean() - 50_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_handles_edges() {
+        let mut empty = LatencyHistogram::new();
+        assert_eq!(empty.percentile(0.5), 0);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.min(), 0);
+        empty.record(u64::MAX); // the top bucket exists
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.percentile(0.5), u64::MAX, "clamped to the observed max");
+        // A single sample reports itself at every quantile.
+        let mut one = LatencyHistogram::new();
+        one.record(74_029);
+        for p in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            let got = one.percentile(p);
+            let rel = (got as f64 - 74_029.0).abs() / 74_029.0;
+            assert!(rel < 0.03, "p{p} of a single sample: got {got}");
+        }
+    }
 
     #[test]
     fn process_cpu_time_is_monotone_and_advances_under_load() {

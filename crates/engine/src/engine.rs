@@ -45,10 +45,18 @@ pub struct QueryEngine<'a> {
 
 impl<'a> QueryEngine<'a> {
     pub fn new(fvl: &'a Fvl<'a>) -> Self {
+        Self::with_shard_capacity(fvl, LabelStore::DEFAULT_SHARD_CAPACITY)
+    }
+
+    /// [`QueryEngine::new`] over a store of `shard_capacity`-item shards
+    /// (see [`LabelStore::with_shard_capacity`]): tiny capacities exercise
+    /// shard boundaries in tests, `u32::MAX` reproduces the pre-shard
+    /// single-blob store.
+    pub fn with_shard_capacity(fvl: &'a Fvl<'a>, shard_capacity: u32) -> Self {
         Self {
             fvl,
             registry: ViewRegistry::new(),
-            store: LabelStore::new(),
+            store: LabelStore::with_shard_capacity(shard_capacity),
             worker: WorkerScratch::new(),
         }
     }
@@ -112,7 +120,9 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// Non-panicking [`QueryEngine::insert_labels`]: stops at the first
-    /// label that cannot be interned, leaving earlier ones stored.
+    /// label that cannot be interned, leaving earlier ones stored. The
+    /// error is [`EngineError::BatchStoreFull`], carrying the index of the
+    /// failing label so the caller can retry `labels[index..]`.
     pub fn try_insert_labels(&mut self, labels: &[DataLabel]) -> Result<Vec<ItemId>, EngineError> {
         self.store.try_insert_all(labels)
     }
@@ -273,7 +283,8 @@ impl<'a> QueryEngine<'a> {
             return Err(SnapshotError::SpecMismatch { expected, found: container.fingerprint });
         }
         let mut r = BitReader::new(&container.payload);
-        let (store, registry) = read_engine_sections(fvl, &mut r)?;
+        let (store, registry) =
+            read_engine_sections(fvl, &mut r, LabelStore::DEFAULT_SHARD_CAPACITY)?;
         if r.remaining() != 0 {
             return Err(SnapshotError::Malformed("trailing payload bits"));
         }
@@ -295,13 +306,22 @@ pub(crate) fn write_engine_sections(
     registry.write_snapshot(&fvl.spec().grammar, w);
 }
 
-/// Inverse of [`write_engine_sections`].
+/// Inverse of [`write_engine_sections`]. The wire format is shard-agnostic
+/// (one merged trie — see [`LabelStore::write_snapshot`]); `shard_capacity`
+/// is the layout the loaded store is re-sharded into.
 pub(crate) fn read_engine_sections(
     fvl: &Fvl<'_>,
     r: &mut BitReader<'_>,
+    shard_capacity: u32,
 ) -> Result<(LabelStore, ViewRegistry), SnapshotError> {
     expect_section(r, SECTION_STORE)?;
-    let store = LabelStore::read_snapshot(r, fvl.codec(), &fvl.spec().grammar, fvl.prod_graph())?;
+    let store = LabelStore::read_snapshot_with_capacity(
+        r,
+        fvl.codec(),
+        &fvl.spec().grammar,
+        fvl.prod_graph(),
+        shard_capacity,
+    )?;
     expect_section(r, SECTION_REGISTRY)?;
     let registry = ViewRegistry::read_snapshot(r, &fvl.spec().grammar, fvl.prod_graph())?;
     Ok((store, registry))

@@ -25,6 +25,27 @@ pub enum EngineError {
     /// near 2³² entries, but a service must see it as a typed error, not a
     /// panic, to fail the one insert and keep serving.
     StoreFull { what: &'static str, capacity: u64 },
+    /// [`EngineError::StoreFull`], raised from a batch insert: `index` is
+    /// the position within the batch of the label that could not be
+    /// stored. Labels before it *are* stored (batch inserts are not
+    /// transactional — ids stay dense), so a caller can retry exactly
+    /// `labels[index..]` against a fresh store without double-inserting
+    /// the prefix.
+    BatchStoreFull { index: usize, what: &'static str, capacity: u64 },
+}
+
+impl EngineError {
+    /// Attaches a batch position to a capacity error: `StoreFull` becomes
+    /// [`EngineError::BatchStoreFull`] at `index`; every other error (and
+    /// an already-indexed one) passes through unchanged.
+    pub(crate) fn at_batch_index(self, index: usize) -> Self {
+        match self {
+            EngineError::StoreFull { what, capacity } => {
+                EngineError::BatchStoreFull { index, what, capacity }
+            }
+            other => other,
+        }
+    }
 }
 
 impl std::fmt::Display for EngineError {
@@ -38,6 +59,13 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::StoreFull { what, capacity } => {
                 write!(f, "label store is full: {what} capacity of {capacity} entries exhausted")
+            }
+            EngineError::BatchStoreFull { index, what, capacity } => {
+                write!(
+                    f,
+                    "label store is full at batch index {index}: {what} capacity of \
+                     {capacity} entries exhausted (earlier labels are stored; retry the rest)"
+                )
             }
         }
     }

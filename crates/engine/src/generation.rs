@@ -17,8 +17,11 @@
 //!   the frozen core (it *is* one, via [`EngineGeneration::core`]).
 //! * [`EngineWriter`] — the single writer. Mutations stage against a lazy
 //!   copy-on-write clone of the base generation (registry clones are
-//!   refcount bumps per compiled label; the store clone is the real copy),
-//!   so nothing a reader can see is ever mutated in place.
+//!   refcount bumps per compiled label; the store clone is a refcount bump
+//!   per *shard*, and staging un-shares only the tail shards an insert
+//!   batch lands in — see [`LabelStore`]), so nothing a reader can see is
+//!   ever mutated in place, and the cost of a publish cycle tracks the
+//!   *increment*, not the store size.
 //! * [`LiveEngine`] — the publication point. `publish` swaps the current
 //!   `Arc<EngineGeneration>` under a `std::sync::Mutex` (publishes are
 //!   rare); readers obtain the current generation with a **lock-free fast
@@ -78,7 +81,20 @@ impl EngineGeneration {
     /// The empty first generation (seqno 0): no items, no views. Mutations
     /// flow through an [`EngineWriter`] from here.
     pub fn empty(fvl: Arc<Fvl<'static>>) -> Self {
-        Self { fvl, registry: ViewRegistry::new(), store: LabelStore::new(), seqno: 0 }
+        Self::empty_with_shard_capacity(fvl, LabelStore::DEFAULT_SHARD_CAPACITY)
+    }
+
+    /// [`EngineGeneration::empty`] over a store of `shard_capacity`-item
+    /// shards (see [`LabelStore::with_shard_capacity`]). The capacity is
+    /// inherited by every later generation of the chain: staging clones the
+    /// store, and the clone keeps its layout.
+    pub fn empty_with_shard_capacity(fvl: Arc<Fvl<'static>>, shard_capacity: u32) -> Self {
+        Self {
+            fvl,
+            registry: ViewRegistry::new(),
+            store: LabelStore::with_shard_capacity(shard_capacity),
+            seqno: 0,
+        }
     }
 
     pub fn fvl(&self) -> &Arc<Fvl<'static>> {
@@ -165,6 +181,18 @@ impl EngineGeneration {
     /// (stopping at its end — see [`EngineGeneration::replay`] for the
     /// base-plus-deltas form).
     pub fn load(fvl: Arc<Fvl<'static>>, from: &mut impl Read) -> Result<Self, SnapshotError> {
+        Self::load_with_shard_capacity(fvl, from, LabelStore::DEFAULT_SHARD_CAPACITY)
+    }
+
+    /// [`EngineGeneration::load`] re-sharding the store at `shard_capacity`
+    /// — the wire format carries no layout (see
+    /// [`LabelStore::write_snapshot`]), so a stream saved at any capacity
+    /// (including pre-shard streams) loads at any other.
+    pub fn load_with_shard_capacity(
+        fvl: Arc<Fvl<'static>>,
+        from: &mut impl Read,
+        shard_capacity: u32,
+    ) -> Result<Self, SnapshotError> {
         let container = read_container(from)?;
         let expected = spec_fingerprint(&fvl.spec().grammar, fvl.prod_graph());
         if container.fingerprint != expected {
@@ -173,7 +201,7 @@ impl EngineGeneration {
         let mut r = BitReader::new(&container.payload);
         expect_section(&mut r, SECTION_GENERATION)?;
         let seqno = r.read_gamma()? - 1;
-        let (store, registry) = read_engine_sections(&fvl, &mut r)?;
+        let (store, registry) = read_engine_sections(&fvl, &mut r, shard_capacity)?;
         if r.remaining() != 0 {
             return Err(SnapshotError::Malformed("trailing payload bits"));
         }
@@ -191,7 +219,19 @@ impl EngineGeneration {
         fvl: Arc<Fvl<'static>>,
         from: &mut impl Read,
     ) -> Result<EngineGeneration, SnapshotError> {
-        let mut gen = Self::load(fvl, from)?;
+        Self::replay_with_shard_capacity(fvl, from, LabelStore::DEFAULT_SHARD_CAPACITY)
+    }
+
+    /// [`EngineGeneration::replay`] re-sharding at `shard_capacity` (see
+    /// [`EngineGeneration::load_with_shard_capacity`]); the deltas replay
+    /// into the re-sharded store, crossing its boundaries wherever the ids
+    /// land.
+    pub fn replay_with_shard_capacity(
+        fvl: Arc<Fvl<'static>>,
+        from: &mut impl Read,
+        shard_capacity: u32,
+    ) -> Result<EngineGeneration, SnapshotError> {
+        let mut gen = Self::load_with_shard_capacity(fvl, from, shard_capacity)?;
         let expected = gen.fingerprint();
         while let Some(container) = read_container_opt(from)? {
             if container.fingerprint != expected {
@@ -290,6 +330,12 @@ impl EngineWriter {
         Self::new(Arc::new(EngineGeneration::empty(fvl)))
     }
 
+    /// [`EngineWriter::from_fvl`] with an explicit store shard capacity
+    /// (see [`EngineGeneration::empty_with_shard_capacity`]).
+    pub fn from_fvl_with_shard_capacity(fvl: Arc<Fvl<'static>>, shard_capacity: u32) -> Self {
+        Self::new(Arc::new(EngineGeneration::empty_with_shard_capacity(fvl, shard_capacity)))
+    }
+
     /// The generation this writer's staged changes build on (the most
     /// recently published one, once anything was published).
     pub fn base(&self) -> &Arc<EngineGeneration> {
@@ -328,6 +374,14 @@ impl EngineWriter {
     /// Stages a slice of labels in order.
     pub fn insert_labels(&mut self, labels: &[DataLabel]) -> Vec<ItemId> {
         labels.iter().map(|d| self.insert_label(d)).collect()
+    }
+
+    /// Non-panicking [`EngineWriter::insert_labels`]: stops at the first
+    /// label that cannot be staged, leaving the earlier ones staged. The
+    /// error is [`EngineError::BatchStoreFull`] with the failing label's
+    /// batch index, so the caller can retry `labels[index..]`.
+    pub fn try_insert_labels(&mut self, labels: &[DataLabel]) -> Result<Vec<ItemId>, EngineError> {
+        self.staged().store.try_insert_all(labels)
     }
 
     /// Stages a view registration (structural dedup applies: re-adding a

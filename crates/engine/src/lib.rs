@@ -8,7 +8,9 @@
 //! * [`ViewRegistry`] — views registered once, their [`wf_core::ViewLabel`]s
 //!   precompiled per §6.3 variant and addressed by dense [`ViewRef`]s;
 //! * [`LabelStore`] — data labels interned with trie-shared path prefixes
-//!   and addressed by dense [`ItemId`]s;
+//!   and addressed by dense [`ItemId`]s, partitioned into fixed-capacity
+//!   copy-on-write shards so cloning a store is a directory copy and
+//!   mutating it touches only the shards an insert batch lands in;
 //! * [`QueryEngine`] — `query` / `query_batch` / `all_pairs` entry points
 //!   threading one reusable [`wf_core::QueryScratch`] through the
 //!   scratch-aware decode path ([`wf_core::pi_with`]), so steady-state

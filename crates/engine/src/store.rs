@@ -1,4 +1,5 @@
-//! The interned data-label store: dense [`ItemId`]s over trie-shared paths.
+//! The interned data-label store: dense [`ItemId`]s over trie-shared paths,
+//! partitioned into copy-on-write shards.
 //!
 //! A provenance service holds the labels of *every* item of a run (often
 //! millions) and serves queries against arbitrary pairs of them. Owning
@@ -9,13 +10,42 @@
 //! collectively share far more than pairwise prefixes.
 //!
 //! [`LabelStore`] exploits that: paths are interned into a trie keyed by
-//! `(parent node, edge label)`, so every shared prefix — within one label,
-//! across labels, across the whole run — is stored exactly once. A stored
-//! label is then two `(path node, port)` pairs, and an [`ItemId`] is a dense
-//! index suitable for slicing, batching and bitmap bookkeeping.
+//! `(parent node, edge label)`, so every shared prefix is stored exactly
+//! once per shard. A stored label is then two `(path node, port)` pairs,
+//! and an [`ItemId`] is a dense index suitable for slicing, batching and
+//! bitmap bookkeeping.
+//!
+//! # Sharding (the generational-engine contract)
+//!
+//! The store is a *persistent* (structure-sharing) data structure: items
+//! are partitioned into fixed-capacity shards, each behind an `Arc`, and
+//! the store itself is just the shard directory. The invariants
+//! (DESIGN.md S10):
+//!
+//! * **Id ranges never straddle shards.** Every shard except the last
+//!   holds exactly [`LabelStore::shard_capacity`] labels, so shard lookup
+//!   is pure arithmetic (`id / capacity`) — no search, no extra memory
+//!   traffic on the read path.
+//! * **Trie prefix sharing is per-shard.** Each shard interns its own
+//!   slice of the paths; nothing in a query ever reaches across shards,
+//!   so a shard is immutable the moment it fills.
+//! * **Cloning is O(#shards), mutating is O(touched shards).** `Clone`
+//!   copies the directory (one refcount bump per shard); an insert batch
+//!   `Arc::make_mut`s only the tail shard(s) it lands in. This is what
+//!   turns the generational writer's publish from an O(n) blob copy into
+//!   an O(touched) increment — publish latency stays flat as the store
+//!   grows to millions of items (`update_throughput` bench).
+//!
+//! The on-disk format is *unchanged* from the single-blob store:
+//! [`LabelStore::write_snapshot`] merges the per-shard tries back into the
+//! one creation-order trie of the §5 wire format (byte-identical to what
+//! the pre-shard store wrote, since labels are always interned in id
+//! order), and [`LabelStore::read_snapshot`] re-shards on load. Old
+//! streams load into sharded stores; new streams load in old readers.
 
 use crate::error::EngineError;
 use std::collections::HashMap;
+use std::sync::Arc;
 use wf_analysis::ProdGraph;
 use wf_bitio::{BitReader, BitWriter};
 use wf_core::{DataLabel, LabelCodec, LabelRef, PortLabel, PortRef};
@@ -31,94 +61,31 @@ pub struct ItemId(pub u32);
 const ROOT: u32 = u32::MAX;
 
 /// One stored label: `(path node, port)` per side, `None` mirroring
-/// [`DataLabel`]'s boundary cases.
+/// [`DataLabel`]'s boundary cases. Path nodes index the owning shard's
+/// trie.
 #[derive(Clone, Copy, Debug)]
 struct StoredLabel {
     out: Option<(u32, u8)>,
     inp: Option<(u32, u8)>,
 }
 
-/// Interned label storage with shared-prefix paths and dense item ids.
-///
-/// Cloning a store is the copy-on-write step of the generational engine:
-/// the clone shares nothing, so a writer can keep interning into its copy
-/// while readers serve from the original.
-#[derive(Clone)]
-pub struct LabelStore {
-    /// Trie node → (parent node, edge). Node ids are creation-ordered.
+/// One fixed-capacity slice of the store: its labels plus the trie their
+/// paths are interned into. Shards never reference one another, so a full
+/// shard is immutable forever and shares structure across every generation
+/// that contains it.
+#[derive(Clone, Default)]
+struct Shard {
+    /// Trie node → (parent node, edge). Node ids are creation-ordered and
+    /// local to this shard.
     nodes: Vec<(u32, EdgeLabel)>,
     /// `(parent, edge) → node` — the interning index.
     intern: HashMap<(u32, EdgeLabel), u32>,
     labels: Vec<StoredLabel>,
-    /// Total edges across all inserted labels *before* sharing (metric).
+    /// Total edges across this shard's labels *before* sharing (metric).
     raw_edges: usize,
 }
 
-impl LabelStore {
-    pub fn new() -> Self {
-        Self { nodes: Vec::new(), intern: HashMap::new(), labels: Vec::new(), raw_edges: 0 }
-    }
-
-    /// Interns one label; returns its dense id. Insertion order defines the
-    /// id sequence, so inserting a run's labels in data-item order makes
-    /// `ItemId(i)` coincide with the run's `DataId(i)`.
-    ///
-    /// Panics if the store's `u32` id space is exhausted (≈ 4 × 10⁹ trie
-    /// nodes or labels) — [`LabelStore::try_insert`] is the non-panicking
-    /// form for ingest services that must survive a full store.
-    pub fn insert(&mut self, d: &DataLabel) -> ItemId {
-        self.try_insert(d).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// [`LabelStore::insert`] with the capacity contract surfaced as a
-    /// typed [`EngineError::StoreFull`] instead of a panic. A failed insert
-    /// stores no label; path nodes interned before the overflow was
-    /// detected remain in the trie (they are consistent and re-usable —
-    /// the next successful insert of a sharing label picks them up).
-    pub fn try_insert(&mut self, d: &DataLabel) -> Result<ItemId, EngineError> {
-        self.try_insert_bounded(d, ROOT)
-    }
-
-    /// Capacity-parameterized core of [`LabelStore::try_insert`]; `cap` is
-    /// `ROOT` in production and tiny in tests (a 2³²-node trie cannot be
-    /// built to exercise the overflow path for real).
-    pub(crate) fn try_insert_bounded(
-        &mut self,
-        d: &DataLabel,
-        cap: u32,
-    ) -> Result<ItemId, EngineError> {
-        if self.labels.len() as u64 >= cap as u64 {
-            return Err(EngineError::StoreFull { what: "label id", capacity: cap as u64 });
-        }
-        let id = ItemId(self.labels.len() as u32);
-        let out = match &d.out {
-            Some(p) => Some((self.try_intern_path(&p.path, cap)?, p.port)),
-            None => None,
-        };
-        let inp = match &d.inp {
-            Some(p) => Some((self.try_intern_path(&p.path, cap)?, p.port)),
-            None => None,
-        };
-        // Count raw edges only once the label is definitely stored, so a
-        // rejected insert cannot skew the sharing metric.
-        self.raw_edges +=
-            d.out.as_ref().map_or(0, |p| p.path.len()) + d.inp.as_ref().map_or(0, |p| p.path.len());
-        self.labels.push(StoredLabel { out, inp });
-        Ok(id)
-    }
-
-    /// Interns a slice of labels, returning their ids (in order). Panics on
-    /// id-space exhaustion, like [`LabelStore::insert`].
-    pub fn insert_all(&mut self, labels: &[DataLabel]) -> Vec<ItemId> {
-        labels.iter().map(|d| self.insert(d)).collect()
-    }
-
-    /// Non-panicking [`LabelStore::insert_all`]: stops at the first label
-    /// that cannot be interned, leaving every earlier label stored.
-    pub fn try_insert_all(&mut self, labels: &[DataLabel]) -> Result<Vec<ItemId>, EngineError> {
-        labels.iter().map(|d| self.try_insert(d)).collect()
-    }
-
+impl Shard {
     fn try_intern_path(&mut self, path: &[EdgeLabel], cap: u32) -> Result<u32, EngineError> {
         let mut cur = ROOT;
         for &e in path {
@@ -141,23 +108,8 @@ impl LabelStore {
         Ok(cur)
     }
 
-    /// Number of stored labels.
-    pub fn len(&self) -> usize {
-        self.labels.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.labels.is_empty()
-    }
-
-    /// `(stored trie edges, raw label edges)` — how much the shared-prefix
-    /// trie saved over per-label path storage.
-    pub fn edge_stats(&self) -> (usize, usize) {
-        (self.nodes.len(), self.raw_edges)
-    }
-
     /// Writes the root→node path into `buf` (cleared first). Reusable-buffer
-    /// form: the serving path materializes into per-engine scratch vectors.
+    /// form: the serving path materializes into per-worker scratch vectors.
     fn write_path(&self, mut node: u32, buf: &mut Vec<EdgeLabel>) {
         buf.clear();
         while node != ROOT {
@@ -167,43 +119,249 @@ impl LabelStore {
         }
         buf.reverse();
     }
+}
+
+/// Interned label storage with shared-prefix paths and dense item ids,
+/// partitioned into copy-on-write shards (see the module docs).
+///
+/// Cloning a store is the copy-on-write step of the generational engine:
+/// the clone shares every shard with the original, so a writer can keep
+/// interning into its copy — un-sharing only the shards it touches —
+/// while readers serve from the original.
+#[derive(Clone)]
+pub struct LabelStore {
+    /// The shard directory. Every shard but the last holds exactly
+    /// `shard_capacity` labels.
+    shards: Vec<Arc<Shard>>,
+    shard_capacity: u32,
+    /// Total stored labels (cached; equals the sum of shard lengths).
+    len: usize,
+}
+
+impl LabelStore {
+    /// Items per shard for stores built with [`LabelStore::new`]. A
+    /// publish pays one ≤-capacity tail-shard copy plus an n/capacity
+    /// directory clone; the directory clone's per-shard constant (Arc
+    /// traffic on stage, publish and generation drop) is what shows up
+    /// at the million-item end of the bench sweep, so the default sits
+    /// above √n: 4096 keeps a 10⁶-item store at 256 shards and the
+    /// whole cycle in the tens of microseconds at every swept size.
+    pub const DEFAULT_SHARD_CAPACITY: u32 = 4096;
+
+    pub fn new() -> Self {
+        Self::with_shard_capacity(Self::DEFAULT_SHARD_CAPACITY)
+    }
+
+    /// A store whose shards hold `shard_capacity` labels each. Tiny
+    /// capacities exercise shard boundaries in tests; `u32::MAX`
+    /// effectively disables sharding (one ever-growing shard — the
+    /// pre-shard store, used as the bench baseline and the differential
+    /// reference).
+    pub fn with_shard_capacity(shard_capacity: u32) -> Self {
+        assert!(shard_capacity >= 1, "shard capacity must be at least 1");
+        Self { shards: Vec::new(), shard_capacity, len: 0 }
+    }
+
+    /// Items per shard of this store.
+    pub fn shard_capacity(&self) -> u32 {
+        self.shard_capacity
+    }
+
+    /// Number of shards currently in the directory.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// How many shards the id range `base_len..self.len()` spans — the
+    /// shards a writer that staged exactly that increment had to touch
+    /// (copy, or freshly create). What the `update_throughput` bench
+    /// reports along its "touched shards" axis.
+    pub fn shards_touched_since(&self, base_len: usize) -> usize {
+        if self.len <= base_len {
+            return 0;
+        }
+        let cap = self.shard_capacity as usize;
+        (self.len - 1) / cap - base_len / cap + 1
+    }
+
+    /// Interns one label; returns its dense id. Insertion order defines the
+    /// id sequence, so inserting a run's labels in data-item order makes
+    /// `ItemId(i)` coincide with the run's `DataId(i)`.
+    ///
+    /// Panics if the store's `u32` id space is exhausted (≈ 4 × 10⁹ trie
+    /// nodes or labels) — [`LabelStore::try_insert`] is the non-panicking
+    /// form for ingest services that must survive a full store.
+    pub fn insert(&mut self, d: &DataLabel) -> ItemId {
+        self.try_insert(d).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`LabelStore::insert`] with the capacity contract surfaced as a
+    /// typed [`EngineError::StoreFull`] instead of a panic. A failed insert
+    /// stores no label; path nodes interned before the overflow was
+    /// detected remain in the tail shard's trie (they are consistent and
+    /// re-usable — the next successful insert of a sharing label picks
+    /// them up).
+    pub fn try_insert(&mut self, d: &DataLabel) -> Result<ItemId, EngineError> {
+        self.try_insert_bounded(d, ROOT)
+    }
+
+    /// Capacity-parameterized core of [`LabelStore::try_insert`]; `cap` is
+    /// `ROOT` in production and tiny in tests (a 2³²-node trie cannot be
+    /// built to exercise the overflow path for real). `cap` bounds the
+    /// total label count and each shard's trie node count.
+    pub(crate) fn try_insert_bounded(
+        &mut self,
+        d: &DataLabel,
+        cap: u32,
+    ) -> Result<ItemId, EngineError> {
+        if self.len as u64 >= cap as u64 {
+            return Err(EngineError::StoreFull { what: "label id", capacity: cap as u64 });
+        }
+        let id = ItemId(self.len as u32);
+        // Open a fresh shard when the tail is at capacity — never earlier,
+        // so every non-tail shard is exactly full and id→shard stays pure
+        // arithmetic.
+        if self.shards.last().is_none_or(|s| s.labels.len() as u64 >= self.shard_capacity as u64) {
+            self.shards.push(Arc::new(Shard::default()));
+        }
+        let tail = self.shards.last_mut().expect("tail shard was just ensured");
+        // The copy-on-write step: the first insert into a shard some
+        // published generation still shares pays the copy; every later
+        // insert finds the Arc unique and mutates in place.
+        let shard = Arc::make_mut(tail);
+        let out = match &d.out {
+            Some(p) => Some((shard.try_intern_path(&p.path, cap)?, p.port)),
+            None => None,
+        };
+        let inp = match &d.inp {
+            Some(p) => Some((shard.try_intern_path(&p.path, cap)?, p.port)),
+            None => None,
+        };
+        // Count raw edges only once the label is definitely stored, so a
+        // rejected insert cannot skew the sharing metric.
+        shard.raw_edges +=
+            d.out.as_ref().map_or(0, |p| p.path.len()) + d.inp.as_ref().map_or(0, |p| p.path.len());
+        shard.labels.push(StoredLabel { out, inp });
+        self.len += 1;
+        Ok(id)
+    }
+
+    /// Interns a slice of labels, returning their ids (in order). Panics on
+    /// id-space exhaustion, like [`LabelStore::insert`].
+    pub fn insert_all(&mut self, labels: &[DataLabel]) -> Vec<ItemId> {
+        labels.iter().map(|d| self.insert(d)).collect()
+    }
+
+    /// Non-panicking [`LabelStore::insert_all`]: stops at the first label
+    /// that cannot be interned, leaving every earlier label stored. The
+    /// error is [`EngineError::BatchStoreFull`], carrying the index of the
+    /// label that failed — `labels[..index]` are stored, so a caller can
+    /// retry `labels[index..]` against a fresh store (or shard) without
+    /// double-inserting the prefix.
+    pub fn try_insert_all(&mut self, labels: &[DataLabel]) -> Result<Vec<ItemId>, EngineError> {
+        self.try_insert_all_bounded(labels, ROOT)
+    }
+
+    /// Capacity-parameterized core of [`LabelStore::try_insert_all`] (see
+    /// [`LabelStore::try_insert_bounded`]).
+    pub(crate) fn try_insert_all_bounded(
+        &mut self,
+        labels: &[DataLabel],
+        cap: u32,
+    ) -> Result<Vec<ItemId>, EngineError> {
+        labels
+            .iter()
+            .enumerate()
+            .map(|(index, d)| self.try_insert_bounded(d, cap).map_err(|e| e.at_batch_index(index)))
+            .collect()
+    }
+
+    /// Number of stored labels.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `(stored trie edges, raw label edges)` across all shards — how much
+    /// the shared-prefix tries saved over per-label path storage.
+    pub fn edge_stats(&self) -> (usize, usize) {
+        self.shards
+            .iter()
+            .fold((0, 0), |(nodes, raw), s| (nodes + s.nodes.len(), raw + s.raw_edges))
+    }
+
+    /// The shard holding `id`, and `id`'s label index within it.
+    fn locate(&self, id: ItemId) -> (&Shard, usize) {
+        let shard = &self.shards[(id.0 / self.shard_capacity) as usize];
+        (shard, (id.0 % self.shard_capacity) as usize)
+    }
 
     /// A borrowed [`LabelRef`] over caller-owned path buffers — the form
     /// [`wf_core::pi_with`] consumes. Ports are copied; paths are
     /// materialized into `out_buf` / `inp_buf` (tiny: label paths are
-    /// `O(|Δ|)` long, Lemma 4 — reachability matrices dwarf this).
+    /// `O(|Δ|)` long, Lemma 4 — reachability matrices dwarf this). Shard
+    /// lookup is one divide; the walk itself touches a single shard.
     pub fn label_ref<'b>(
         &self,
         id: ItemId,
         out_buf: &'b mut Vec<EdgeLabel>,
         inp_buf: &'b mut Vec<EdgeLabel>,
     ) -> LabelRef<'b> {
-        let stored = self.labels[id.0 as usize];
+        let (shard, local) = self.locate(id);
+        let stored = shard.labels[local];
         let out = stored.out.map(|(node, port)| {
-            self.write_path(node, out_buf);
+            shard.write_path(node, out_buf);
             PortRef { path: &*out_buf, port }
         });
         let inp = stored.inp.map(|(node, port)| {
-            self.write_path(node, inp_buf);
+            shard.write_path(node, inp_buf);
             PortRef { path: &*inp_buf, port }
         });
         LabelRef { out, inp }
     }
 
-    /// Serializes the store: the trie nodes in creation order (so shared
-    /// prefixes stay shared on disk — each node is its parent link plus one
-    /// edge in the §5 wire format), then the dense label table, then the
-    /// raw-edge metric. Node references use a γ-coded `root+1 / node+2`
-    /// scheme because a stored path can legitimately be the *empty* path
-    /// (boundary items of the start production point at the trie root).
+    /// Serializes the store in the v1 (pre-shard) wire format: the trie
+    /// nodes in creation order (so shared prefixes stay shared on disk —
+    /// each node is its parent link plus one edge in the §5 wire format),
+    /// then the dense label table, then the raw-edge metric. Per-shard
+    /// tries are merged back into one creation-order trie by re-interning
+    /// every label in id order — labels are only ever interned in id
+    /// order, so the merged trie is *identical* to what the pre-shard
+    /// store wrote and snapshots stay byte-compatible in both directions.
+    /// Node references use a γ-coded `root+1 / node+2` scheme because a
+    /// stored path can legitimately be the *empty* path (boundary items of
+    /// the start production point at the trie root).
     pub fn write_snapshot(&self, codec: &LabelCodec, w: &mut BitWriter) {
-        w.write_gamma(self.nodes.len() as u64 + 1);
-        for &(parent, e) in &self.nodes {
+        let mut merged = Shard::default();
+        let mut labels: Vec<StoredLabel> = Vec::with_capacity(self.len);
+        let mut buf = Vec::new();
+        let mut raw_edges = 0usize;
+        for shard in &self.shards {
+            raw_edges += shard.raw_edges;
+            for l in &shard.labels {
+                let mut side = |side: Option<(u32, u8)>| {
+                    side.map(|(node, port)| {
+                        shard.write_path(node, &mut buf);
+                        let n = merged
+                            .try_intern_path(&buf, ROOT)
+                            .expect("merged trie cannot exceed the per-shard id space");
+                        (n, port)
+                    })
+                };
+                let (out, inp) = (side(l.out), side(l.inp));
+                labels.push(StoredLabel { out, inp });
+            }
+        }
+        w.write_gamma(merged.nodes.len() as u64 + 1);
+        for &(parent, e) in &merged.nodes {
             w.write_gamma(node_code(parent));
             codec.write_edge(w, &e);
         }
-        w.write_gamma(self.labels.len() as u64 + 1);
-        for l in &self.labels {
+        w.write_gamma(labels.len() as u64 + 1);
+        for l in &labels {
             for side in [l.out, l.inp] {
                 w.push_bit(side.is_some());
                 if let Some((node, port)) = side {
@@ -212,22 +370,36 @@ impl LabelStore {
                 }
             }
         }
-        w.write_gamma(self.raw_edges as u64 + 1);
+        w.write_gamma(raw_edges as u64 + 1);
     }
 
-    /// Inverse of [`LabelStore::write_snapshot`]. The interning `HashMap`
-    /// is **not** persisted — it is rebuilt from the node list (insertion
-    /// order is creation order, so ids come back identical), which also
-    /// validates the trie: forward parent references and duplicate
-    /// `(parent, edge)` keys are rejected as malformed. Every edge's fields
-    /// are range-checked against the grammar and every stored port against
-    /// its path's terminal module, so nothing a later query indexes with
-    /// can be out of range — bad bytes fail *here*, typed, not inside π.
+    /// Inverse of [`LabelStore::write_snapshot`], re-sharding at
+    /// [`LabelStore::DEFAULT_SHARD_CAPACITY`] — see
+    /// [`LabelStore::read_snapshot_with_capacity`].
     pub fn read_snapshot(
         r: &mut BitReader<'_>,
         codec: &LabelCodec,
         grammar: &Grammar,
         pg: &ProdGraph,
+    ) -> Result<Self, SnapshotError> {
+        Self::read_snapshot_with_capacity(r, codec, grammar, pg, Self::DEFAULT_SHARD_CAPACITY)
+    }
+
+    /// Inverse of [`LabelStore::write_snapshot`]. The wire format carries
+    /// one merged trie; the store is rebuilt by re-interning every decoded
+    /// label into shards of `shard_capacity` (insertion order is id order,
+    /// so ids come back identical). Decoding also validates the trie:
+    /// forward parent references and duplicate `(parent, edge)` keys are
+    /// rejected as malformed. Every edge's fields are range-checked
+    /// against the grammar and every stored port against its path's
+    /// terminal module, so nothing a later query indexes with can be out
+    /// of range — bad bytes fail *here*, typed, not inside π.
+    pub fn read_snapshot_with_capacity(
+        r: &mut BitReader<'_>,
+        codec: &LabelCodec,
+        grammar: &Grammar,
+        pg: &ProdGraph,
+        shard_capacity: u32,
     ) -> Result<Self, SnapshotError> {
         let cycles = pg
             .cycles()
@@ -260,8 +432,18 @@ impl LabelStore {
         }
         let module_of =
             |node: u32| if node == ROOT { grammar.start() } else { node_module[node as usize] };
+        let path_of = |mut node: u32| {
+            let mut path = Vec::new();
+            while node != ROOT {
+                let (parent, e) = nodes[node as usize];
+                path.push(e);
+                node = parent;
+            }
+            path.reverse();
+            path
+        };
         let label_count = (r.read_gamma()? - 1) as usize;
-        let mut labels = Vec::with_capacity(label_count.min(1 << 20));
+        let mut store = Self::with_shard_capacity(shard_capacity);
         for _ in 0..label_count {
             let side = |r: &mut BitReader<'_>,
                         outputs: bool|
@@ -283,18 +465,31 @@ impl LabelStore {
             if out.is_none() && inp.is_none() {
                 return Err(SnapshotError::Malformed("label with no endpoint"));
             }
-            labels.push(StoredLabel { out, inp });
+            let d = DataLabel {
+                out: out.map(|(node, port)| PortLabel::new(path_of(node), port)),
+                inp: inp.map(|(node, port)| PortLabel::new(path_of(node), port)),
+            };
+            store
+                .try_insert(&d)
+                .map_err(|_| SnapshotError::Malformed("store overflow while re-sharding"))?;
         }
         let raw_edges = (r.read_gamma()? - 1) as usize;
-        Ok(Self { nodes, intern, labels, raw_edges })
+        // The metric is a pure function of the stored labels; a stream
+        // whose recorded value disagrees with the labels it carries was
+        // not written by any honest writer.
+        if store.edge_stats().1 != raw_edges {
+            return Err(SnapshotError::Malformed("raw edge metric disagrees with stored labels"));
+        }
+        Ok(store)
     }
 
     /// Rebuilds the owning [`DataLabel`] (allocates; diagnostics and tests).
     pub fn materialize(&self, id: ItemId) -> DataLabel {
-        let stored = self.labels[id.0 as usize];
+        let (shard, local) = self.locate(id);
+        let stored = shard.labels[local];
         let port = |(node, port): (u32, u8)| {
             let mut path = Vec::new();
-            self.write_path(node, &mut path);
+            shard.write_path(node, &mut path);
             PortLabel::new(path, port)
         };
         DataLabel { out: stored.out.map(port), inp: stored.inp.map(port) }
@@ -352,6 +547,65 @@ mod tests {
         }
     }
 
+    /// The same roundtrip with a shard capacity small enough that every
+    /// shard boundary of the Figure 3 run is crossed: ids stay dense,
+    /// non-tail shards are exactly full, and every label materializes
+    /// identically from whichever shard it landed in.
+    #[test]
+    fn tiny_shards_roundtrip_across_boundaries() {
+        let ex = paper_example();
+        let fvl = Fvl::new(&ex.spec).unwrap();
+        let (run, _) = figure3_run(&ex);
+        let labeler = fvl.labeler(&run);
+        for cap in [1u32, 2, 3, 7] {
+            let mut store = LabelStore::with_shard_capacity(cap);
+            let ids = store.insert_all(labeler.labels());
+            let n = labeler.labels().len();
+            assert_eq!(store.len(), n);
+            assert_eq!(store.shard_count(), n.div_ceil(cap as usize), "cap {cap}");
+            for (i, d) in labeler.labels().iter().enumerate() {
+                assert_eq!(&store.materialize(ids[i]), d, "cap {cap} item {i}");
+            }
+            let (mut ob, mut ib) = (Vec::new(), Vec::new());
+            for (i, d) in labeler.labels().iter().enumerate() {
+                let r = store.label_ref(ids[i], &mut ob, &mut ib);
+                assert_eq!(r.out.is_some(), d.out.is_some(), "cap {cap} item {i}");
+                assert_eq!(r.inp.is_some(), d.inp.is_some(), "cap {cap} item {i}");
+            }
+        }
+    }
+
+    /// Cloning shares every shard; inserting into the clone un-shares only
+    /// the tail — the O(touched) contract the generational writer's
+    /// publish cost rests on.
+    #[test]
+    fn clone_shares_shards_and_insert_touches_only_the_tail() {
+        let ex = paper_example();
+        let fvl = Fvl::new(&ex.spec).unwrap();
+        let (run, _) = figure3_run(&ex);
+        let labels = fvl.labeler(&run).labels().to_vec();
+        let mut store = LabelStore::with_shard_capacity(8);
+        store.insert_all(&labels);
+        let shard_count = store.shard_count();
+        assert!(shard_count >= 3, "the Figure 3 run should span several 8-item shards");
+
+        let mut staged = store.clone();
+        for (a, b) in store.shards.iter().zip(&staged.shards) {
+            assert!(Arc::ptr_eq(a, b), "a clone must share every shard");
+        }
+        let base_len = store.len();
+        staged.insert(&labels[0]);
+        let touched = staged.shards_touched_since(base_len);
+        assert!(touched <= 2, "one insert touches at most the tail and a fresh shard");
+        // Every full shard below the touched range is still the same Arc.
+        let untouched = staged.shard_count() - touched;
+        for (a, b) in store.shards.iter().zip(&staged.shards).take(untouched) {
+            assert!(Arc::ptr_eq(a, b), "inserts must not copy untouched shards");
+        }
+        // The original is unaffected (readers never see staged state).
+        assert_eq!(store.len(), base_len);
+    }
+
     #[test]
     fn label_refs_match_owned_refs() {
         let ex = paper_example();
@@ -404,6 +658,41 @@ mod tests {
         assert_eq!(grown.edge_stats().0, nodes_before, "re-insert must not grow the trie");
     }
 
+    /// The wire format is shard-agnostic: a store sliced into tiny shards
+    /// serializes to the exact bytes the single-shard (pre-shard, PR-5)
+    /// store writes, and both load back answer-identically at any
+    /// capacity. This is the byte-compatibility contract of DESIGN.md S10.
+    #[test]
+    fn snapshot_bytes_are_identical_across_shard_capacities() {
+        let ex = paper_example();
+        let fvl = Fvl::new(&ex.spec).unwrap();
+        let (run, _) = figure3_run(&ex);
+        let labels = fvl.labeler(&run).labels().to_vec();
+        let snapshot = |cap: u32| {
+            let mut store = LabelStore::with_shard_capacity(cap);
+            store.insert_all(&labels);
+            let mut w = BitWriter::new();
+            store.write_snapshot(fvl.codec(), &mut w);
+            w.finish()
+        };
+        let single = snapshot(u32::MAX);
+        for cap in [1u32, 3, 8] {
+            assert_eq!(snapshot(cap), single, "cap {cap} must write identical bytes");
+        }
+        // Loading re-shards at the requested capacity without changing any
+        // label.
+        let pg = fvl.prod_graph();
+        let mut r = BitReader::new(&single);
+        let back =
+            LabelStore::read_snapshot_with_capacity(&mut r, fvl.codec(), &ex.spec.grammar, pg, 3)
+                .unwrap();
+        assert_eq!(back.shard_capacity(), 3);
+        assert_eq!(back.shard_count(), labels.len().div_ceil(3));
+        for (i, d) in labels.iter().enumerate() {
+            assert_eq!(&back.materialize(ItemId(i as u32)), d, "item {i}");
+        }
+    }
+
     #[test]
     fn snapshot_rejects_structural_corruption() {
         let ex = paper_example();
@@ -453,6 +742,43 @@ mod tests {
         w.write_bits(200, 8); // ...port 200
         w.write_gamma(1);
         assert!(matches!(read(&w.finish()), Err(SnapshotError::Malformed(_))));
+        // A lying raw-edge metric (the labels sum to something else) is
+        // invalid: the metric is derivable, so a mismatch proves forgery.
+        let ex_store = {
+            let (run, _) = figure3_run(&ex);
+            let labeler = fvl.labeler(&run);
+            let mut s = LabelStore::new();
+            s.insert_all(labeler.labels());
+            s
+        };
+        let mut w = BitWriter::new();
+        ex_store.write_snapshot(fvl.codec(), &mut w);
+        let honest = w.finish();
+        // Rewrite just the trailing metric.
+        let mut r = BitReader::new(&honest);
+        let mut forged = BitWriter::new();
+        let node_count = r.read_gamma().unwrap() - 1;
+        forged.write_gamma(node_count + 1);
+        for _ in 0..node_count {
+            forged.write_gamma(r.read_gamma().unwrap());
+            let e = fvl.codec().read_edge(&mut r).unwrap();
+            fvl.codec().write_edge(&mut forged, &e);
+        }
+        let label_count = r.read_gamma().unwrap() - 1;
+        forged.write_gamma(label_count + 1);
+        for _ in 0..label_count {
+            for _ in 0..2 {
+                let present = r.read_bit().unwrap();
+                forged.push_bit(present);
+                if present {
+                    forged.write_gamma(r.read_gamma().unwrap());
+                    forged.write_bits(r.read_bits(8).unwrap(), 8);
+                }
+            }
+        }
+        let true_metric = r.read_gamma().unwrap();
+        forged.write_gamma(true_metric + 100);
+        assert!(matches!(read(&forged.finish()), Err(SnapshotError::Malformed(_))));
     }
 
     /// Id-space exhaustion must surface as a typed [`EngineError::StoreFull`]
@@ -493,6 +819,47 @@ mod tests {
         }
         // The unbounded path accepts the same labels fine.
         assert!(store.try_insert(&labels[failed_at]).is_ok());
+    }
+
+    /// Batch inserts report *which* label hit the capacity wall — the
+    /// regression pin for the retry contract, placed at an exact shard
+    /// boundary so the failing index is also the first id of a shard that
+    /// never got created.
+    #[test]
+    fn batch_overflow_reports_the_failing_index_at_a_shard_boundary() {
+        let ex = paper_example();
+        let fvl = Fvl::new(&ex.spec).unwrap();
+        let (run, _) = figure3_run(&ex);
+        let labels = fvl.labeler(&run).labels().to_vec();
+        assert!(labels.len() >= 6, "the Figure 3 run has enough labels for two shards");
+
+        // Shards of 2, id budget of exactly 4: the batch fails at index 4,
+        // precisely where shard 2 would have to open.
+        let mut store = LabelStore::with_shard_capacity(2);
+        let err = store.try_insert_all_bounded(&labels, 4).expect_err("the budget must run out");
+        match err {
+            EngineError::BatchStoreFull { index, what, capacity } => {
+                assert_eq!(index, 4, "the failing label's batch index");
+                assert_eq!(what, "label id");
+                assert_eq!(capacity, 4);
+            }
+            other => panic!("expected BatchStoreFull, got {other:?}"),
+        }
+        // The prefix is stored: exactly two full shards, ids 0..4.
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.shard_count(), 2);
+        for (i, d) in labels.iter().enumerate().take(4) {
+            assert_eq!(&store.materialize(ItemId(i as u32)), d);
+        }
+        // The reported index is exactly where the caller resumes: retrying
+        // `labels[index..]` stores the remainder with densely continuing
+        // ids and no duplicates.
+        let resumed = store.try_insert_all(&labels[4..]).expect("an unbounded retry succeeds");
+        assert_eq!(resumed.first(), Some(&ItemId(4)));
+        assert_eq!(store.len(), labels.len());
+        for (i, d) in labels.iter().enumerate() {
+            assert_eq!(&store.materialize(ItemId(i as u32)), d);
+        }
     }
 
     #[test]

@@ -35,6 +35,28 @@ pub enum ChurnOp {
     QueryBatch { pairs: Vec<(u32, u32)> },
 }
 
+/// How insert op sizes are distributed across a stream — the axis that
+/// decides how many store shards a staged batch spans.
+///
+/// A sharded copy-on-write store pays per *touched* shard, so a workload
+/// whose inserts are all one fixed chunk pins that axis at its minimum:
+/// every publish touches the one tail shard. [`InsertLocality::Skewed`]
+/// models bursty ingest (a run completing wholesale, a bulk backfill):
+/// sizes are drawn log-uniform, so most inserts stay small but a heavy
+/// tail of bursts spans several shards at once.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InsertLocality {
+    /// Every insert is exactly `insert_chunk` labels (the PR-5 shape).
+    Uniform,
+    /// Insert sizes drawn log-uniform from `1..=insert_chunk * burst`:
+    /// the median stays near √(chunk·burst), while the largest bursts
+    /// cross `burst · chunk / shard_capacity`-ish shard boundaries.
+    Skewed {
+        /// Burst factor: the largest insert is `insert_chunk * burst`.
+        burst: usize,
+    },
+}
+
 /// Shape of a churn stream: op-mix weights plus batch/chunk sizes.
 #[derive(Clone, Debug)]
 pub struct ChurnSpec {
@@ -46,8 +68,12 @@ pub struct ChurnSpec {
     pub view_weight: f64,
     /// Relative weight of [`ChurnOp::QueryBatch`] ops.
     pub query_weight: f64,
-    /// Labels per insert op.
+    /// Labels per insert op (the exact size under
+    /// [`InsertLocality::Uniform`]; the scale under
+    /// [`InsertLocality::Skewed`]).
     pub insert_chunk: usize,
+    /// Distribution of insert op sizes (see [`InsertLocality`]).
+    pub locality: InsertLocality,
     /// Pairs per query batch.
     pub batch: usize,
     /// Endpoint distribution of query pairs (hot keys age gracefully: the
@@ -63,8 +89,25 @@ impl Default for ChurnSpec {
             view_weight: 0.02,
             query_weight: 0.78,
             insert_chunk: 16,
+            locality: InsertLocality::Uniform,
             batch: 64,
             dist: PairDist::Uniform,
+        }
+    }
+}
+
+/// One insert op's label count under the spec's locality. Log-uniform for
+/// the skewed shape: an exponent drawn uniformly in `[0, ln max]` makes
+/// each doubling of the size range equally likely — small inserts dominate,
+/// full-scale bursts still occur with non-vanishing probability.
+fn draw_insert_count(rng: &mut impl Rng, spec: &ChurnSpec) -> usize {
+    let chunk = spec.insert_chunk.max(1);
+    match spec.locality {
+        InsertLocality::Uniform => chunk,
+        InsertLocality::Skewed { burst } => {
+            let max = chunk.saturating_mul(burst.max(1)).max(1);
+            let x: f64 = rng.gen_range(0.0..1.0);
+            ((max as f64).powf(x) as usize).clamp(1, max)
         }
     }
 }
@@ -113,7 +156,7 @@ pub fn churn_stream(rng: &mut impl Rng, ops: usize, spec: &ChurnSpec) -> Vec<Chu
         }
         match op {
             0 => {
-                let count = spec.insert_chunk.max(1);
+                let count = draw_insert_count(rng, spec);
                 population = population.saturating_add(count as u32);
                 out.push(ChurnOp::Insert { count });
             }
@@ -121,7 +164,7 @@ pub fn churn_stream(rng: &mut impl Rng, ops: usize, spec: &ChurnSpec) -> Vec<Chu
             _ => {
                 if population == 0 {
                     // Nothing to query yet; churn forward instead.
-                    let count = spec.insert_chunk.max(1);
+                    let count = draw_insert_count(rng, spec);
                     population = population.saturating_add(count as u32);
                     out.push(ChurnOp::Insert { count });
                     continue;
@@ -216,6 +259,54 @@ mod tests {
         assert!(streams.iter().all(|s| s.len() == 50));
         // Materialized from one rng: the streams differ.
         assert_ne!(format!("{:?}", streams[0]), format!("{:?}", streams[1]));
+    }
+
+    #[test]
+    fn skewed_locality_spans_the_burst_range() {
+        let spec = ChurnSpec {
+            initial_items: 8,
+            insert_weight: 1.0,
+            view_weight: 0.0,
+            query_weight: 0.0,
+            insert_chunk: 16,
+            locality: InsertLocality::Skewed { burst: 64 },
+            ..Default::default()
+        };
+        let ops = churn_stream(&mut StdRng::seed_from_u64(9), 500, &spec);
+        let counts: Vec<usize> = ops
+            .iter()
+            .map(|op| match op {
+                ChurnOp::Insert { count } => *count,
+                other => panic!("pure-insert mix produced {other:?}"),
+            })
+            .collect();
+        let max = spec.insert_chunk * 64;
+        assert!(counts.iter().all(|&c| (1..=max).contains(&c)), "counts stay in 1..=chunk*burst");
+        // Log-uniform: small inserts dominate, yet real bursts occur.
+        let small = counts.iter().filter(|&&c| c <= spec.insert_chunk).count();
+        let bursty = counts.iter().filter(|&&c| c > spec.insert_chunk * 8).count();
+        assert!(small > counts.len() / 3, "small inserts should dominate, got {small}");
+        assert!(bursty > 0, "multi-shard bursts must actually occur");
+        // Determinism, like every other stream shape.
+        let again = churn_stream(&mut StdRng::seed_from_u64(9), 500, &spec);
+        assert_eq!(format!("{ops:?}"), format!("{again:?}"));
+    }
+
+    #[test]
+    fn uniform_locality_is_the_fixed_chunk() {
+        let spec = ChurnSpec {
+            insert_weight: 1.0,
+            view_weight: 0.0,
+            query_weight: 0.0,
+            insert_chunk: 16,
+            ..Default::default()
+        };
+        for op in churn_stream(&mut StdRng::seed_from_u64(4), 100, &spec) {
+            match op {
+                ChurnOp::Insert { count } => assert_eq!(count, 16),
+                other => panic!("pure-insert mix produced {other:?}"),
+            }
+        }
     }
 
     #[test]
