@@ -1,9 +1,13 @@
-//! CI gate over `BENCH_update_throughput.json`: validates the sweep shape
-//! the sharded-store bench writes and asserts the scaling sanity check.
+//! CI gate over the committed bench reports: validates the shape each
+//! bench writes and asserts its scaling claims.
 //!
-//! `cargo run --release -p wf-bench --bin bench_check [path]` (default:
-//! `BENCH_update_throughput.json` in the current directory — the workspace
-//! root, where bench-smoke runs). Exit 0 iff:
+//! `cargo run --release -p wf-bench --bin bench_check [path ...]` — with
+//! no arguments it checks both `BENCH_update_throughput.json` and
+//! `BENCH_ingest_throughput.json` in the current directory (the workspace
+//! root, where bench-smoke runs). Each document dispatches on its
+//! `"bench"` field:
+//!
+//! **`update_throughput`** — exit 0 iff:
 //!
 //! * the sweep has ≥ 4 sizes, strictly increasing, the largest ≥ 262144;
 //! * every sweep entry carries `publish_ns` with p50/p99/p999 and ≥ 100
@@ -12,6 +16,21 @@
 //!   accidental O(n) publish regression fails CI here (the recorded
 //!   baseline column shows what linear looks like: ~80× over the same
 //!   span), while 3× stays loose enough for a noisy one-core container.
+//!
+//! **`ingest_throughput`** — exit 0 iff:
+//!
+//! * the fleet sweep covers ≥ 3 widths including 1 and 4 producers,
+//!   strictly increasing, every width ingesting the same label total;
+//! * every fleet row carries positive throughput and a merged publish-lag
+//!   histogram with ≥ 100 samples;
+//! * the scaling claim holds on hardware that can show it: on hosts with
+//!   ≥ 4 cores, 4-producer wall throughput ≥ 1.5× 1-producer; on smaller
+//!   hosts (CI's one-core container) wall time cannot scale, so the gate
+//!   falls back to the CPU-normalized bound — labels per CPU-second at 4
+//!   producers ≥ 0.5× the 1-producer figure, i.e. the queue/publisher may
+//!   not double the per-label overhead as the fleet grows;
+//! * paced ingest costs the reader ≤ 10% (`qps_ratio_ingest_vs_idle`
+//!   ≥ 0.9 — publishes are atomic swaps, readers never block).
 //!
 //! No serde in this workspace (offline shims only), so the JSON is parsed
 //! by the little recursive-descent reader below — it handles exactly the
@@ -207,9 +226,19 @@ fn parse(text: &str) -> Result<Json, String> {
     Ok(v)
 }
 
-/// The gate itself, separated from I/O so tests drive it with strings.
+/// Dispatches a parsed report to its gate by the `"bench"` field.
 /// Returns the human-readable summary on success, the failure on error.
 fn check(doc: &Json) -> Result<String, String> {
+    match doc.get("bench") {
+        Some(Json::Str(name)) if name == "ingest_throughput" => check_ingest(doc),
+        // `update_throughput` and older reports without the field.
+        _ => check_update(doc),
+    }
+}
+
+/// The `update_throughput` gate: sweep shape + the O(touched) publish
+/// scaling claim.
+fn check_update(doc: &Json) -> Result<String, String> {
     doc.get("shard_capacity")
         .and_then(Json::num)
         .filter(|&c| c >= 1.0)
@@ -291,31 +320,168 @@ fn check(doc: &Json) -> Result<String, String> {
     Ok(summary)
 }
 
-fn main() -> ExitCode {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_update_throughput.json".into());
-    let text = match std::fs::read_to_string(&path) {
+/// The `ingest_throughput` gate: fleet shape, the multi-producer scaling
+/// claim (host-aware: wall clock where the cores exist to show it,
+/// CPU-normalized overhead elsewhere), and the reader-isolation bound.
+fn check_ingest(doc: &Json) -> Result<String, String> {
+    let host_cores =
+        doc.get("host_cores").and_then(Json::num).ok_or("missing or invalid host_cores")?;
+    let fleet = doc.get("fleet").and_then(Json::arr).ok_or("missing fleet array")?;
+    if fleet.len() < 3 {
+        return Err(format!("fleet sweep has {} widths, need >= 3", fleet.len()));
+    }
+    let mut prev_producers = 0f64;
+    let mut first_labels = None;
+    let mut widths: Vec<f64> = Vec::new();
+    let mut summary = String::from("producers  labels   labels_per_s  lag_p50_ns\n");
+    for (i, entry) in fleet.iter().enumerate() {
+        let producers = entry
+            .get("producers")
+            .and_then(Json::num)
+            .ok_or_else(|| format!("fleet[{i}]: missing producers"))?;
+        if producers <= prev_producers {
+            return Err(format!("fleet[{i}]: widths must be strictly increasing"));
+        }
+        prev_producers = producers;
+        widths.push(producers);
+        let labels = entry
+            .get("labels")
+            .and_then(Json::num)
+            .filter(|&l| l > 0.0)
+            .ok_or_else(|| format!("fleet[{i}]: missing or zero labels"))?;
+        match first_labels {
+            None => first_labels = Some(labels),
+            Some(l) if l != labels => {
+                return Err(format!(
+                    "fleet[{i}]: ingested {labels} labels, other widths {l} — the sweep must \
+                     move the same total at every width"
+                ));
+            }
+            Some(_) => {}
+        }
+        let per_s = entry
+            .get("labels_per_s")
+            .and_then(Json::num)
+            .filter(|&q| q > 0.0)
+            .ok_or_else(|| format!("fleet[{i}]: missing or zero labels_per_s"))?;
+        let lag = entry
+            .get("publish_lag_ns")
+            .ok_or_else(|| format!("fleet[{i}]: missing publish_lag_ns"))?;
+        for field in ["mean", "p50", "p99", "p999"] {
+            lag.get(field)
+                .and_then(Json::num)
+                .ok_or_else(|| format!("fleet[{i}]: publish_lag_ns missing {field}"))?;
+        }
+        let cycles = lag
+            .get("cycles")
+            .and_then(Json::num)
+            .ok_or_else(|| format!("fleet[{i}]: publish_lag_ns missing cycles"))?;
+        if cycles < 100.0 {
+            return Err(format!("fleet[{i}]: {cycles} lag samples, need >= 100"));
+        }
+        summary.push_str(&format!(
+            "{producers:<10} {labels:<8} {per_s:<13} {}\n",
+            lag.get("p50").and_then(Json::num).expect("validated above"),
+        ));
+    }
+    for needed in [1.0, 4.0] {
+        if !widths.contains(&needed) {
+            return Err(format!("fleet sweep must include {needed} producers"));
+        }
+    }
+    let scaling = doc.get("scaling").ok_or("missing scaling object")?;
+    let wall = scaling
+        .get("wall_speedup_4v1")
+        .and_then(Json::num)
+        .ok_or("scaling: missing wall_speedup_4v1")?;
+    if host_cores >= 4.0 {
+        if wall < 1.5 {
+            return Err(format!(
+                "4-producer wall speedup is {wall:.2}x on a {host_cores}-core host (need >= \
+                 1.5x): concurrent ingest is not scaling"
+            ));
+        }
+        summary.push_str(&format!("wall speedup 4v1: {wall:.2}x (need 1.5x) — ok\n"));
+    } else {
+        // Too few cores for wall clock to show scaling; bound the
+        // CPU-normalized per-label overhead instead.
+        let cpu_ratio = scaling
+            .get("labels_per_cpu_s_ratio_4v1")
+            .and_then(Json::num)
+            .ok_or("scaling: missing labels_per_cpu_s_ratio_4v1 (required when host_cores < 4)")?;
+        if cpu_ratio < 0.5 {
+            return Err(format!(
+                "labels per CPU-second at 4 producers is {cpu_ratio:.2}x the 1-producer figure \
+                 (need >= 0.5x): the queue/publisher overhead grows with the fleet"
+            ));
+        }
+        summary.push_str(&format!(
+            "cpu-normalized 4v1 ratio: {cpu_ratio:.2}x (need 0.5x; wall gate skipped on \
+             {host_cores} core(s)) — ok\n"
+        ));
+    }
+    let reader = doc.get("reader").ok_or("missing reader object")?;
+    for field in ["idle_qps", "ingest_qps"] {
+        reader
+            .get(field)
+            .and_then(Json::num)
+            .filter(|&q| q > 0.0)
+            .ok_or_else(|| format!("reader: missing or zero {field}"))?;
+    }
+    let ratio = reader
+        .get("qps_ratio_ingest_vs_idle")
+        .and_then(Json::num)
+        .ok_or("reader: missing qps_ratio_ingest_vs_idle")?;
+    if ratio < 0.9 {
+        return Err(format!(
+            "reader qps under paced ingest is {ratio:.3}x idle (need >= 0.9x): concurrent \
+             ingest is starving the lock-free read path"
+        ));
+    }
+    summary.push_str(&format!("reader under paced ingest: {ratio:.3}x idle (need 0.9x) — ok\n"));
+    Ok(summary)
+}
+
+fn check_path(path: &str) -> Result<(), ()> {
+    let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("bench_check: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+            return Err(());
         }
     };
     let doc = match parse(&text) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("bench_check: {path} is not valid JSON: {e}");
-            return ExitCode::FAILURE;
+            return Err(());
         }
     };
     match check(&doc) {
         Ok(summary) => {
             println!("bench_check: {path} ok\n{summary}");
-            ExitCode::SUCCESS
+            Ok(())
         }
         Err(e) => {
             eprintln!("bench_check: {path}: {e}");
-            ExitCode::FAILURE
+            Err(())
         }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        paths = vec!["BENCH_update_throughput.json".into(), "BENCH_ingest_throughput.json".into()];
+    }
+    let mut failed = false;
+    for path in &paths {
+        failed |= check_path(path).is_err();
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -413,5 +579,102 @@ mod tests {
         let text = std::fs::read_to_string(path).expect("committed bench report exists");
         let doc = parse(&text).expect("committed bench report parses");
         check(&doc).expect("committed bench report passes the gate");
+    }
+
+    // --- ingest_throughput gate fixtures. -------------------------------
+
+    fn fleet_entry(producers: u64, labels: u64, per_s: u64, cycles: u64) -> String {
+        format!(
+            r#"{{"producers": {producers}, "labels": {labels}, "labels_per_s": {per_s}, "publish_lag_ns": {{"mean": 900000, "p50": 800000, "p95": 2000000, "p99": 3000000, "p999": 4000000, "cycles": {cycles}}}}}"#
+        )
+    }
+
+    fn ingest_doc(cores: u64, entries: &[String], wall: f64, cpu: f64, ratio: f64) -> Json {
+        parse(&format!(
+            r#"{{"bench": "ingest_throughput", "host_cores": {cores}, "fleet": [{}],
+                 "scaling": {{"wall_speedup_4v1": {wall}, "labels_per_cpu_s_ratio_4v1": {cpu}}},
+                 "reader": {{"idle_qps": 5000000, "ingest_qps": 4900000,
+                             "qps_ratio_ingest_vs_idle": {ratio}}}}}"#,
+            entries.join(",")
+        ))
+        .expect("test fixture parses")
+    }
+
+    fn ingest_fleet() -> Vec<String> {
+        vec![
+            fleet_entry(1, 24576, 500000, 1536),
+            fleet_entry(2, 24576, 800000, 1536),
+            fleet_entry(4, 24576, 1200000, 1536),
+            fleet_entry(8, 24576, 1300000, 1536),
+        ]
+    }
+
+    #[test]
+    fn dispatches_on_the_bench_field_and_accepts_a_scaling_fleet() {
+        // A many-core host: the wall gate is live and 2.4x passes.
+        let d = ingest_doc(8, &ingest_fleet(), 2.4, 0.9, 0.99);
+        assert!(check(&d).expect("scaling fleet passes").contains("wall speedup"));
+        // A one-core host: wall can't scale, the CPU-normalized bound
+        // gates instead, and a flat wall number is fine.
+        let d = ingest_doc(1, &ingest_fleet(), 1.05, 0.95, 0.99);
+        assert!(check(&d).expect("cpu-normalized pass").contains("wall gate skipped"));
+    }
+
+    #[test]
+    fn rejects_scaling_and_reader_regressions() {
+        // Wall speedup under 1.5x on a host with the cores to show it.
+        let d = ingest_doc(8, &ingest_fleet(), 1.1, 0.9, 0.99);
+        assert!(check(&d).unwrap_err().contains("not scaling"));
+        // Per-label CPU overhead doubled on the small host.
+        let d = ingest_doc(1, &ingest_fleet(), 1.0, 0.4, 0.99);
+        assert!(check(&d).unwrap_err().contains("CPU-second"));
+        // Paced ingest starving the readers.
+        let d = ingest_doc(8, &ingest_fleet(), 2.4, 0.9, 0.7);
+        assert!(check(&d).unwrap_err().contains("starving"));
+    }
+
+    #[test]
+    fn rejects_ingest_structural_shortfalls() {
+        // Too few fleet widths.
+        let two = vec![fleet_entry(1, 24576, 500000, 1536), fleet_entry(4, 24576, 900000, 1536)];
+        assert!(check(&ingest_doc(8, &two, 2.0, 0.9, 0.99)).unwrap_err().contains(">= 3"));
+        // Missing the 4-producer point.
+        let no_four = vec![
+            fleet_entry(1, 24576, 500000, 1536),
+            fleet_entry(2, 24576, 800000, 1536),
+            fleet_entry(8, 24576, 1300000, 1536),
+        ];
+        assert!(check(&ingest_doc(8, &no_four, 2.0, 0.9, 0.99))
+            .unwrap_err()
+            .contains("include 4 producers"));
+        // Widths must increase.
+        let dup = vec![
+            fleet_entry(1, 24576, 500000, 1536),
+            fleet_entry(1, 24576, 500000, 1536),
+            fleet_entry(4, 24576, 900000, 1536),
+        ];
+        assert!(check(&ingest_doc(8, &dup, 2.0, 0.9, 0.99)).unwrap_err().contains("increasing"));
+        // Different label totals across widths.
+        let uneven = vec![
+            fleet_entry(1, 24576, 500000, 1536),
+            fleet_entry(2, 12288, 800000, 1536),
+            fleet_entry(4, 24576, 900000, 1536),
+        ];
+        assert!(check(&ingest_doc(8, &uneven, 2.0, 0.9, 0.99)).unwrap_err().contains("same total"));
+        // Too few lag samples.
+        let thin = vec![
+            fleet_entry(1, 24576, 500000, 10),
+            fleet_entry(2, 24576, 800000, 1536),
+            fleet_entry(4, 24576, 900000, 1536),
+        ];
+        assert!(check(&ingest_doc(8, &thin, 2.0, 0.9, 0.99)).unwrap_err().contains(">= 100"));
+    }
+
+    #[test]
+    fn accepts_the_committed_ingest_report() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest_throughput.json");
+        let text = std::fs::read_to_string(path).expect("committed ingest report exists");
+        let doc = parse(&text).expect("committed ingest report parses");
+        check(&doc).expect("committed ingest report passes the gate");
     }
 }

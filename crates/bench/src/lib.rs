@@ -162,6 +162,22 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// Merges `other` into `self`. Both share the same fixed bucket
+    /// layout, so a merge is bucket-wise addition and the result is
+    /// *exactly* the histogram that recording both sample sets into one
+    /// would have produced — per-producer histograms recorded without
+    /// sharing or locking fold into one fleet-wide distribution after the
+    /// threads join (the ingest bench's publish-lag path).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// The value at quantile `p` in `[0, 1]` (0.5 = median, 0.999 = p999):
     /// the midpoint of the bucket holding the `⌈p·count⌉`-th smallest
     /// sample, clamped to the observed min/max so tiny sample counts never
@@ -306,6 +322,58 @@ mod tests {
             let rel = (got as f64 - 74_029.0).abs() / 74_029.0;
             assert!(rel < 0.03, "p{p} of a single sample: got {got}");
         }
+    }
+
+    #[test]
+    fn merging_shards_equals_recording_into_one() {
+        // Split one deterministic sample stream across three shards; the
+        // merged result must be indistinguishable from recording the whole
+        // stream into a single histogram — same count, sum (via mean),
+        // extremes, and the same bucket contents at every quantile.
+        let mut combined = LatencyHistogram::new();
+        let mut shards =
+            [LatencyHistogram::new(), LatencyHistogram::new(), LatencyHistogram::new()];
+        let mut v = 0x2545F4914F6CDD1Du64;
+        for i in 0..30_000usize {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let sample = v >> (v % 50); // spread across many octaves
+            combined.record(sample);
+            shards[i % 3].record(sample);
+        }
+        let mut merged = LatencyHistogram::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.count(), combined.count(), "merge preserves the sample count");
+        assert_eq!(merged.min(), combined.min());
+        assert_eq!(merged.max(), combined.max());
+        assert!((merged.mean() - combined.mean()).abs() < 1e-9);
+        for p in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(
+                merged.percentile(p),
+                combined.percentile(p),
+                "buckets must align exactly at p{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_the_identity() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        h.record(9_000);
+        let empty = LatencyHistogram::new();
+        h.merge(&empty);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 42);
+        assert_eq!(h.max(), 9_000);
+        // And merging *into* an empty one adopts the other side verbatim.
+        let mut target = LatencyHistogram::new();
+        target.merge(&h);
+        assert_eq!(target.count(), 2);
+        assert_eq!(target.min(), 42);
+        assert_eq!(target.max(), 9_000);
+        assert_eq!(target.percentile(0.5), h.percentile(0.5));
     }
 
     #[test]

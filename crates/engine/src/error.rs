@@ -32,6 +32,15 @@ pub enum EngineError {
     /// `labels[index..]` against a fresh store without double-inserting
     /// the prefix.
     BatchStoreFull { index: usize, what: &'static str, capacity: u64 },
+    /// A non-blocking `try_push` found the ingest queue full: `queued` ops
+    /// are waiting for the publisher. The op was **not** enqueued — the
+    /// queue never silently drops — so the producer decides: retry,
+    /// shed load, or switch to the blocking `push`. Like
+    /// [`EngineError::StoreFull`] this is a capacity condition, not a bug.
+    IngestBackpressure { queued: usize },
+    /// The ingest queue was closed (pipeline shutting down) before the op
+    /// could be enqueued; nothing was accepted.
+    IngestClosed,
 }
 
 impl EngineError {
@@ -66,6 +75,16 @@ impl std::fmt::Display for EngineError {
                     "label store is full at batch index {index}: {what} capacity of \
                      {capacity} entries exhausted (earlier labels are stored; retry the rest)"
                 )
+            }
+            EngineError::IngestBackpressure { queued } => {
+                write!(
+                    f,
+                    "ingest queue is full ({queued} ops queued); the op was not enqueued — \
+                     retry, shed load, or use the blocking push"
+                )
+            }
+            EngineError::IngestClosed => {
+                write!(f, "ingest queue is closed; the pipeline is shutting down")
             }
         }
     }

@@ -45,17 +45,19 @@ use crate::engine::{
 use crate::error::EngineError;
 use crate::frozen::{EngineCore, WorkerScratch};
 use crate::registry::{ViewId, ViewRef, ViewRegistry};
+use crate::staging::StagedState;
 use crate::store::{ItemId, LabelStore};
 use std::cell::RefCell;
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use wf_bitio::{BitReader, BitWriter};
-use wf_core::{DataLabel, Fvl, FvlError, VariantKind, ViewLabel};
+use wf_core::{DataLabel, Fvl, FvlError, VariantKind};
 use wf_model::View;
 use wf_snapshot::{
-    read_container, read_container_opt, read_label, read_view, spec_fingerprint, write_container,
-    write_label, write_view, SnapshotError,
+    oplog::{self, OplogOp},
+    read_container, read_container_opt, read_label, spec_fingerprint, write_container,
+    SnapshotError,
 };
 
 /// One immutable, owned engine state: everything the read path needs, with
@@ -247,10 +249,12 @@ impl EngineGeneration {
     }
 
     /// Applies one decoded delta record, yielding the successor generation.
-    /// Replay reproduces exactly what the writer staged: labels re-intern
-    /// into the same dense ids, views re-register (structural dedup makes
-    /// that deterministic) and must land on their recorded ids, and
-    /// compiled labels install into empty slots only.
+    /// The payload is the op-log framing ([`wf_snapshot::oplog`]): the
+    /// increment as typed ops in the order the publisher applied them.
+    /// Replay reproduces exactly what was staged: labels re-intern into
+    /// the same dense ids, views re-register (structural dedup makes that
+    /// deterministic) and must land on their recorded ids, and compiled
+    /// labels install into empty slots only.
     fn apply_delta(&self, r: &mut BitReader<'_>) -> Result<EngineGeneration, SnapshotError> {
         expect_section(r, SECTION_DELTA)?;
         let base = r.read_gamma()? - 1;
@@ -265,44 +269,34 @@ impl EngineGeneration {
         let mut store = self.store.clone();
         let mut registry = self.registry.clone();
 
-        let label_count = (r.read_gamma()? - 1) as usize;
-        for _ in 0..label_count {
-            let d = read_label(r, self.fvl.codec(), grammar, cycles)?;
-            store
-                .try_insert(&d)
-                .map_err(|_| SnapshotError::Malformed("label store overflow during replay"))?;
-        }
-        let view_count = (r.read_gamma()? - 1) as usize;
-        for _ in 0..view_count {
-            let expect = (r.read_gamma()? - 1) as u32;
-            let view = read_view(r, grammar)?;
-            let id = registry.add_view(view);
-            if id.0 != expect {
-                return Err(SnapshotError::Malformed("view id drift during delta replay"));
+        let op_count = (r.read_gamma()? - 1) as usize;
+        for _ in 0..op_count {
+            match oplog::read_op(r, grammar, pg)? {
+                OplogOp::InsertLabels { count } => {
+                    for _ in 0..count {
+                        let d = read_label(r, self.fvl.codec(), grammar, cycles)?;
+                        store.try_insert(&d).map_err(|_| {
+                            SnapshotError::Malformed("label store overflow during replay")
+                        })?;
+                    }
+                }
+                OplogOp::AddView { id, view } => {
+                    if registry.add_view(view).0 != id {
+                        return Err(SnapshotError::Malformed("view id drift during delta replay"));
+                    }
+                }
+                OplogOp::CompileView { id, label } => {
+                    registry.adopt_compiled(ViewId(id), label)?;
+                }
             }
-        }
-        let compiled_count = (r.read_gamma()? - 1) as usize;
-        for _ in 0..compiled_count {
-            let id = ViewId((r.read_gamma()? - 1) as u32);
-            let vl = ViewLabel::read_snapshot(r, grammar, pg)?;
-            registry.adopt_compiled(id, vl)?;
         }
         Ok(EngineGeneration { fvl: self.fvl.clone(), registry, store, seqno })
     }
 }
 
-/// What the writer has staged since the last publish: the working copies
-/// plus the registry-increment log the delta record is written from (the
-/// store increment needs no log — it is the `base.len()..` id range of the
-/// staged store).
-struct Staged {
-    registry: ViewRegistry,
-    store: LabelStore,
-    new_views: Vec<ViewId>,
-    new_compiled: Vec<ViewRef>,
-}
-
-/// The single writer of a generation chain.
+/// The single-producer façade over the staging core (the crate-private
+/// `StagedState`) — one thread mutating, publishing, and optionally
+/// persisting a generation chain directly.
 ///
 /// Mutations stage against a lazy copy-on-write clone of the base
 /// generation — the first mutation after a publish pays the clone, and
@@ -310,12 +304,18 @@ struct Staged {
 /// freezes the staged state into the next [`EngineGeneration`] and swaps
 /// it into a [`LiveEngine`]; the writer then continues from the new base.
 ///
+/// Concurrent producers do not share an `EngineWriter`: they feed an
+/// [`crate::IngestQueue`] and the pipeline's publisher drives one writer
+/// on their behalf ([`crate::IngestPipeline`]) — same staging core, same
+/// publish path, same delta records, so a single-producer chain and a
+/// multi-producer one are indistinguishable on disk and on replay.
+///
 /// Ids are stable across publishes: an [`ItemId`] or [`ViewRef`] handed
 /// out while staging is valid in the generation that publish produces and
 /// in every later one (the store and registry only grow).
 pub struct EngineWriter {
     base: Arc<EngineGeneration>,
-    staged: Option<Staged>,
+    staged: Option<StagedState>,
 }
 
 impl EngineWriter {
@@ -347,13 +347,8 @@ impl EngineWriter {
         self.staged.is_some()
     }
 
-    fn staged(&mut self) -> &mut Staged {
-        self.staged.get_or_insert_with(|| Staged {
-            registry: self.base.registry.clone(),
-            store: self.base.store.clone(),
-            new_views: Vec::new(),
-            new_compiled: Vec::new(),
-        })
+    fn staged(&mut self) -> &mut StagedState {
+        self.staged.get_or_insert_with(|| StagedState::from_base(&self.base))
     }
 
     /// Stages one data label; the returned id is valid from the next
@@ -368,7 +363,7 @@ impl EngineWriter {
     /// re-materializes the `base.len()..staged.len()` id range on demand,
     /// so heavy ingest never pays double storage for its increment.
     pub fn try_insert_label(&mut self, d: &DataLabel) -> Result<ItemId, EngineError> {
-        self.staged().store.try_insert(d)
+        self.staged().try_insert(d)
     }
 
     /// Stages a slice of labels in order.
@@ -381,32 +376,20 @@ impl EngineWriter {
     /// error is [`EngineError::BatchStoreFull`] with the failing label's
     /// batch index, so the caller can retry `labels[index..]`.
     pub fn try_insert_labels(&mut self, labels: &[DataLabel]) -> Result<Vec<ItemId>, EngineError> {
-        self.staged().store.try_insert_all(labels)
+        self.staged().try_insert_all(labels)
     }
 
     /// Stages a view registration (structural dedup applies: re-adding a
     /// known view returns its existing id and stages nothing).
     pub fn add_view(&mut self, view: View) -> ViewId {
-        let st = self.staged();
-        let before = st.registry.view_count();
-        let id = st.registry.add_view(view);
-        if st.registry.view_count() > before {
-            st.new_views.push(id);
-        }
-        id
+        self.staged().add_view(view)
     }
 
     /// Stages the compilation of `(id, kind)` (idempotent across the whole
     /// chain: a label compiled in any earlier generation is reused).
     pub fn compile(&mut self, id: ViewId, kind: VariantKind) -> Result<ViewRef, FvlError> {
         let fvl = self.base.fvl.clone();
-        let st = self.staged();
-        let was_compiled = st.registry.is_compiled(id, kind);
-        let r = st.registry.compile(fvl.as_ref(), id, kind)?;
-        if !was_compiled {
-            st.new_compiled.push(r);
-        }
-        Ok(r)
+        self.staged().compile(&fvl, id, kind)
     }
 
     /// Register + compile in one step.
@@ -415,7 +398,7 @@ impl EngineWriter {
         self.compile(id, kind)
     }
 
-    fn freeze_staged(&mut self, st: Staged) -> Arc<EngineGeneration> {
+    fn freeze_staged(&mut self, st: StagedState) -> Arc<EngineGeneration> {
         let gen = Arc::new(EngineGeneration {
             fvl: self.base.fvl.clone(),
             registry: st.registry,
@@ -470,34 +453,15 @@ impl EngineWriter {
     }
 
     /// Serializes the staged increment into one container-framed delta
-    /// record (borrowing the staged state — nothing is consumed).
+    /// record — the op-log of this publish, in application order
+    /// (borrowing the staged state — nothing is consumed).
     fn delta_record(&self) -> Result<Vec<u8>, SnapshotError> {
         let st = self.staged.as_ref().expect("caller checked staged presence");
         let fvl = &self.base.fvl;
-        let grammar = &fvl.spec().grammar;
         let mut w = BitWriter::new();
         w.write_bits(SECTION_DELTA, 8);
-        w.write_gamma(self.base.seqno + 1);
-        w.write_gamma(self.base.seqno + 2);
-        let (from, to) = (self.base.store.len(), st.store.len());
-        w.write_gamma((to - from) as u64 + 1);
-        for i in from..to {
-            write_label(&mut w, fvl.codec(), &st.store.materialize(ItemId(i as u32)));
-        }
-        w.write_gamma(st.new_views.len() as u64 + 1);
-        for &id in &st.new_views {
-            w.write_gamma(id.0 as u64 + 1);
-            write_view(&mut w, grammar, st.registry.view(id));
-        }
-        w.write_gamma(st.new_compiled.len() as u64 + 1);
-        for &vr in &st.new_compiled {
-            w.write_gamma(vr.id.0 as u64 + 1);
-            st.registry
-                .label(vr)
-                .expect("staged compilations are present in the staged registry")
-                .write_snapshot(&mut w);
-        }
-        let fp = spec_fingerprint(grammar, fvl.prod_graph());
+        st.write_delta(fvl, self.base.seqno, &mut w);
+        let fp = spec_fingerprint(&fvl.spec().grammar, fvl.prod_graph());
         let mut record = Vec::new();
         write_container(&mut record, fp, &w.finish())?;
         Ok(record)

@@ -1,0 +1,837 @@
+//! The multi-producer ingest pipeline: queue → publisher → generations.
+//!
+//! [`crate::EngineWriter`] is single-producer by construction — one thread
+//! staging against one copy-on-write clone. This module turns that writer
+//! into the *back end* of a three-stage pipeline so any number of producer
+//! threads can feed the same generation chain:
+//!
+//! 1. **[`IngestQueue`]** — a bounded MPSC ring (hand-rolled: a fixed slot
+//!    array under one `Mutex`, two `Condvar`s, no dependencies). Producers
+//!    submit typed [`IngestOp`]s and get back a [`Ticket`] that resolves
+//!    to the seqno of the generation that published their op. A full queue
+//!    is *backpressure*, never silent loss: [`IngestQueue::try_push`]
+//!    returns [`EngineError::IngestBackpressure`] and
+//!    [`IngestQueue::push`] blocks until a slot frees.
+//! 2. **Publisher** — one background thread ([`IngestPipeline`]) draining
+//!    the queue in batches and applying ops to the staging core in arrival
+//!    order. Ops coalesce while staged: adjacent label inserts fuse into
+//!    one id-range (and un-share each copy-on-write shard once per cycle,
+//!    however many ops landed in it), duplicate view registrations and
+//!    compilations collapse to no-ops. Publishes fire on a configurable
+//!    cadence ([`PublishPolicy`]: ops, staged bytes, or deadline) and each
+//!    one atomically swaps the next generation into the [`LiveEngine`] —
+//!    readers never block, exactly as with a direct writer.
+//! 3. **Op-log persistence** — with a sink attached, every publish appends
+//!    its delta record (the op-log wire form, [`wf_snapshot::oplog`])
+//!    before the swap, so `base ‖ deltas` replays to byte-identical
+//!    generations no matter how many producers raced.
+//!
+//! Ordering and atomicity guarantees, precisely:
+//!
+//! * Ops are applied in queue (FIFO) order — one producer's ops happen in
+//!   its submission order; ops of different producers interleave in their
+//!   arrival order. [`Ticket::apply_index`] exposes the global position.
+//! * A published generation contains a *prefix* of the applied op
+//!   sequence: nothing is reordered across a publish, and no op is ever
+//!   half-visible (staging is invisible to readers until the swap).
+//! * An op that fails (store full, compile error) resolves its ticket with
+//!   the typed error and the pipeline keeps going; a batch insert's stored
+//!   prefix stays (ids remain dense) exactly like
+//!   [`crate::EngineWriter::try_insert_labels`].
+//! * Shutdown drains: ops enqueued before [`IngestQueue::close`] are
+//!   applied and published; pushes after it fail with
+//!   [`EngineError::IngestClosed`].
+
+use crate::error::EngineError;
+use crate::generation::{EngineGeneration, EngineWriter, LiveEngine};
+use std::io::Write;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use wf_core::{DataLabel, FvlError, VariantKind};
+use wf_model::View;
+
+/// One typed mutation submitted to the pipeline.
+///
+/// Views are identified *structurally* (the registry dedups), so a
+/// producer never needs to know whether another producer already
+/// registered the view it compiles — both get the same [`crate::ViewId`]
+/// in the published generation.
+pub enum IngestOp {
+    /// Intern a batch of data labels at the store tail.
+    InsertLabels(Vec<DataLabel>),
+    /// Register a view (no compilation).
+    AddView(View),
+    /// Register (dedup) and compile one `(view, kind)` variant.
+    CompileView(View, VariantKind),
+}
+
+/// Why a submitted op did not make it into a generation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// The staging store rejected the op (e.g. capacity); for batch
+    /// inserts the stored prefix stands, per the writer's contract.
+    Engine(EngineError),
+    /// View compilation failed; the registration half of a
+    /// [`IngestOp::CompileView`] may still have staged (dedup makes the
+    /// retry cheap).
+    Compile(FvlError),
+    /// The publish that would have covered this op could not persist its
+    /// delta record; the pipeline stops rather than let the live chain
+    /// outrun the op-log.
+    Persist(String),
+    /// The pipeline stopped (after a persist failure) before this op could
+    /// be applied; nothing of it is staged.
+    Shutdown,
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Engine(e) => write!(f, "ingest op rejected: {e}"),
+            IngestError::Compile(e) => write!(f, "ingest compile failed: {e}"),
+            IngestError::Persist(e) => write!(f, "publish could not persist its delta: {e}"),
+            IngestError::Shutdown => write!(f, "pipeline stopped before the op was applied"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// What a ticket resolves to: the seqno of the generation that made the
+/// op visible, or the typed reason it never will be.
+pub type IngestOutcome = Result<u64, IngestError>;
+
+struct TicketState {
+    outcome: Option<IngestOutcome>,
+    /// Global application order (queue drain order), set when the
+    /// publisher picks the op up — also on error outcomes.
+    apply_index: Option<u64>,
+    /// Push → resolution, nanoseconds (publish lag as the producer saw it).
+    lag_ns: Option<u64>,
+}
+
+struct TicketCell {
+    created: Instant,
+    state: Mutex<TicketState>,
+    cv: Condvar,
+}
+
+/// A producer's receipt for one submitted op.
+///
+/// Cheap to clone (it is an `Arc` handle); resolved exactly once by the
+/// publisher. [`Ticket::wait`] blocks until the op's fate is known — for
+/// an `Ok(seqno)`, the generation with that seqno (and every later one)
+/// contains the op.
+#[derive(Clone)]
+pub struct Ticket {
+    cell: Arc<TicketCell>,
+}
+
+impl Ticket {
+    fn new() -> Self {
+        Self {
+            cell: Arc::new(TicketCell {
+                created: Instant::now(),
+                state: Mutex::new(TicketState { outcome: None, apply_index: None, lag_ns: None }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    fn resolve(&self, outcome: IngestOutcome) {
+        let lag = self.cell.created.elapsed().as_nanos() as u64;
+        let mut st = self.cell.state.lock().expect("ticket mutex poisoned");
+        if st.outcome.is_none() {
+            st.outcome = Some(outcome);
+            st.lag_ns = Some(lag);
+            self.cell.cv.notify_all();
+        }
+    }
+
+    fn mark_applied(&self, index: u64) {
+        let mut st = self.cell.state.lock().expect("ticket mutex poisoned");
+        st.apply_index = Some(index);
+    }
+
+    /// The outcome if already resolved (non-blocking).
+    pub fn try_outcome(&self) -> Option<IngestOutcome> {
+        self.cell.state.lock().expect("ticket mutex poisoned").outcome.clone()
+    }
+
+    /// Blocks until the publisher resolves this ticket.
+    pub fn wait(&self) -> IngestOutcome {
+        let mut st = self.cell.state.lock().expect("ticket mutex poisoned");
+        loop {
+            if let Some(outcome) = &st.outcome {
+                return outcome.clone();
+            }
+            st = self.cell.cv.wait(st).expect("ticket mutex poisoned");
+        }
+    }
+
+    /// Push-to-resolution latency in nanoseconds (after resolution).
+    pub fn lag_ns(&self) -> Option<u64> {
+        self.cell.state.lock().expect("ticket mutex poisoned").lag_ns
+    }
+
+    /// The op's position in the global application order (after the
+    /// publisher picked it up). Sorting `(ticket, op)` pairs by this index
+    /// reconstructs the exact sequence a sequential writer would have to
+    /// apply to reproduce the published generations.
+    pub fn apply_index(&self) -> Option<u64> {
+        self.cell.state.lock().expect("ticket mutex poisoned").apply_index
+    }
+}
+
+/// How the publisher drained (publisher-side status of one wait).
+enum Drained {
+    /// At least one op was moved into the batch.
+    Ops,
+    /// The wait deadline passed with the queue still empty.
+    TimedOut,
+    /// Queue closed and empty — the pipeline can finish.
+    Closed,
+}
+
+struct Ring {
+    slots: Box<[Option<(IngestOp, Ticket)>]>,
+    head: usize,
+    len: usize,
+    closed: bool,
+}
+
+impl Ring {
+    fn pop(&mut self) -> (IngestOp, Ticket) {
+        let e = self.slots[self.head].take().expect("ring slot empty at head");
+        self.head = (self.head + 1) % self.slots.len();
+        self.len -= 1;
+        e
+    }
+
+    fn push(&mut self, e: (IngestOp, Ticket)) {
+        let tail = (self.head + self.len) % self.slots.len();
+        debug_assert!(self.slots[tail].is_none(), "ring slot occupied at tail");
+        self.slots[tail] = Some(e);
+        self.len += 1;
+    }
+}
+
+/// The bounded MPSC hand-off between producers and the publisher.
+///
+/// A fixed ring of slots under one `Mutex`; `not_full` parks producers
+/// when every slot is taken, `not_empty` parks the publisher when none
+/// is. Capacity is the backpressure contract: the queue holds at most
+/// `capacity` in-flight ops, and what it accepts it never drops — every
+/// accepted op is eventually applied (or its ticket resolved with a typed
+/// error), even across [`IngestQueue::close`].
+pub struct IngestQueue {
+    ring: Mutex<Ring>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl IngestQueue {
+    /// A queue of at most `capacity` in-flight ops (`capacity ≥ 1`).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || None);
+        Self {
+            ring: Mutex::new(Ring {
+                slots: slots.into_boxed_slice(),
+                head: 0,
+                len: 0,
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.ring.lock().expect("ingest queue mutex poisoned").slots.len()
+    }
+
+    /// Ops currently queued (racy by nature; for monitoring).
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("ingest queue mutex poisoned").len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.ring.lock().expect("ingest queue mutex poisoned").closed
+    }
+
+    /// Closes the queue: subsequent pushes fail with
+    /// [`EngineError::IngestClosed`]; already-queued ops still drain.
+    pub fn close(&self) {
+        let mut ring = self.ring.lock().expect("ingest queue mutex poisoned");
+        ring.closed = true;
+        // Parked producers must re-check and fail; the publisher must see
+        // closed-and-empty to finish.
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Blocking submit: parks while the queue is full, fails only if the
+    /// queue is (or becomes) closed. Never drops an op.
+    pub fn push(&self, op: IngestOp) -> Result<Ticket, EngineError> {
+        let mut ring = self.ring.lock().expect("ingest queue mutex poisoned");
+        loop {
+            if ring.closed {
+                return Err(EngineError::IngestClosed);
+            }
+            if ring.len < ring.slots.len() {
+                let ticket = Ticket::new();
+                ring.push((op, ticket.clone()));
+                self.not_empty.notify_one();
+                return Ok(ticket);
+            }
+            ring = self.not_full.wait(ring).expect("ingest queue mutex poisoned");
+        }
+    }
+
+    /// Non-blocking submit: a full queue surfaces
+    /// [`EngineError::IngestBackpressure`] with the queued count — the op
+    /// was **not** accepted, so the producer can retry, shed, or fall back
+    /// to the blocking [`IngestQueue::push`].
+    pub fn try_push(&self, op: IngestOp) -> Result<Ticket, EngineError> {
+        let mut ring = self.ring.lock().expect("ingest queue mutex poisoned");
+        if ring.closed {
+            return Err(EngineError::IngestClosed);
+        }
+        if ring.len == ring.slots.len() {
+            return Err(EngineError::IngestBackpressure { queued: ring.len });
+        }
+        let ticket = Ticket::new();
+        ring.push((op, ticket.clone()));
+        self.not_empty.notify_one();
+        Ok(ticket)
+    }
+
+    /// Publisher side: moves up to `max` ops into `out`, waiting (bounded
+    /// by `timeout`, unbounded without one) while the queue is empty.
+    fn drain_into(
+        &self,
+        out: &mut Vec<(IngestOp, Ticket)>,
+        max: usize,
+        timeout: Option<Duration>,
+    ) -> Drained {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut ring = self.ring.lock().expect("ingest queue mutex poisoned");
+        loop {
+            if ring.len > 0 {
+                let n = ring.len.min(max.max(1));
+                for _ in 0..n {
+                    out.push(ring.pop());
+                }
+                self.not_full.notify_all();
+                return Drained::Ops;
+            }
+            if ring.closed {
+                return Drained::Closed;
+            }
+            match deadline {
+                None => ring = self.not_empty.wait(ring).expect("ingest queue mutex poisoned"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Drained::TimedOut;
+                    }
+                    let (g, _) = self
+                        .not_empty
+                        .wait_timeout(ring, d - now)
+                        .expect("ingest queue mutex poisoned");
+                    ring = g;
+                }
+            }
+        }
+    }
+}
+
+/// When the publisher freezes staged ops into the next generation.
+///
+/// A publish fires as soon as *any* trigger is met — ops applied since the
+/// last publish, staged label payload (encoded size, the same bits the
+/// delta record will carry), or time since the first unpublished op — and
+/// always on shutdown. Small deadlines bound publish lag; large op/byte
+/// budgets amortize the per-cycle copy-on-write and container costs.
+#[derive(Clone, Copy, Debug)]
+pub struct PublishPolicy {
+    /// Queue capacity (in-flight ops) — the backpressure bound.
+    pub queue_capacity: usize,
+    /// Publish after this many applied ops.
+    pub max_batch_ops: usize,
+    /// Publish once staged labels reach this encoded size in bytes.
+    pub max_batch_bytes: usize,
+    /// Publish when the oldest unpublished op has waited this long.
+    pub max_delay: Duration,
+}
+
+impl Default for PublishPolicy {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 1024,
+            max_batch_ops: 256,
+            max_batch_bytes: 1 << 20,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// A cloneable in-memory op-log sink: every clone appends to the same
+/// buffer, so a test or service can hand one clone to
+/// [`PipelineOptions::sink`] and read the accumulated stream from another
+/// while (or after) the pipeline runs.
+#[derive(Clone, Default)]
+pub struct SharedSink {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of everything written so far. Delta records are
+    /// appended atomically (one `write_all` each), so between publishes
+    /// this is always a replayable stream suffix.
+    pub fn contents(&self) -> Vec<u8> {
+        self.buf.lock().expect("sink mutex poisoned").clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("sink mutex poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Write for SharedSink {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.lock().expect("sink mutex poisoned").extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Publish-notification callback, invoked with each published generation.
+pub type PublishHook = Box<dyn FnMut(&Arc<EngineGeneration>) + Send>;
+
+/// Optional pipeline attachments.
+#[derive(Default)]
+pub struct PipelineOptions {
+    /// Op-log sink: every publish appends its delta record here *before*
+    /// the generation swap (crash loses the publish, never the stream).
+    pub sink: Option<Box<dyn Write + Send>>,
+    /// Called with each published generation, after the swap — test and
+    /// monitoring hook (runs on the publisher thread; keep it cheap).
+    pub on_publish: Option<PublishHook>,
+}
+
+/// Publisher-side counters, returned in the [`PipelineReport`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IngestStats {
+    /// Ops applied to the staging core (ticket resolved `Ok`).
+    pub ops_applied: u64,
+    /// Ops whose ticket resolved with an error.
+    pub op_errors: u64,
+    /// Generations published.
+    pub publishes: u64,
+    /// Data labels interned.
+    pub labels_ingested: u64,
+}
+
+/// What [`IngestPipeline::shutdown`] hands back: the writer (now based on
+/// the final published generation and ready for direct single-producer
+/// use or a new pipeline), the op-log sink, and the run's counters.
+pub struct PipelineReport {
+    pub writer: EngineWriter,
+    pub sink: Option<Box<dyn Write + Send>>,
+    pub stats: IngestStats,
+    /// `Some` if a publish failed to persist its delta (the pipeline
+    /// stopped there; tickets after that point resolved `Shutdown`).
+    pub persist_error: Option<String>,
+}
+
+/// The running pipeline: one publisher thread behind an [`IngestQueue`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use wf_core::{Fvl, VariantKind};
+/// use wf_engine::{EngineWriter, IngestOp, IngestPipeline, LiveEngine, PublishPolicy};
+/// use wf_model::fixtures::paper_example;
+/// use wf_run::fixtures::figure3_run;
+///
+/// let ex = paper_example();
+/// let fvl = Arc::new(Fvl::from_arc(Arc::new(ex.spec.clone())).unwrap());
+/// let labels = fvl.labeler(&figure3_run(&ex).0).labels().to_vec();
+///
+/// let writer = EngineWriter::from_fvl(fvl);
+/// let live = Arc::new(LiveEngine::new(writer.base().clone()));
+/// let pipeline = IngestPipeline::spawn(writer, live.clone(), PublishPolicy::default());
+///
+/// // Any thread with a queue handle is a producer:
+/// let q = pipeline.queue().clone();
+/// let t1 = q.push(IngestOp::InsertLabels(labels)).unwrap();
+/// let t2 = q.push(IngestOp::CompileView(ex.view_u2(), VariantKind::Default)).unwrap();
+/// let seq = t1.wait().unwrap();
+/// assert!(live.snapshot().seqno() >= seq, "the op's generation is live");
+///
+/// let report = pipeline.shutdown();
+/// assert_eq!(report.stats.op_errors, 0);
+/// # drop(t2);
+/// ```
+pub struct IngestPipeline {
+    queue: Arc<IngestQueue>,
+    handle: JoinHandle<PipelineReport>,
+}
+
+impl IngestPipeline {
+    /// Spawns the publisher thread over `writer`, publishing into `live`.
+    pub fn spawn(writer: EngineWriter, live: Arc<LiveEngine>, policy: PublishPolicy) -> Self {
+        Self::spawn_with(writer, live, policy, PipelineOptions::default())
+    }
+
+    /// [`IngestPipeline::spawn`] with an op-log sink and/or publish hook.
+    pub fn spawn_with(
+        writer: EngineWriter,
+        live: Arc<LiveEngine>,
+        policy: PublishPolicy,
+        options: PipelineOptions,
+    ) -> Self {
+        let queue = Arc::new(IngestQueue::with_capacity(policy.queue_capacity));
+        let q = queue.clone();
+        let handle = std::thread::Builder::new()
+            .name("wf-ingest-publisher".into())
+            .spawn(move || publisher_loop(writer, live, q, policy, options))
+            .expect("spawning the publisher thread failed");
+        Self { queue, handle }
+    }
+
+    /// The producer-facing handle; clone it into as many threads as you
+    /// have producers.
+    pub fn queue(&self) -> &Arc<IngestQueue> {
+        &self.queue
+    }
+
+    /// Graceful shutdown: closes the queue, lets the publisher drain and
+    /// publish everything already accepted, and joins it.
+    pub fn shutdown(self) -> PipelineReport {
+        self.queue.close();
+        self.handle.join().expect("publisher thread panicked")
+    }
+}
+
+fn publisher_loop(
+    mut writer: EngineWriter,
+    live: Arc<LiveEngine>,
+    queue: Arc<IngestQueue>,
+    policy: PublishPolicy,
+    mut options: PipelineOptions,
+) -> PipelineReport {
+    let mut stats = IngestStats::default();
+    let mut batch: Vec<(IngestOp, Ticket)> = Vec::new();
+    let mut pending: Vec<Ticket> = Vec::new();
+    let mut staged_ops = 0usize;
+    let mut staged_bits = 0u64;
+    let mut deadline: Option<Instant> = None;
+    let mut apply_index = 0u64;
+    let mut persist_error: Option<String> = None;
+
+    'run: loop {
+        let timeout = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+        let room = policy.max_batch_ops.saturating_sub(staged_ops).max(1);
+        batch.clear();
+        let status = queue.drain_into(&mut batch, room, timeout);
+
+        for (op, ticket) in batch.drain(..) {
+            ticket.mark_applied(apply_index);
+            apply_index += 1;
+            staged_ops += 1;
+            match apply_op(&mut writer, op, &mut staged_bits, &mut stats) {
+                Ok(()) => {
+                    stats.ops_applied += 1;
+                    pending.push(ticket);
+                }
+                Err(e) => {
+                    // A failed op can still have staged a prefix (batch
+                    // inserts) — the publish below carries it; only the
+                    // ticket reports the failure.
+                    stats.op_errors += 1;
+                    ticket.resolve(Err(e));
+                }
+            }
+        }
+        if deadline.is_none() && staged_ops > 0 {
+            deadline = Some(Instant::now() + policy.max_delay);
+        }
+
+        let closing = matches!(status, Drained::Closed);
+        let due = closing
+            || matches!(status, Drained::TimedOut)
+            || staged_ops >= policy.max_batch_ops
+            || (staged_bits / 8) as usize >= policy.max_batch_bytes;
+
+        if due && staged_ops > 0 {
+            if writer.has_staged_changes() {
+                let published = match options.sink.as_mut() {
+                    Some(sink) => writer.publish_with_delta(&live, sink),
+                    None => Ok(writer.publish(&live)),
+                };
+                match published {
+                    Ok(gen) => {
+                        stats.publishes += 1;
+                        for t in pending.drain(..) {
+                            t.resolve(Ok(gen.seqno()));
+                        }
+                        if let Some(hook) = options.on_publish.as_mut() {
+                            hook(&gen);
+                        }
+                    }
+                    Err(e) => {
+                        // The op-log could not record this publish; fail
+                        // the covered tickets and stop instead of letting
+                        // the live chain diverge from the stream.
+                        let msg = e.to_string();
+                        for t in pending.drain(..) {
+                            t.resolve(Err(IngestError::Persist(msg.clone())));
+                        }
+                        persist_error = Some(msg);
+                        break 'run;
+                    }
+                }
+            } else {
+                // Every op in the window was a no-op (dedup'd views,
+                // empty inserts): their effects are already visible.
+                let seq = writer.base().seqno();
+                for t in pending.drain(..) {
+                    t.resolve(Ok(seq));
+                }
+            }
+            staged_ops = 0;
+            staged_bits = 0;
+            deadline = None;
+        } else if matches!(status, Drained::TimedOut) {
+            deadline = None;
+        }
+
+        if closing {
+            break;
+        }
+    }
+
+    // A persist failure aborts mid-stream: resolve everything still queued
+    // (and anything applied but unpublished) so no producer blocks forever.
+    queue.close();
+    loop {
+        batch.clear();
+        if matches!(queue.drain_into(&mut batch, usize::MAX, None), Drained::Closed) {
+            break;
+        }
+        for (_, ticket) in batch.drain(..) {
+            stats.op_errors += 1;
+            ticket.resolve(Err(IngestError::Shutdown));
+        }
+    }
+    for t in pending.drain(..) {
+        t.resolve(Err(IngestError::Shutdown));
+    }
+
+    PipelineReport { writer, sink: options.sink, stats, persist_error }
+}
+
+fn apply_op(
+    writer: &mut EngineWriter,
+    op: IngestOp,
+    staged_bits: &mut u64,
+    stats: &mut IngestStats,
+) -> Result<(), IngestError> {
+    match op {
+        IngestOp::InsertLabels(labels) => {
+            // Encoded sizes first (immutable borrow), insert second: the
+            // staged-bytes trigger counts exactly the stored prefix.
+            let bits: Vec<u64> = {
+                let codec = writer.base().fvl().codec();
+                labels.iter().map(|d| codec.encoded_bits(d) as u64).collect()
+            };
+            let r = writer.try_insert_labels(&labels);
+            let inserted = match &r {
+                Ok(ids) => ids.len(),
+                Err(EngineError::BatchStoreFull { index, .. }) => *index,
+                Err(_) => 0,
+            };
+            stats.labels_ingested += inserted as u64;
+            *staged_bits += bits[..inserted].iter().sum::<u64>();
+            r.map(|_| ()).map_err(IngestError::Engine)
+        }
+        IngestOp::AddView(view) => {
+            writer.add_view(view);
+            Ok(())
+        }
+        IngestOp::CompileView(view, kind) => {
+            writer.register_view(view, kind).map(|_| ()).map_err(IngestError::Compile)
+        }
+    }
+}
+
+// Producers hand ops across threads and the publisher owns the writer on
+// its own thread — compile-checked, like the generation types.
+const _: () = {
+    const fn send<T: Send>() {}
+    const fn send_sync<T: Send + Sync>() {}
+    send::<EngineWriter>();
+    send::<Ticket>();
+    send::<IngestOp>();
+    send_sync::<IngestQueue>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frozen::WorkerScratch;
+    use wf_core::Fvl;
+    use wf_model::fixtures::paper_example;
+    use wf_run::fixtures::figure3_run;
+
+    fn shared_fvl() -> Arc<Fvl<'static>> {
+        let ex = paper_example();
+        Arc::new(Fvl::from_arc(Arc::new(ex.spec.clone())).unwrap())
+    }
+
+    #[test]
+    fn try_push_surfaces_backpressure_and_push_blocks_without_dropping() {
+        let q = Arc::new(IngestQueue::with_capacity(2));
+        let t_a = q.try_push(IngestOp::InsertLabels(Vec::new())).unwrap();
+        let _t_b = q.try_push(IngestOp::AddView(paper_example().view_u1())).unwrap();
+        // Full: the typed error reports the depth and accepts nothing.
+        match q.try_push(IngestOp::InsertLabels(Vec::new())) {
+            Err(EngineError::IngestBackpressure { queued }) => assert_eq!(queued, 2),
+            Err(other) => panic!("expected backpressure, got {other:?}"),
+            Ok(_) => panic!("a full queue must not accept ops"),
+        }
+        assert_eq!(q.len(), 2, "a rejected try_push must not consume a slot");
+
+        // The blocking push parks until the publisher side makes room,
+        // then lands its op — nothing is dropped on either path.
+        let q2 = q.clone();
+        let blocked = std::thread::spawn(move || {
+            q2.push(IngestOp::InsertLabels(Vec::new())).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!blocked.is_finished(), "push on a full queue must block, not drop");
+        let mut out = Vec::new();
+        assert!(matches!(q.drain_into(&mut out, 1, None), Drained::Ops));
+        blocked.join().unwrap();
+        assert_eq!(q.len(), 2, "the parked push claimed the freed slot");
+
+        // Closing fails producers but keeps queued ops drainable.
+        q.close();
+        assert!(matches!(
+            q.push(IngestOp::InsertLabels(Vec::new())),
+            Err(EngineError::IngestClosed)
+        ));
+        assert!(matches!(
+            q.try_push(IngestOp::InsertLabels(Vec::new())),
+            Err(EngineError::IngestClosed)
+        ));
+        out.clear();
+        assert!(matches!(q.drain_into(&mut out, usize::MAX, None), Drained::Ops));
+        assert_eq!(out.len(), 2);
+        assert!(matches!(q.drain_into(&mut out, usize::MAX, None), Drained::Closed));
+        drop(t_a);
+    }
+
+    #[test]
+    fn pipeline_applies_ops_and_resolves_tickets_in_order() {
+        let ex = paper_example();
+        let fvl = shared_fvl();
+        let (run, ids) = figure3_run(&ex);
+        let labels = Fvl::new(&ex.spec).unwrap().labeler(&run).labels().to_vec();
+
+        let writer = EngineWriter::from_fvl(fvl);
+        let live = Arc::new(LiveEngine::new(writer.base().clone()));
+        let pipeline = IngestPipeline::spawn(writer, live.clone(), PublishPolicy::default());
+        let q = pipeline.queue().clone();
+
+        let t1 = q.push(IngestOp::InsertLabels(labels.clone())).unwrap();
+        let t2 = q.push(IngestOp::CompileView(ex.view_u2(), VariantKind::Default)).unwrap();
+        // A structurally identical view from "another producer" dedups.
+        let t3 = q.push(IngestOp::CompileView(ex.view_u2(), VariantKind::Default)).unwrap();
+        let (s1, s2, s3) = (t1.wait().unwrap(), t2.wait().unwrap(), t3.wait().unwrap());
+        assert!(s1 >= 1 && s2 >= s1 && s3 >= s2, "seqnos follow queue order");
+        assert!(t1.apply_index().unwrap() < t2.apply_index().unwrap());
+        assert!(t1.lag_ns().is_some());
+
+        // The published generation answers Example 8.
+        let gen = live.snapshot();
+        assert!(gen.seqno() >= s3);
+        let u2 =
+            crate::registry::ViewRef { id: crate::registry::ViewId(0), kind: VariantKind::Default };
+        let mut ws = WorkerScratch::new();
+        let (a, b) = (crate::store::ItemId(ids.d17.0), crate::store::ItemId(ids.d31.0));
+        assert_eq!(gen.try_query(&mut ws, u2, a, b).unwrap(), Some(true));
+
+        let report = pipeline.shutdown();
+        assert_eq!(report.stats.op_errors, 0);
+        assert_eq!(report.stats.labels_ingested, labels.len() as u64);
+        assert_eq!(report.writer.base().seqno(), live.snapshot().seqno());
+        assert!(report.persist_error.is_none());
+    }
+
+    #[test]
+    fn deadline_trigger_publishes_without_more_traffic() {
+        let ex = paper_example();
+        let fvl = shared_fvl();
+        let writer = EngineWriter::from_fvl(fvl);
+        let live = Arc::new(LiveEngine::new(writer.base().clone()));
+        // Op/byte budgets far out of reach: only the deadline can fire.
+        let policy = PublishPolicy {
+            max_batch_ops: 1_000_000,
+            max_batch_bytes: usize::MAX,
+            max_delay: Duration::from_millis(5),
+            ..PublishPolicy::default()
+        };
+        let pipeline = IngestPipeline::spawn(writer, live.clone(), policy);
+        let t = pipeline.queue().push(IngestOp::AddView(ex.view_u1())).unwrap();
+        let seq = t.wait().expect("deadline publish resolves the ticket");
+        assert_eq!(live.seqno(), seq);
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn failed_ops_resolve_with_typed_errors_and_do_not_stall_the_pipeline() {
+        let ex = paper_example();
+        let fvl = shared_fvl();
+        let writer = EngineWriter::from_fvl(fvl);
+        let live = Arc::new(LiveEngine::new(writer.base().clone()));
+        let pipeline = IngestPipeline::spawn(writer, live.clone(), PublishPolicy::default());
+        let q = pipeline.queue().clone();
+
+        // An unsafe compile fails its ticket with the FvlError…
+        let bad = q.push(IngestOp::CompileView(ex.view_u1(), VariantKind::SpaceEfficient));
+        // …while a later valid op still lands.
+        let good = q.push(IngestOp::AddView(ex.view_u2())).unwrap();
+        let outcome = bad.unwrap().wait();
+        match outcome {
+            Ok(_) => {
+                // If the workload's U1 is safe for SpaceEfficient this arm
+                // is legal; the pipeline-liveness half is what matters.
+            }
+            Err(IngestError::Compile(_)) => {}
+            Err(other) => panic!("expected a compile error, got {other:?}"),
+        }
+        good.wait().unwrap();
+        let report = pipeline.shutdown();
+        assert!(report.persist_error.is_none());
+    }
+}

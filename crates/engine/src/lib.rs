@@ -27,7 +27,14 @@
 //!   immutable generations published by atomic `Arc` swap, a
 //!   copy-on-write staging writer, and a lock-free reader fast path, so
 //!   labels and views keep landing while readers keep answering (plus
-//!   append-style delta persistence for warm restarts).
+//!   append-style delta persistence for warm restarts);
+//! * [`IngestQueue`] / [`IngestPipeline`] — concurrent multi-producer
+//!   ingest over that same staging core: producers submit typed
+//!   [`IngestOp`]s into a bounded MPSC queue (typed backpressure, never
+//!   silent drops) and a publisher thread batches, coalesces and
+//!   publishes them on a [`PublishPolicy`] cadence, appending each
+//!   publish to an op-log whose replay converges byte-identically with
+//!   the live run.
 //!
 //! Engines additionally persist themselves: [`QueryEngine::save`] writes
 //! the interned store, the registered views and every compiled label
@@ -65,13 +72,19 @@ mod engine;
 mod error;
 mod frozen;
 mod generation;
+mod ingest;
 mod registry;
+mod staging;
 mod store;
 
 pub use engine::QueryEngine;
 pub use error::EngineError;
 pub use frozen::{EngineCore, WorkerScratch};
 pub use generation::{EngineGeneration, EngineWriter, LiveEngine};
+pub use ingest::{
+    IngestError, IngestOp, IngestOutcome, IngestPipeline, IngestQueue, IngestStats,
+    PipelineOptions, PipelineReport, PublishPolicy, SharedSink, Ticket,
+};
 pub use registry::{ViewId, ViewRef, ViewRegistry};
 pub use store::{ItemId, LabelStore};
 // The error type `QueryEngine::save` / `QueryEngine::load` surface, so

@@ -252,8 +252,9 @@ fn valid_checksum_delta_with_broken_label_chain_is_rejected_structurally() {
     let base_len = stream.len();
 
     // Hand-assemble the delta record exactly as the writer frames it
-    // (0x04 section tag, γ base/new seqnos chaining onto g1, one label,
-    // no views, no compilations) — except the label's edge is forged.
+    // (0x04 section tag, γ base/new seqnos chaining onto g1, one op-log
+    // entry: an insert run of one label) — except the label's edge is
+    // forged.
     let g = &w.spec.grammar;
     let (k_deep, _) = g
         .productions()
@@ -263,14 +264,13 @@ fn valid_checksum_delta_with_broken_label_chain_is_rejected_structurally() {
     bw.write_bits(0x04, 8); // SECTION_DELTA
     bw.write_gamma(g1.seqno() + 1);
     bw.write_gamma(g1.seqno() + 2);
-    bw.write_gamma(2); // one inserted label…
+    bw.write_gamma(2); // one op…
+    wf_snapshot::oplog::write_insert_header(&mut bw, 1); // …inserting one label…
     bw.push_bit(true); // …out side only…
     bw.push_bit(false);
     bw.write_gamma(2); // …with a one-edge path that breaks at the root.
     fvl.codec().write_edge(&mut bw, &EdgeLabel::Plain { k: k_deep, i: 0 });
     bw.write_bits(0, 8);
-    bw.write_gamma(1); // no views
-    bw.write_gamma(1); // no compilations
     write_container(&mut stream, spec_fingerprint(g, fvl.prod_graph()), &bw.finish()).unwrap();
 
     match EngineGeneration::replay(fvl.clone(), &mut stream.as_slice()) {

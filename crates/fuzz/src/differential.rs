@@ -15,6 +15,11 @@
 //!   like a sequential single-generation [`QueryEngine`] holding the same
 //!   published state, and a warm [`EngineGeneration::replay`] of the
 //!   base ‖ delta stream reproduces the final generation's answers.
+//! * For every producer fleet raced through the [`IngestPipeline`]: each
+//!   published generation is element-identical to a sequential replay of
+//!   the ops in global ticket order, and the op-log prefix that produced
+//!   it replays to a **byte-identical** `save` image
+//!   ([`check_multi_producer`]).
 //!
 //! Any violation is reported as a [`Divergence`] naming the case seed it
 //! reproduces from; the harness never panics on a generated input.
@@ -22,14 +27,16 @@
 use crate::specgen::{adversarial_workload, SpecShape};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::Arc;
-use wf_core::{Fvl, QueryScratch, VariantKind};
+use std::sync::{Arc, Mutex};
+use wf_core::{DataLabel, Fvl, QueryScratch, VariantKind};
 use wf_engine::{
-    EngineGeneration, EngineWriter, ItemId, LiveEngine, QueryEngine, ViewRef, WorkerScratch,
+    EngineError, EngineGeneration, EngineWriter, IngestOp, IngestPipeline, IngestQueue, ItemId,
+    LiveEngine, PipelineOptions, PublishPolicy, QueryEngine, SharedSink, Ticket, ViewRef,
+    WorkerScratch,
 };
 use wf_model::{View, ViewSpec};
 use wf_run::{DataId, RunOracle};
-use wf_workloads::churn::{churn_stream, ChurnOp, ChurnSpec};
+use wf_workloads::churn::{churn_stream, producer_churn_streams, ChurnOp, ChurnSpec};
 use wf_workloads::{sample, views, Workload};
 
 /// A differential disagreement (or a generated input the stack rejected),
@@ -297,11 +304,7 @@ pub fn check_live_churn(seed: u64, budget: usize, ops: usize) -> Result<DiffOutc
                 pending.push(op.clone());
             }
             ChurnOp::RegisterView { seed: vseed } => {
-                let mut vrng = StdRng::seed_from_u64(*vseed);
-                let composites = w.spec.grammar.composite_modules().count().max(1);
-                let size = vrng.gen_range(1..=composites);
-                let view = views::random_safe_view(&w, &mut vrng, size);
-                let kind = VariantKind::ALL[(*vseed % 3) as usize];
+                let (view, kind) = churn_view(&w, *vseed);
                 let vref = writer.register_view(view, kind).map_err(|e| {
                     Divergence(format!(
                         "{}: live view registration rejected: {e}",
@@ -349,11 +352,7 @@ pub fn check_live_churn(seed: u64, budget: usize, ops: usize) -> Result<DiffOutc
                 match p {
                     ChurnOp::Insert { .. } => {}
                     ChurnOp::RegisterView { seed: vseed } => {
-                        let mut vrng = StdRng::seed_from_u64(vseed);
-                        let composites = w.spec.grammar.composite_modules().count().max(1);
-                        let size = vrng.gen_range(1..=composites);
-                        let view = views::random_safe_view(&w, &mut vrng, size);
-                        let kind = VariantKind::ALL[(vseed % 3) as usize];
+                        let (view, kind) = churn_view(&w, vseed);
                         let r = reference.register_view(view, kind).map_err(|e| {
                             Divergence(format!(
                                 "{}: reference view registration rejected: {e}",
@@ -399,11 +398,7 @@ pub fn check_live_churn(seed: u64, budget: usize, ops: usize) -> Result<DiffOutc
     }
     for p in pending.drain(..) {
         if let ChurnOp::RegisterView { seed: vseed } = p {
-            let mut vrng = StdRng::seed_from_u64(vseed);
-            let composites = w.spec.grammar.composite_modules().count().max(1);
-            let size = vrng.gen_range(1..=composites);
-            let view = views::random_safe_view(&w, &mut vrng, size);
-            let kind = VariantKind::ALL[(vseed % 3) as usize];
+            let (view, kind) = churn_view(&w, vseed);
             let r = reference.register_view(view, kind).map_err(|e| {
                 Divergence(format!("{}: reference rejected: {e}", fail_ctx(seed, &shape)))
             })?;
@@ -446,6 +441,378 @@ fn handles_match(compiled: &[ViewRef], reference: &QueryEngine<'_>) -> bool {
     compiled.iter().all(|r| reference.registry().label(*r).is_some())
 }
 
+/// Materializes a `ChurnOp::RegisterView` seed into the concrete
+/// `(view, kind)` pair — every replayer (live writer, sequential
+/// reference, racing producer) must derive the same view from the same
+/// seed for the differential to be meaningful.
+fn churn_view(w: &Workload, vseed: u64) -> (View, VariantKind) {
+    let mut vrng = StdRng::seed_from_u64(vseed);
+    let composites = w.spec.grammar.composite_modules().count().max(1);
+    let size = vrng.gen_range(1..=composites);
+    (views::random_safe_view(w, &mut vrng, size), VariantKind::ALL[(vseed % 3) as usize])
+}
+
+/// What one racing producer submitted, in its own submission order —
+/// enough to re-derive the exact op for the sequential replay.
+enum ProducerOp {
+    /// Labels `pool[from..to]` (the producer's own disjoint pool slice).
+    Insert { from: usize, to: usize },
+    /// `churn_view(w, vseed)` registered and compiled.
+    Compile { vseed: u64 },
+}
+
+/// Producer-side submit with a fuzzed entry point: every third op goes
+/// through the non-blocking [`IngestQueue::try_push`] first, falling back
+/// to the blocking [`IngestQueue::push`] on backpressure — both paths must
+/// land the op (the backpressure contract says a full queue sheds, never
+/// drops what it accepted).
+fn submit(q: &IngestQueue, opix: usize, build: impl Fn() -> IngestOp) -> Result<Ticket, String> {
+    if opix % 3 == 0 {
+        match q.try_push(build()) {
+            Ok(t) => return Ok(t),
+            Err(EngineError::IngestBackpressure { .. }) => {}
+            Err(e) => return Err(format!("try_push rejected an op: {e}")),
+        }
+    }
+    q.push(build()).map_err(|e| format!("push rejected an op: {e}"))
+}
+
+/// One producer thread: drives its churn stream into the pipeline
+/// (inserts from its own pool slice, view compilations from its stream's
+/// seeds) and, on query ops, races the lock-free read path against the
+/// publisher. Returns the `(ticket, op)` journal in submission order plus
+/// the racing-read count.
+fn producer_run(
+    q: &IngestQueue,
+    live: &LiveEngine,
+    w: &Workload,
+    pool: &[DataLabel],
+    start: usize,
+    stream: &[ChurnOp],
+    base_vref: ViewRef,
+) -> Result<(Vec<(Ticket, ProducerOp)>, u64), String> {
+    let mut ws = WorkerScratch::new();
+    let mut cursor = start;
+    let mut recorded = Vec::new();
+    let mut reads = 0u64;
+    for (opix, op) in stream.iter().enumerate() {
+        match op {
+            ChurnOp::Insert { count } => {
+                let (from, to) = (cursor, cursor + count);
+                cursor = to;
+                let t = submit(q, opix, || IngestOp::InsertLabels(pool[from..to].to_vec()))?;
+                recorded.push((t, ProducerOp::Insert { from, to }));
+            }
+            ChurnOp::RegisterView { seed } => {
+                let t = submit(q, opix, || {
+                    let (view, kind) = churn_view(w, *seed);
+                    IngestOp::CompileView(view, kind)
+                })?;
+                recorded.push((t, ProducerOp::Compile { vseed: *seed }));
+            }
+            ChurnOp::QueryBatch { pairs } => {
+                // A racing read: whatever generation is live right now
+                // must answer the full batch (publishes never leave a
+                // half-visible store behind).
+                let gen = live.read();
+                let population = gen.store().len() as u32;
+                if population == 0 {
+                    continue;
+                }
+                let item_pairs: Vec<(ItemId, ItemId)> = pairs
+                    .iter()
+                    .map(|&(a, b)| (ItemId(a % population), ItemId(b % population)))
+                    .collect();
+                let got = gen.query_batch(&mut ws, base_vref, &item_pairs);
+                if got.len() != item_pairs.len() {
+                    return Err(format!(
+                        "racing read on generation {} returned {} of {} answers",
+                        gen.seqno(),
+                        got.len(),
+                        item_pairs.len()
+                    ));
+                }
+                reads += item_pairs.len() as u64;
+            }
+        }
+    }
+    Ok((recorded, reads))
+}
+
+/// The multi-producer ingest differential: one seed generates an
+/// adversarial spec, a fleet of per-producer churn streams
+/// ([`producer_churn_streams`] — producer `p`'s stream is identical at
+/// every fleet width) and a randomized [`PublishPolicy`], then races
+/// `producers` threads through an [`IngestPipeline`] while the op-log
+/// sink records every publish. Three oracles must agree:
+///
+/// 1. **Sequential replay** — applying the ops one by one in the global
+///    [`Ticket::apply_index`] order through a single [`QueryEngine`] must
+///    reproduce *every published generation* element-identically
+///    (store length, and `all_pairs` over every compiled view).
+/// 2. **Op-log prefix replay** — for every published generation,
+///    [`EngineGeneration::replay`] of `base ‖ op-log-prefix` must land on
+///    a **byte-identical** `save` image: the racing run and its log are
+///    indistinguishable at every publish point, not just at the end.
+/// 3. **Ticket contract** — every accepted op resolves `Ok`, one
+///    producer's seqnos are non-decreasing in its submission order, and
+///    no op resolves past the final published generation.
+pub fn check_multi_producer(
+    seed: u64,
+    budget: usize,
+    producers: usize,
+    ops_per_producer: usize,
+) -> Result<DiffOutcome, Divergence> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (shape, w) = adversarial_workload(&mut rng, budget);
+    let ctx = fail_ctx(seed, &shape);
+    let fvl = match Fvl::from_arc(Arc::new(w.spec.clone())) {
+        Ok(f) => Arc::new(f),
+        Err(e) => diverge!("{ctx}: generated spec rejected by Fvl: {e}"),
+    };
+
+    // The op mix is part of the fuzzed input (as in the live churn), but
+    // every mix keeps enough inserts to grow the store under contention.
+    let (iw, vw, qw) = match rng.gen_range(0..3u8) {
+        0 => (0.7, 0.05, 0.25), // insert-heavy
+        1 => (0.3, 0.35, 0.35), // view-heavy
+        _ => (0.25, 0.05, 0.7), // read-heavy
+    };
+    let spec = ChurnSpec {
+        initial_items: rng.gen_range(0..12),
+        insert_weight: iw,
+        view_weight: vw,
+        query_weight: qw,
+        insert_chunk: rng.gen_range(1..6),
+        batch: rng.gen_range(1..16),
+        ..ChurnSpec::default()
+    };
+    let streams = producer_churn_streams(seed, producers, ops_per_producer, &spec);
+
+    // Label pool: one run covering the base seed plus every producer's
+    // inserts, cycle-padded like the live churn. Each producer owns a
+    // disjoint slice, so the *content* each op inserts is independent of
+    // the interleaving — only the id assignment order races.
+    let per_needed: Vec<usize> = streams
+        .iter()
+        .map(|s| {
+            s.iter()
+                .map(|op| match op {
+                    ChurnOp::Insert { count } => *count,
+                    _ => 0,
+                })
+                .sum()
+        })
+        .collect();
+    let needed = spec.initial_items + per_needed.iter().sum::<usize>();
+    let (_, run) = sample::sample_run(&w, fvl.prod_graph(), &mut rng, needed.max(1));
+    let mut pool = fvl.labeler(&run).labels().to_vec();
+    if pool.is_empty() {
+        diverge!("{ctx}: a run produced zero data items");
+    }
+    let mut i = 0usize;
+    while pool.len() < needed {
+        pool.push(pool[i].clone());
+        i += 1;
+    }
+    let mut offsets = Vec::with_capacity(producers);
+    let mut acc = spec.initial_items;
+    for n in &per_needed {
+        offsets.push(acc);
+        acc += n;
+    }
+
+    // Base generation: seeded through the façade (initial items plus one
+    // compiled view the racing readers can query), saved as the stream
+    // head every prefix replay chains onto.
+    let mut writer = EngineWriter::from_fvl(fvl.clone());
+    writer.insert_labels(&pool[..spec.initial_items]);
+    let base_vref = writer
+        .register_view(w.spec.default_view(), VariantKind::Default)
+        .map_err(|e| Divergence(format!("{ctx}: base view rejected: {e}")))?;
+    let live = Arc::new(LiveEngine::new(writer.base().clone()));
+    writer.publish(&live);
+    let mut base_bytes = Vec::new();
+    writer
+        .base()
+        .save(&mut base_bytes)
+        .map_err(|e| Divergence(format!("{ctx}: base save failed: {e}")))?;
+
+    // The sequential reference starts from the same base.
+    let mut reference = QueryEngine::new(&fvl);
+    reference.insert_labels(&pool[..spec.initial_items]);
+    let ref_vref = reference
+        .register_view(w.spec.default_view(), VariantKind::Default)
+        .map_err(|e| Divergence(format!("{ctx}: reference base view rejected: {e}")))?;
+    if ref_vref != base_vref {
+        diverge!("{ctx}: base view handle drifted between writer and reference");
+    }
+
+    // Publish cadence is fuzzed too: tiny op budgets force publishes to
+    // split producer batches; tiny byte budgets and short deadlines race
+    // the coalescing window against the producers.
+    let policy = PublishPolicy {
+        queue_capacity: rng.gen_range(2..24),
+        max_batch_ops: rng.gen_range(1..24),
+        max_batch_bytes: 1usize << rng.gen_range(8..20u32),
+        max_delay: std::time::Duration::from_micros(rng.gen_range(100..2000)),
+    };
+    let sink = SharedSink::new();
+    // (generation, op-log bytes at publish time) pairs, in publish order.
+    type PublishLog = Mutex<Vec<(Arc<EngineGeneration>, usize)>>;
+    let published: Arc<PublishLog> = Arc::new(Mutex::new(Vec::new()));
+    let hook = {
+        let sink = sink.clone();
+        let published = published.clone();
+        move |g: &Arc<EngineGeneration>| {
+            // The sink length *at publish time* delimits the op-log prefix
+            // that produced this generation (the record is appended before
+            // the swap, on this same thread).
+            published.lock().expect("publish log poisoned").push((g.clone(), sink.len()));
+        }
+    };
+    let pipeline = IngestPipeline::spawn_with(
+        writer,
+        live.clone(),
+        policy,
+        PipelineOptions { sink: Some(Box::new(sink.clone())), on_publish: Some(Box::new(hook)) },
+    );
+
+    // Race the fleet.
+    let mut producer_results = Vec::with_capacity(producers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = streams
+            .iter()
+            .enumerate()
+            .map(|(p, stream)| {
+                let q = pipeline.queue().clone();
+                let live = live.clone();
+                let (pool, w) = (&pool, &w);
+                let start = offsets[p];
+                s.spawn(move || producer_run(&q, &live, w, pool, start, stream, base_vref))
+            })
+            .collect();
+        for h in handles {
+            producer_results.push(h.join().expect("producer thread panicked"));
+        }
+    });
+    let report = pipeline.shutdown();
+    if let Some(e) = &report.persist_error {
+        diverge!("{ctx}: op-log persist failed: {e}");
+    }
+    if report.stats.labels_ingested != (needed - spec.initial_items) as u64 {
+        diverge!(
+            "{ctx}: {} labels submitted, {} ingested",
+            needed - spec.initial_items,
+            report.stats.labels_ingested
+        );
+    }
+
+    // Collect every ticket: all must resolve Ok, per-producer seqnos must
+    // be non-decreasing, and the apply indexes define the global order the
+    // sequential replay follows.
+    let mut out = DiffOutcome::default();
+    let mut ordered: Vec<(u64, u64, ProducerOp)> = Vec::new();
+    for result in producer_results {
+        let (recorded, reads) = result.map_err(|e| Divergence(format!("{ctx}: {e}")))?;
+        out.queries += reads;
+        let mut last_seq = 0u64;
+        for (t, desc) in recorded {
+            let seqno = match t.wait() {
+                Ok(s) => s,
+                Err(e) => diverge!("{ctx}: a racing op failed: {e}"),
+            };
+            if seqno < last_seq {
+                diverge!("{ctx}: a producer's ops published out of submission order");
+            }
+            last_seq = seqno;
+            let Some(ix) = t.apply_index() else {
+                diverge!("{ctx}: a resolved op never got an apply index");
+            };
+            ordered.push((ix, seqno, desc));
+        }
+    }
+    ordered.sort_by_key(|&(ix, _, _)| ix);
+    let published = std::mem::take(&mut *published.lock().expect("publish log poisoned"));
+    let oplog = sink.contents();
+
+    // Walk the published chain: before comparing generation s, apply every
+    // op that resolved with seqno ≤ s to the sequential reference (ops a
+    // dedup made no-ops resolve with an older seqno and are no-ops in the
+    // reference too, so the early application is harmless).
+    let mut ws = WorkerScratch::new();
+    let mut compiled: Vec<ViewRef> = vec![base_vref];
+    let mut ptr = 0usize;
+    let mut last_published = 0u64;
+    for (gen, prefix_len) in &published {
+        if gen.seqno() <= last_published {
+            diverge!("{ctx}: published seqnos are not strictly increasing");
+        }
+        last_published = gen.seqno();
+        while ptr < ordered.len() && ordered[ptr].1 <= gen.seqno() {
+            match &ordered[ptr].2 {
+                ProducerOp::Insert { from, to } => {
+                    reference.insert_labels(&pool[*from..*to]);
+                }
+                ProducerOp::Compile { vseed } => {
+                    let (view, kind) = churn_view(&w, *vseed);
+                    let r = reference.register_view(view, kind).map_err(|e| {
+                        Divergence(format!("{ctx}: sequential replay rejected a view: {e}"))
+                    })?;
+                    if !compiled.contains(&r) {
+                        compiled.push(r);
+                        out.views += 1;
+                    }
+                }
+            }
+            ptr += 1;
+        }
+
+        // Element-identical with the sequential replay.
+        if reference.store().len() != gen.store().len() {
+            diverge!(
+                "{ctx}: generation {} holds {} items, the sequential replay {}",
+                gen.seqno(),
+                gen.store().len(),
+                reference.store().len()
+            );
+        }
+        let n = gen.store().len() as u32;
+        let step = (n as usize / 14).max(1);
+        let items: Vec<ItemId> = (0..n).step_by(step).map(ItemId).collect();
+        for &vref in &compiled {
+            let expected = reference.all_pairs(vref, &items);
+            if gen.all_pairs(&mut ws, vref, &items) != expected {
+                diverge!(
+                    "{ctx}: generation {} diverges from the sequential replay on {vref:?}",
+                    gen.seqno()
+                );
+            }
+            out.queries += (items.len() * items.len()) as u64;
+        }
+
+        // Byte-identical with the op-log prefix replay.
+        let mut stream = base_bytes.clone();
+        stream.extend_from_slice(&oplog[..*prefix_len]);
+        let replayed =
+            EngineGeneration::replay(fvl.clone(), &mut stream.as_slice()).map_err(|e| {
+                Divergence(format!("{ctx}: op-log replay failed at seqno {}: {e}", gen.seqno()))
+            })?;
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        gen.save(&mut a).map_err(|e| Divergence(format!("{ctx}: live save failed: {e}")))?;
+        replayed.save(&mut b).map_err(|e| Divergence(format!("{ctx}: replay save failed: {e}")))?;
+        if a != b {
+            diverge!("{ctx}: op-log replay is not byte-identical at seqno {}", gen.seqno());
+        }
+    }
+    if ptr < ordered.len() {
+        diverge!("{ctx}: {} ops resolved past the final published generation", ordered.len() - ptr);
+    }
+
+    out.items = live.snapshot().store().len() as u64;
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,6 +831,16 @@ mod tests {
         for i in 0..4u64 {
             let seed = crate::case_seed(0x11FE, i);
             check_live_churn(seed, 8, 24).unwrap_or_else(|d| panic!("{d}"));
+        }
+    }
+
+    #[test]
+    fn multi_producer_seeds_are_divergence_free() {
+        for (i, producers) in [(0u64, 1usize), (1, 2), (2, 4)] {
+            let seed = crate::case_seed(0x111E57, i);
+            let out = check_multi_producer(seed, 8, producers, 16)
+                .unwrap_or_else(|d| panic!("{producers} producers: {d}"));
+            assert!(out.items > 0, "{producers} producers published nothing");
         }
     }
 }

@@ -19,7 +19,11 @@
 //!   ([`wf_run::RunOracle`]), asserting element-identical answers
 //!   (visibility included); plus a live-engine mode that replays generated
 //!   churn streams through `EngineWriter`/`LiveEngine` and compares every
-//!   published generation against a sequential single-generation engine.
+//!   published generation against a sequential single-generation engine;
+//!   plus a multi-producer mode that races producer fleets through the
+//!   `IngestPipeline` and demands every published generation match a
+//!   sequential replay in ticket order *and* a byte-identical op-log
+//!   prefix replay.
 //! * [`mutate`] — a **mutation fuzzer for the snapshot/delta decoders**:
 //!   valid containers produced by `EngineGeneration::save` /
 //!   `publish_with_delta` are bit-flipped, truncated, spliced, reordered
@@ -38,7 +42,9 @@ pub mod mutate;
 pub mod report;
 pub mod specgen;
 
-pub use differential::{check_live_churn, check_spec, DiffOutcome, Divergence};
+pub use differential::{
+    check_live_churn, check_multi_producer, check_spec, DiffOutcome, Divergence,
+};
 pub use mutate::{mutation_corpus, mutation_round, MutationStats};
 pub use report::FuzzReport;
 pub use specgen::{adversarial_workload, SpecShape};

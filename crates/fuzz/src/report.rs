@@ -18,6 +18,8 @@ pub struct FuzzReport {
     pub items: u64,
     /// Live-engine churn cases executed.
     pub live_cases: u64,
+    /// Multi-producer ingest-pipeline cases executed.
+    pub multi_cases: u64,
     /// Differential divergences observed (a healthy tree reports zero;
     /// the sweep aborts loudly on the first one, so nonzero means the
     /// report was written by a failing run).
@@ -41,6 +43,13 @@ impl FuzzReport {
         self.items += out.items;
     }
 
+    pub fn absorb_multi(&mut self, out: &DiffOutcome) {
+        self.multi_cases += 1;
+        self.views += out.views;
+        self.queries += out.queries;
+        self.items += out.items;
+    }
+
     /// Serializes the report (stable key order, valid JSON).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
@@ -49,6 +58,7 @@ impl FuzzReport {
         let _ = writeln!(s, "  \"seed\": {},", self.seed);
         let _ = writeln!(s, "  \"spec_cases\": {},", self.spec_cases);
         let _ = writeln!(s, "  \"live_cases\": {},", self.live_cases);
+        let _ = writeln!(s, "  \"multi_cases\": {},", self.multi_cases);
         let _ = writeln!(s, "  \"views_checked\": {},", self.views);
         let _ = writeln!(s, "  \"queries_checked\": {},", self.queries);
         let _ = writeln!(s, "  \"items_labeled\": {},", self.items);

@@ -5,7 +5,8 @@
 //! seed, and `--example fuzz_sweep -- --case <seed>` replays it.
 
 use wf_fuzz::{
-    case_seed, check_live_churn, check_spec, mutation_corpus, mutation_round, FuzzReport,
+    case_seed, check_live_churn, check_multi_producer, check_spec, mutation_corpus, mutation_round,
+    FuzzReport,
 };
 
 /// The differential campaign, bounded: adversarial specs at three size
@@ -41,6 +42,25 @@ fn bounded_live_churn_sweep() {
         }
     }
     assert!(report.items > 0, "live sweep published nothing: {report:?}");
+}
+
+/// The multi-producer campaign, bounded: producer fleets of 1, 2 and 4
+/// race generated churn streams through the ingest pipeline; every
+/// published generation must match a sequential replay in global ticket
+/// order and a byte-identical op-log prefix replay.
+#[test]
+fn bounded_multi_producer_sweep() {
+    let mut report = FuzzReport::default();
+    for i in 0..6u64 {
+        let seed = case_seed(0x111E57EED, i);
+        let producers = [1usize, 2, 4][(i % 3) as usize];
+        match check_multi_producer(seed, 8, producers, 18) {
+            Ok(out) => report.absorb_multi(&out),
+            Err(d) => panic!("multi-producer divergence ({producers} producers): {d}"),
+        }
+    }
+    assert!(report.items > 0, "multi-producer sweep published nothing: {report:?}");
+    assert!(report.queries > 0, "multi-producer sweep compared nothing: {report:?}");
 }
 
 /// The decoder campaign, bounded: every mutant is rejected with a typed

@@ -22,6 +22,9 @@
 //! * [`delta`] — the snapshot form of a *generation increment* (the data
 //!   labels and views one publish added), validated on read; base + deltas
 //!   replay from one append-only stream via [`read_container_opt`].
+//! * [`oplog`] — the op-framed layout of a delta payload: the increment as
+//!   the typed ingest ops that produced it, in application order, so one
+//!   persisted stream doubles as the ingest pipeline's op-log.
 //!
 //! The payload *sections* live with the data they serialize:
 //! [`wf_core::snapshot`] provides matrix / dependency-assignment
@@ -33,6 +36,7 @@ pub mod container;
 pub mod delta;
 pub mod error;
 pub mod fingerprint;
+pub mod oplog;
 pub mod view;
 
 pub use container::{

@@ -198,6 +198,40 @@ pub fn churn_streams(
     (0..workers).map(|_| churn_stream(rng, per_worker, spec)).collect()
 }
 
+/// Derives producer `index`'s own stream seed from a base seed —
+/// SplitMix64-style mixing, so neighbouring producer indexes land on
+/// statistically unrelated streams.
+pub fn producer_seed(base_seed: u64, index: usize) -> u64 {
+    let mut z = base_seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-*producer* churn streams for the multi-producer ingest pipeline:
+/// producer `p` gets the stream seeded by
+/// [`producer_seed`]`(base_seed, p)`, independent of how many producers
+/// run beside it. That per-producer seeding is the property
+/// [`churn_streams`] (which materializes worker-by-worker from one rng
+/// cursor) cannot give: here producer 2's stream is the same whether the
+/// fleet is 3 or 8 wide, so a differential harness can re-run the *same*
+/// producer workloads at different concurrency levels and compare.
+pub fn producer_churn_streams(
+    base_seed: u64,
+    producers: usize,
+    per_producer: usize,
+    spec: &ChurnSpec,
+) -> Vec<Vec<ChurnOp>> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    (0..producers)
+        .map(|p| {
+            let mut rng = StdRng::seed_from_u64(producer_seed(base_seed, p));
+            churn_stream(&mut rng, per_producer, spec)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +341,25 @@ mod tests {
                 other => panic!("pure-insert mix produced {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn producer_streams_are_stable_across_fleet_sizes() {
+        let spec = ChurnSpec { initial_items: 32, ..Default::default() };
+        let three = producer_churn_streams(42, 3, 60, &spec);
+        let eight = producer_churn_streams(42, 8, 60, &spec);
+        assert_eq!(three.len(), 3);
+        assert_eq!(eight.len(), 8);
+        // Producer p's stream is a function of (base_seed, p) alone: the
+        // same producer sees the same ops no matter the fleet width…
+        for p in 0..3 {
+            assert_eq!(format!("{:?}", three[p]), format!("{:?}", eight[p]));
+        }
+        // …distinct producers see unrelated streams…
+        assert_ne!(format!("{:?}", eight[0]), format!("{:?}", eight[1]));
+        // …and a different base seed reshuffles everyone.
+        let other = producer_churn_streams(43, 3, 60, &spec);
+        assert_ne!(format!("{:?}", three[0]), format!("{:?}", other[0]));
     }
 
     #[test]

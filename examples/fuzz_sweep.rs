@@ -12,6 +12,11 @@
 //!    `EngineWriter`/`LiveEngine`, comparing every published generation
 //!    against a sequential reference engine and finishing with a warm
 //!    replay of the append-only delta stream.
+//!    Campaign 2½, **multi-producer ingest**, rides alongside: each case
+//!    races a fleet of producer threads through the `IngestPipeline`
+//!    (fleet width cycling 1/2/4) and demands every published generation
+//!    match a sequential replay in global ticket order *and* a
+//!    byte-identical op-log prefix replay.
 //! 3. **Decoder mutants** — snapshot/delta streams are mutated (bit
 //!    flips, truncations, splices, reorderings, checksum-resealed forgeries)
 //!    and every mutant must be rejected with a typed error or decode to a
@@ -25,20 +30,30 @@
 
 use std::process::ExitCode;
 use wfprov::fuzz::{
-    case_seed, check_live_churn, check_spec, mutation_corpus, mutation_round, FuzzReport,
+    case_seed, check_live_churn, check_multi_producer, check_spec, mutation_corpus, mutation_round,
+    FuzzReport,
 };
 
 struct Args {
     seed: u64,
     specs: u64,
     live: u64,
+    multi: u64,
     mutants: usize,
     budget: usize,
     case: Option<u64>,
 }
 
 fn parse_args() -> Args {
-    let mut a = Args { seed: 0xF022, specs: 500, live: 50, mutants: 2000, budget: 12, case: None };
+    let mut a = Args {
+        seed: 0xF022,
+        specs: 500,
+        live: 50,
+        multi: 30,
+        mutants: 2000,
+        budget: 12,
+        case: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
@@ -48,6 +63,7 @@ fn parse_args() -> Args {
             "--seed" => a.seed = val("--seed"),
             "--specs" => a.specs = val("--specs"),
             "--live" => a.live = val("--live"),
+            "--multi" => a.multi = val("--multi"),
             "--mutants" => a.mutants = val("--mutants") as usize,
             "--budget" => a.budget = val("--budget") as usize,
             "--case" => a.case = Some(val("--case")),
@@ -55,6 +71,12 @@ fn parse_args() -> Args {
         }
     }
     a
+}
+
+/// Fleet width for multi-producer case `i`: cycle 1 → 2 → 4 so every
+/// width shares the sweep and a failing seed names its width.
+fn fleet_width(i: u64) -> usize {
+    [1usize, 2, 4][(i % 3) as usize]
 }
 
 fn main() -> ExitCode {
@@ -76,6 +98,17 @@ fn main() -> ExitCode {
             Err(d) => {
                 println!("  live case: DIVERGENCE\n  {d}");
                 return ExitCode::FAILURE;
+            }
+        }
+        for producers in [1usize, 2, 4] {
+            match check_multi_producer(seed, args.budget, producers, 24) {
+                Ok(out) => {
+                    println!("  multi case ({producers} producers): ok ({} queries)", out.queries)
+                }
+                Err(d) => {
+                    println!("  multi case ({producers} producers): DIVERGENCE\n  {d}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
         return ExitCode::SUCCESS;
@@ -112,6 +145,19 @@ fn main() -> ExitCode {
         }
     }
 
+    // --- Campaign 2½: multi-producer ingest racing. ---------------------
+    println!("multi-producer sweep: {} cases (fleets of 1/2/4)…", args.multi);
+    for i in 0..args.multi {
+        let seed = case_seed(args.seed ^ 0x111E57, i);
+        match check_multi_producer(seed, args.budget, fleet_width(i), 24) {
+            Ok(out) => report.absorb_multi(&out),
+            Err(d) => {
+                report.divergences += 1;
+                eprintln!("DIVERGENCE (multi case {i}, reproduce with --case {seed}):\n  {d}");
+            }
+        }
+    }
+
     // --- Campaign 3: decoder mutation fuzzing. --------------------------
     println!("mutation sweep: {} mutants…", args.mutants);
     let corpus = mutation_corpus(args.seed);
@@ -132,9 +178,11 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "all clear: {} spec cases, {} live cases, {} mutants ({} rejection classes)",
+        "all clear: {} spec cases, {} live cases, {} multi-producer cases, {} mutants \
+         ({} rejection classes)",
         report.spec_cases,
         report.live_cases,
+        report.multi_cases,
         m.mutants,
         m.classes()
     );

@@ -5,9 +5,13 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use wfprov::analysis::{classify, ProdGraph, RecursionClass};
-use wfprov::engine::QueryEngine;
-use wfprov::fvl::{Fvl, VariantKind};
+use wfprov::engine::{
+    EngineGeneration, EngineWriter, IngestOp, IngestPipeline, ItemId, LiveEngine, PipelineOptions,
+    PublishPolicy, QueryEngine, SharedSink, Ticket, WorkerScratch,
+};
+use wfprov::fvl::{DataLabel, Fvl, VariantKind};
 use wfprov::model::ViewSpec;
 use wfprov::run::RunOracle;
 use wfprov::workloads::{bioaid, sample, synthetic, views, SynthParams};
@@ -148,5 +152,134 @@ proptest! {
         prop_assert!(wfprov::analysis::is_safe(&ViewSpec::new(&w.spec, &dv)));
         // FVL accepts it.
         prop_assert!(Fvl::new(&w.spec).is_ok());
+    }
+
+    /// Concurrent ingest is linearizable and durable: a fleet of racing
+    /// producers publishes exactly what a sequential engine applying the
+    /// same ops in global ticket order holds, and the run's op-log
+    /// survives save → load → resume — a second fleet raced on top of the
+    /// reloaded generation stays element-identical too.
+    #[test]
+    fn concurrent_ingest_matches_sequential_and_survives_reload(
+        seed in 0u64..500,
+        producers_ix in 0usize..3,
+    ) {
+        let producers = [1usize, 2, 4][producers_ix];
+        const PER: usize = 40; // labels per producer per phase, 8 per op
+        let w = bioaid(seed % 5);
+        let fvl = Arc::new(Fvl::from_arc(Arc::new(w.spec.clone())).unwrap());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (_, run) = sample::sample_run(&w, fvl.prod_graph(), &mut rng, 64);
+        let mut pool = fvl.labeler(&run).labels().to_vec();
+        prop_assert!(!pool.is_empty());
+        let mut i = 0usize;
+        while pool.len() < 2 * producers * PER {
+            pool.push(pool[i].clone());
+            i += 1;
+        }
+        let view = views::random_safe_view(&w, &mut rng, 4);
+
+        // Phase 1: race the fleet; every publish appends its delta record
+        // to the shared op-log sink, chained onto the saved base below.
+        let mut writer = EngineWriter::from_fvl(fvl.clone());
+        let vref = writer.register_view(view.clone(), VariantKind::Default).unwrap();
+        let live = Arc::new(LiveEngine::new(writer.base().clone()));
+        writer.publish(&live);
+        let mut stream = Vec::new();
+        writer.base().save(&mut stream).unwrap();
+        let sink = SharedSink::new();
+        let pipeline = IngestPipeline::spawn_with(
+            writer,
+            live.clone(),
+            // A tiny op budget forces publishes to split producer batches.
+            PublishPolicy { max_batch_ops: 8, ..PublishPolicy::default() },
+            PipelineOptions { sink: Some(Box::new(sink.clone())), on_publish: None },
+        );
+        let race = |pipeline: &IngestPipeline, pool: &[DataLabel], base: usize| {
+            let mut tickets: Vec<(Ticket, Vec<DataLabel>)> = Vec::new();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..producers)
+                    .map(|p| {
+                        let q = pipeline.queue().clone();
+                        let slice = &pool[base + p * PER..base + (p + 1) * PER];
+                        s.spawn(move || {
+                            slice
+                                .chunks(8)
+                                .map(|c| {
+                                    let t = q.push(IngestOp::InsertLabels(c.to_vec())).unwrap();
+                                    (t, c.to_vec())
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    tickets.extend(h.join().expect("producer thread panicked"));
+                }
+            });
+            tickets
+        };
+        let mut tickets = race(&pipeline, &pool, 0);
+        let report = pipeline.shutdown();
+        prop_assert!(report.persist_error.is_none());
+
+        // Sequential reference: the same chunks, applied in the global
+        // ticket order the pipeline resolved.
+        for (t, _) in &tickets {
+            prop_assert!(t.wait().is_ok());
+        }
+        tickets.sort_by_key(|(t, _)| t.apply_index().expect("resolved tickets carry the index"));
+        let mut reference = QueryEngine::new(&fvl);
+        let ref_vref = reference.register_view(view.clone(), VariantKind::Default).unwrap();
+        prop_assert_eq!(ref_vref, vref);
+        for (_, chunk) in &tickets {
+            reference.insert_labels(chunk);
+        }
+        let final_gen = live.snapshot();
+        prop_assert_eq!(final_gen.store().len(), producers * PER);
+        let items: Vec<ItemId> = (0..final_gen.store().len() as u32).map(ItemId).collect();
+        let mut ws = WorkerScratch::new();
+        prop_assert_eq!(
+            final_gen.all_pairs(&mut ws, vref, &items),
+            reference.all_pairs(vref, &items)
+        );
+
+        // Save → load: replaying base ‖ op-log must land on the same
+        // generation, views included.
+        stream.extend_from_slice(&sink.contents());
+        let fvl2 = Arc::new(Fvl::from_arc(Arc::new(w.spec.clone())).unwrap());
+        let reloaded = EngineGeneration::replay(fvl2, &mut stream.as_slice()).unwrap();
+        prop_assert_eq!(reloaded.seqno(), final_gen.seqno());
+        prop_assert_eq!(reloaded.store().len(), final_gen.store().len());
+        prop_assert_eq!(
+            reloaded.all_pairs(&mut ws, vref, &items),
+            reference.all_pairs(vref, &items)
+        );
+
+        // Resume: a second fleet raced on top of the reloaded generation
+        // must still match the sequential reference continued in its
+        // ticket order.
+        let live2 = Arc::new(LiveEngine::new(Arc::new(reloaded)));
+        let pipeline2 =
+            IngestPipeline::spawn(EngineWriter::new(live2.snapshot()), live2.clone(), PublishPolicy {
+                max_batch_ops: 8,
+                ..PublishPolicy::default()
+            });
+        let mut tickets2 = race(&pipeline2, &pool, producers * PER);
+        pipeline2.shutdown();
+        for (t, _) in &tickets2 {
+            prop_assert!(t.wait().is_ok());
+        }
+        tickets2.sort_by_key(|(t, _)| t.apply_index().expect("resolved tickets carry the index"));
+        for (_, chunk) in &tickets2 {
+            reference.insert_labels(chunk);
+        }
+        let resumed = live2.snapshot();
+        prop_assert_eq!(resumed.store().len(), 2 * producers * PER);
+        let items2: Vec<ItemId> = (0..resumed.store().len() as u32).map(ItemId).collect();
+        prop_assert_eq!(
+            resumed.all_pairs(&mut ws, vref, &items2),
+            reference.all_pairs(vref, &items2)
+        );
     }
 }
