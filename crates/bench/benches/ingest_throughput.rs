@@ -88,7 +88,7 @@ fn fleet_run(fvl: &Arc<Fvl<'static>>, encoded: &[BitVec], producers: usize) -> F
         writer,
         live,
         PublishPolicy::default(),
-        PipelineOptions { sink: Some(Box::new(sink)), on_publish: None },
+        PipelineOptions { sink: Some(Box::new(sink)), ..PipelineOptions::default() },
     );
 
     let per = encoded.len() / producers;

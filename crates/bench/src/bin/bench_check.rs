@@ -2,10 +2,10 @@
 //! bench writes and asserts its scaling claims.
 //!
 //! `cargo run --release -p wf-bench --bin bench_check [path ...]` — with
-//! no arguments it checks both `BENCH_update_throughput.json` and
-//! `BENCH_ingest_throughput.json` in the current directory (the workspace
-//! root, where bench-smoke runs). Each document dispatches on its
-//! `"bench"` field:
+//! no arguments it checks `BENCH_update_throughput.json`,
+//! `BENCH_ingest_throughput.json` and `BENCH_recovery.json` in the
+//! current directory (the workspace root, where bench-smoke runs). Each
+//! document dispatches on its `"bench"` field:
 //!
 //! **`update_throughput`** — exit 0 iff:
 //!
@@ -31,6 +31,15 @@
 //!   not double the per-label overhead as the fleet grows;
 //! * paced ingest costs the reader ≤ 10% (`qps_ratio_ingest_vs_idle`
 //!   ≥ 0.9 — publishes are atomic swaps, readers never block).
+//!
+//! **`recovery`** — exit 0 iff:
+//!
+//! * the run covers ≥ 10^5 items across ≥ 1000 framed appends, full
+//!   replay replays every frame and compacted recovery replays none;
+//! * compacted recovery is ≥ 3× faster than full-log replay — background
+//!   compaction must keep paying for the replay budget it spends;
+//! * the torn-tail row healed a nonzero suffix with `acked_ops_lost` of
+//!   exactly 0 — the append+fsync ack barrier never loses acked ops.
 //!
 //! No serde in this workspace (offline shims only), so the JSON is parsed
 //! by the little recursive-descent reader below — it handles exactly the
@@ -231,9 +240,76 @@ fn parse(text: &str) -> Result<Json, String> {
 fn check(doc: &Json) -> Result<String, String> {
     match doc.get("bench") {
         Some(Json::Str(name)) if name == "ingest_throughput" => check_ingest(doc),
+        Some(Json::Str(name)) if name == "recovery" => check_recovery(doc),
         // `update_throughput` and older reports without the field.
         _ => check_update(doc),
     }
+}
+
+/// The `recovery` gate: compaction must actually buy a restart something
+/// (compacted recovery ≥ 3× faster than full-log replay at the 10^5-item
+/// point), and a torn tail may cost exactly the unacknowledged suffix —
+/// never an acknowledged op.
+fn check_recovery(doc: &Json) -> Result<String, String> {
+    let items =
+        doc.get("items").and_then(Json::num).filter(|&n| n >= 100_000.0).ok_or_else(|| {
+            "recovery must be measured at >= 100000 items (the 10^5 point)".to_string()
+        })?;
+    let publishes = doc
+        .get("publishes")
+        .and_then(Json::num)
+        .filter(|&n| n >= 1_000.0)
+        .ok_or("missing publishes (need >= 1000 framed appends)")?;
+    let full = doc.get("full_replay").ok_or("missing full_replay object")?;
+    let compacted = doc.get("compacted").ok_or("missing compacted object")?;
+    for (name, obj) in [("full_replay", full), ("compacted", compacted)] {
+        obj.get("ms")
+            .and_then(Json::num)
+            .filter(|&ms| ms > 0.0)
+            .ok_or_else(|| format!("{name}: missing or zero ms"))?;
+        obj.get("recovered_seqno")
+            .and_then(Json::num)
+            .filter(|&s| s == publishes)
+            .ok_or_else(|| format!("{name}: must recover all {publishes} publishes"))?;
+    }
+    full.get("frames")
+        .and_then(Json::num)
+        .filter(|&f| f == publishes)
+        .ok_or("full_replay must replay every frame")?;
+    compacted
+        .get("frames")
+        .and_then(Json::num)
+        .filter(|&f| f == 0.0)
+        .ok_or("compacted recovery must replay zero frames (the base covers the log)")?;
+    let speedup = doc
+        .get("speedup_compacted_vs_full")
+        .and_then(Json::num)
+        .ok_or("missing speedup_compacted_vs_full")?;
+    if speedup < 3.0 {
+        return Err(format!(
+            "compacted recovery is only {speedup:.2}x faster than full-log replay at {items} \
+             items (need >= 3x): compaction no longer pays for the replay-cost budget its \
+             thresholds spend"
+        ));
+    }
+    let torn = doc.get("torn_tail").ok_or("missing torn_tail object")?;
+    torn.get("dropped_bytes")
+        .and_then(Json::num)
+        .filter(|&d| d > 0.0)
+        .ok_or("torn_tail: recovery must have healed a nonzero torn suffix")?;
+    let lost = torn
+        .get("acked_ops_lost")
+        .and_then(Json::num)
+        .ok_or("torn_tail: missing acked_ops_lost")?;
+    if lost != 0.0 {
+        return Err(format!(
+            "a torn tail lost {lost} acknowledged ops: the fsync ack barrier is broken"
+        ));
+    }
+    Ok(format!(
+        "recovery at {items} items / {publishes} frames: compacted {speedup:.2}x faster than \
+         full replay (need 3x), torn tail lost 0 acked ops — ok\n"
+    ))
 }
 
 /// The `update_throughput` gate: sweep shape + the O(touched) publish
@@ -472,7 +548,11 @@ fn check_path(path: &str) -> Result<(), ()> {
 fn main() -> ExitCode {
     let mut paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
-        paths = vec!["BENCH_update_throughput.json".into(), "BENCH_ingest_throughput.json".into()];
+        paths = vec![
+            "BENCH_update_throughput.json".into(),
+            "BENCH_ingest_throughput.json".into(),
+            "BENCH_recovery.json".into(),
+        ];
     }
     let mut failed = false;
     for path in &paths {
@@ -676,5 +756,54 @@ mod tests {
         let text = std::fs::read_to_string(path).expect("committed ingest report exists");
         let doc = parse(&text).expect("committed ingest report parses");
         check(&doc).expect("committed ingest report passes the gate");
+    }
+
+    // --- recovery gate fixtures. ----------------------------------------
+
+    fn recovery_doc(speedup: f64, dropped: u64, lost: u64) -> Json {
+        parse(&format!(
+            r#"{{"bench": "recovery", "items": 100000, "publishes": 6250,
+                 "full_replay": {{"ms": 150.0, "frames": 6250, "recovered_seqno": 6250}},
+                 "compacted": {{"ms": 42.0, "frames": 0, "recovered_seqno": 6250}},
+                 "speedup_compacted_vs_full": {speedup},
+                 "torn_tail": {{"ms": 160.0, "dropped_bytes": {dropped},
+                                "acked_seqno": 6250, "recovered_seqno": 6250,
+                                "acked_ops_lost": {lost}}}}}"#
+        ))
+        .expect("test fixture parses")
+    }
+
+    #[test]
+    fn accepts_a_paying_compaction_and_a_lossless_torn_tail() {
+        let summary = check(&recovery_doc(3.5, 2064, 0)).expect("recovery report passes");
+        assert!(summary.contains("torn tail lost 0 acked ops"));
+    }
+
+    #[test]
+    fn rejects_recovery_regressions() {
+        // Compaction stopped paying for itself.
+        assert!(check(&recovery_doc(1.4, 2064, 0)).unwrap_err().contains("no longer pays"));
+        // A torn tail ate an acknowledged op: the ack barrier is broken.
+        assert!(check(&recovery_doc(3.5, 2064, 1)).unwrap_err().contains("ack barrier"));
+        // The torn row didn't actually tear anything.
+        assert!(check(&recovery_doc(3.5, 0, 0)).unwrap_err().contains("torn suffix"));
+        // Structural shortfalls: too small a run, frames left behind.
+        let small = parse(
+            r#"{"bench": "recovery", "items": 1000, "publishes": 6250,
+                "full_replay": {"ms": 1, "frames": 6250, "recovered_seqno": 6250},
+                "compacted": {"ms": 0.2, "frames": 0, "recovered_seqno": 6250},
+                "speedup_compacted_vs_full": 5.0,
+                "torn_tail": {"dropped_bytes": 10, "acked_ops_lost": 0}}"#,
+        )
+        .unwrap();
+        assert!(check(&small).unwrap_err().contains("10^5"));
+    }
+
+    #[test]
+    fn accepts_the_committed_recovery_report() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recovery.json");
+        let text = std::fs::read_to_string(path).expect("committed recovery report exists");
+        let doc = parse(&text).expect("committed recovery report parses");
+        check(&doc).expect("committed recovery report passes the gate");
     }
 }

@@ -255,7 +255,10 @@ impl EngineGeneration {
     /// the same dense ids, views re-register (structural dedup makes that
     /// deterministic) and must land on their recorded ids, and compiled
     /// labels install into empty slots only.
-    fn apply_delta(&self, r: &mut BitReader<'_>) -> Result<EngineGeneration, SnapshotError> {
+    pub(crate) fn apply_delta(
+        &self,
+        r: &mut BitReader<'_>,
+    ) -> Result<EngineGeneration, SnapshotError> {
         expect_section(r, SECTION_DELTA)?;
         let base = r.read_gamma()? - 1;
         let seqno = r.read_gamma()? - 1;
@@ -450,6 +453,15 @@ impl EngineWriter {
         let gen = self.freeze_staged(st);
         live.publish(gen.clone());
         Ok(gen)
+    }
+
+    /// The staged increment as `(next_seqno, delta_record)` without
+    /// consuming it — the durable pipeline appends the record (with
+    /// retries) to its op-log *before* committing the publish, so the
+    /// fsync is the acknowledgement barrier. `None` with nothing staged.
+    pub(crate) fn staged_record(&self) -> Option<Result<(u64, Vec<u8>), SnapshotError>> {
+        self.staged.as_ref()?;
+        Some(self.delta_record().map(|record| (self.base.seqno + 1, record)))
     }
 
     /// Serializes the staged increment into one container-framed delta

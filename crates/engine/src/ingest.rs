@@ -42,9 +42,12 @@
 //!   applied and published; pushes after it fail with
 //!   [`EngineError::IngestClosed`].
 
+use crate::durability::{
+    lock_durable, CompactionDriver, CompactionPolicy, CompactionTotals, SharedDurable,
+};
 use crate::error::EngineError;
 use crate::generation::{EngineGeneration, EngineWriter, LiveEngine};
-use std::io::Write;
+use std::io::{self, Write};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -139,9 +142,17 @@ impl Ticket {
         }
     }
 
+    /// Ticket state is resolve-once plain data — a panicking holder
+    /// cannot leave it half-updated in any way that matters, so poisoned
+    /// locks are recovered rather than propagated (a wedged producer
+    /// waiting on a ticket is strictly worse).
+    fn lock(&self) -> std::sync::MutexGuard<'_, TicketState> {
+        self.cell.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     fn resolve(&self, outcome: IngestOutcome) {
         let lag = self.cell.created.elapsed().as_nanos() as u64;
-        let mut st = self.cell.state.lock().expect("ticket mutex poisoned");
+        let mut st = self.lock();
         if st.outcome.is_none() {
             st.outcome = Some(outcome);
             st.lag_ns = Some(lag);
@@ -150,29 +161,51 @@ impl Ticket {
     }
 
     fn mark_applied(&self, index: u64) {
-        let mut st = self.cell.state.lock().expect("ticket mutex poisoned");
+        let mut st = self.lock();
         st.apply_index = Some(index);
     }
 
     /// The outcome if already resolved (non-blocking).
     pub fn try_outcome(&self) -> Option<IngestOutcome> {
-        self.cell.state.lock().expect("ticket mutex poisoned").outcome.clone()
+        self.lock().outcome.clone()
     }
 
     /// Blocks until the publisher resolves this ticket.
     pub fn wait(&self) -> IngestOutcome {
-        let mut st = self.cell.state.lock().expect("ticket mutex poisoned");
+        let mut st = self.lock();
         loop {
             if let Some(outcome) = &st.outcome {
                 return outcome.clone();
             }
-            st = self.cell.cv.wait(st).expect("ticket mutex poisoned");
+            st = self.cell.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// [`Ticket::wait`] bounded by `timeout`: `None` if the ticket is
+    /// still unresolved when it elapses. The op stays in flight — a
+    /// healthy pipeline resolves it later; a stalled or stopped one
+    /// resolves it `Err` (persist failures and shutdown resolve every
+    /// outstanding ticket), so `None` is purely "not yet", never "lost".
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<IngestOutcome> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.lock();
+        loop {
+            if let Some(outcome) = &st.outcome {
+                return Some(outcome.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timed_out) =
+                self.cell.cv.wait_timeout(st, deadline - now).unwrap_or_else(|p| p.into_inner());
+            st = guard;
         }
     }
 
     /// Push-to-resolution latency in nanoseconds (after resolution).
     pub fn lag_ns(&self) -> Option<u64> {
-        self.cell.state.lock().expect("ticket mutex poisoned").lag_ns
+        self.lock().lag_ns
     }
 
     /// The op's position in the global application order (after the
@@ -180,7 +213,7 @@ impl Ticket {
     /// reconstructs the exact sequence a sequential writer would have to
     /// apply to reproduce the published generations.
     pub fn apply_index(&self) -> Option<u64> {
-        self.cell.state.lock().expect("ticket mutex poisoned").apply_index
+        self.lock().apply_index
     }
 }
 
@@ -383,6 +416,87 @@ impl Default for PublishPolicy {
     }
 }
 
+/// How the retry layer should treat one sink/storage failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SinkErrorClass {
+    /// Worth retrying after a backoff (interruption, contention, timeout).
+    Transient,
+    /// Retrying cannot help (bad data, permissions, a full disk, …).
+    Fatal,
+}
+
+/// Classify a sink/storage `io::Error` for the [`RetryPolicy`]. The
+/// transient set is deliberately small — kinds that mean "the world was
+/// busy", not "the world is broken": `Interrupted`, `WouldBlock`,
+/// `TimedOut`. Everything else is fatal and surfaces immediately.
+pub fn classify_io_error(e: &io::Error) -> SinkErrorClass {
+    match e.kind() {
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+            SinkErrorClass::Transient
+        }
+        _ => SinkErrorClass::Fatal,
+    }
+}
+
+/// Bounded retry-with-backoff for transient persistence failures.
+///
+/// Attempt `n` (0-based) sleeps `initial_backoff * 2^n`, capped at
+/// `max_backoff`, before retrying; a fatal error or an exhausted budget
+/// surfaces the last error — in the pipeline that resolves every covered
+/// ticket `Err(Persist)` and stops the publisher, never hangs it.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            initial_backoff: Duration::from_micros(500),
+            max_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to sleep after failed attempt `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.initial_backoff.saturating_mul(1u32 << attempt.min(20));
+        exp.min(self.max_backoff)
+    }
+
+    /// Run `op` under this policy, sleeping between transient failures.
+    /// `on_retry` is called once per retry (the pipeline counts them).
+    pub fn run<T>(
+        &self,
+        mut op: impl FnMut() -> io::Result<T>,
+        mut on_retry: impl FnMut(&io::Error),
+    ) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    let giving_up = classify_io_error(&e) == SinkErrorClass::Fatal
+                        || attempt + 1 >= self.max_attempts.max(1);
+                    if giving_up {
+                        return Err(e);
+                    }
+                    on_retry(&e);
+                    std::thread::sleep(self.backoff(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
 /// A cloneable in-memory op-log sink: every clone appends to the same
 /// buffer, so a test or service can hand one clone to
 /// [`PipelineOptions::sink`] and read the accumulated stream from another
@@ -397,15 +511,23 @@ impl SharedSink {
         Self::default()
     }
 
+    /// The buffer is plain bytes with no invariant a panicking writer
+    /// could break mid-update (delta records land as one
+    /// `extend_from_slice`), so a poisoned lock is recovered: one
+    /// writer's panic must not wedge every later append.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<u8>> {
+        self.buf.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// A snapshot of everything written so far. Delta records are
     /// appended atomically (one `write_all` each), so between publishes
     /// this is always a replayable stream suffix.
     pub fn contents(&self) -> Vec<u8> {
-        self.buf.lock().expect("sink mutex poisoned").clone()
+        self.lock().clone()
     }
 
     pub fn len(&self) -> usize {
-        self.buf.lock().expect("sink mutex poisoned").len()
+        self.lock().len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -415,7 +537,7 @@ impl SharedSink {
 
 impl Write for SharedSink {
     fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
-        self.buf.lock().expect("sink mutex poisoned").extend_from_slice(data);
+        self.lock().extend_from_slice(data);
         Ok(data.len())
     }
 
@@ -436,6 +558,24 @@ pub struct PipelineOptions {
     /// Called with each published generation, after the swap — test and
     /// monitoring hook (runs on the publisher thread; keep it cheap).
     pub on_publish: Option<PublishHook>,
+    /// Crash-safe storage ([`crate::DurableEngine`], usually from
+    /// [`crate::DurableEngine::open`] recovery): every publish's delta is
+    /// framed, appended and fsynced here before the swap, making the
+    /// fsync the acknowledgement barrier.
+    pub durable: Option<SharedDurable>,
+    /// With [`PipelineOptions::durable`] set, spawn a background
+    /// [`CompactionDriver`] and trigger it whenever the op-log exceeds
+    /// these bounds. Ignored without durable storage.
+    pub compaction: Option<CompactionPolicy>,
+    /// Retry-with-backoff for transient persistence failures (applies to
+    /// both `durable` appends and the plain `sink`).
+    pub retry: RetryPolicy,
+}
+
+impl PipelineOptions {
+    fn wants_record(&self) -> bool {
+        self.durable.is_some() || self.sink.is_some()
+    }
 }
 
 /// Publisher-side counters, returned in the [`PipelineReport`].
@@ -449,6 +589,8 @@ pub struct IngestStats {
     pub publishes: u64,
     /// Data labels interned.
     pub labels_ingested: u64,
+    /// Transient persistence failures absorbed by the [`RetryPolicy`].
+    pub persist_retries: u64,
 }
 
 /// What [`IngestPipeline::shutdown`] hands back: the writer (now based on
@@ -461,6 +603,8 @@ pub struct PipelineReport {
     /// `Some` if a publish failed to persist its delta (the pipeline
     /// stopped there; tickets after that point resolved `Shutdown`).
     pub persist_error: Option<String>,
+    /// Background compaction totals (`Some` iff a driver ran).
+    pub compaction: Option<CompactionTotals>,
 }
 
 /// The running pipeline: one publisher thread behind an [`IngestQueue`].
@@ -547,6 +691,10 @@ fn publisher_loop(
     let mut deadline: Option<Instant> = None;
     let mut apply_index = 0u64;
     let mut persist_error: Option<String> = None;
+    let driver = match (&options.durable, options.compaction) {
+        (Some(durable), Some(_)) => Some(CompactionDriver::spawn(durable.clone(), live.clone())),
+        _ => None,
+    };
 
     'run: loop {
         let timeout = deadline.map(|d| d.saturating_duration_since(Instant::now()));
@@ -584,10 +732,13 @@ fn publisher_loop(
 
         if due && staged_ops > 0 {
             if writer.has_staged_changes() {
-                let published = match options.sink.as_mut() {
-                    Some(sink) => writer.publish_with_delta(&live, sink),
-                    None => Ok(writer.publish(&live)),
-                };
+                let published = persist_and_publish(
+                    &mut writer,
+                    &live,
+                    &mut options,
+                    &mut stats,
+                    driver.as_ref(),
+                );
                 match published {
                     Ok(gen) => {
                         stats.publishes += 1;
@@ -598,11 +749,11 @@ fn publisher_loop(
                             hook(&gen);
                         }
                     }
-                    Err(e) => {
-                        // The op-log could not record this publish; fail
-                        // the covered tickets and stop instead of letting
-                        // the live chain diverge from the stream.
-                        let msg = e.to_string();
+                    Err(msg) => {
+                        // The op-log could not record this publish (the
+                        // retry budget included); fail the covered tickets
+                        // and stop instead of letting the live chain
+                        // diverge from the stream.
                         for t in pending.drain(..) {
                             t.resolve(Err(IngestError::Persist(msg.clone())));
                         }
@@ -647,7 +798,51 @@ fn publisher_loop(
         t.resolve(Err(IngestError::Shutdown));
     }
 
-    PipelineReport { writer, sink: options.sink, stats, persist_error }
+    let compaction = driver.map(CompactionDriver::shutdown);
+    PipelineReport { writer, sink: options.sink, stats, persist_error, compaction }
+}
+
+/// Publish one staged batch, persisting its delta record first. With
+/// durable storage the order is: frame + append + fsync (retried under
+/// the [`RetryPolicy`] for transient errors) → optional plain sink →
+/// generation swap. `Err` consumes nothing: the staged state survives
+/// for the caller's persist-failure path.
+fn persist_and_publish(
+    writer: &mut EngineWriter,
+    live: &LiveEngine,
+    options: &mut PipelineOptions,
+    stats: &mut IngestStats,
+    driver: Option<&CompactionDriver>,
+) -> Result<Arc<EngineGeneration>, String> {
+    if !options.wants_record() {
+        return Ok(writer.publish(live));
+    }
+    let (seqno, record) = match writer.staged_record() {
+        None => return Ok(writer.publish(live)),
+        Some(Ok(pair)) => pair,
+        Some(Err(e)) => return Err(e.to_string()),
+    };
+    let retry = options.retry;
+    let mut log_status = None;
+    if let Some(durable) = options.durable.as_ref() {
+        let status = retry
+            .run(|| lock_durable(durable).append(seqno, &record), |_e| stats.persist_retries += 1)
+            .map_err(|e| e.to_string())?;
+        log_status = Some(status);
+    }
+    if let Some(sink) = options.sink.as_mut() {
+        retry
+            .run(|| sink.write_all(&record), |_e| stats.persist_retries += 1)
+            .map_err(|e| e.to_string())?;
+    }
+    let gen = writer.publish(live);
+    debug_assert_eq!(gen.seqno(), seqno, "published seqno must match the persisted record");
+    if let (Some(driver), Some(policy), Some(status)) = (driver, options.compaction, log_status) {
+        if policy.due(status) {
+            driver.trigger();
+        }
+    }
+    Ok(gen)
 }
 
 fn apply_op(

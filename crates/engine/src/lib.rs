@@ -34,7 +34,13 @@
 //!   silent drops) and a publisher thread batches, coalesces and
 //!   publishes them on a [`PublishPolicy`] cadence, appending each
 //!   publish to an op-log whose replay converges byte-identically with
-//!   the live run.
+//!   the live run;
+//! * [`DurableEngine`] / [`CompactionDriver`] — crash-safe durability
+//!   over that op-log: framed, checksummed, fsynced appends as the
+//!   acknowledgement barrier, a recovery reader that heals torn tails
+//!   and skips compaction-stale frames, background compaction that folds
+//!   the replayed head into a fresh base by atomic rename, and a
+//!   [`RetryPolicy`] absorbing transient sink faults.
 //!
 //! Engines additionally persist themselves: [`QueryEngine::save`] writes
 //! the interned store, the registered views and every compiled label
@@ -68,6 +74,7 @@
 //! assert_eq!(engine.query_batch(u2, &[(d17, d31)]), vec![Some(true)]);
 //! ```
 
+mod durability;
 mod engine;
 mod error;
 mod frozen;
@@ -77,13 +84,18 @@ mod registry;
 mod staging;
 mod store;
 
+pub use durability::{
+    lock_durable, serialize_base, shared_durable, CompactionDriver, CompactionPolicy,
+    CompactionStats, CompactionTotals, DurableEngine, LogStatus, RecoveryReport, SharedDurable,
+};
 pub use engine::QueryEngine;
 pub use error::EngineError;
 pub use frozen::{EngineCore, WorkerScratch};
 pub use generation::{EngineGeneration, EngineWriter, LiveEngine};
 pub use ingest::{
-    IngestError, IngestOp, IngestOutcome, IngestPipeline, IngestQueue, IngestStats,
-    PipelineOptions, PipelineReport, PublishPolicy, SharedSink, Ticket,
+    classify_io_error, IngestError, IngestOp, IngestOutcome, IngestPipeline, IngestQueue,
+    IngestStats, PipelineOptions, PipelineReport, PublishPolicy, RetryPolicy, SharedSink,
+    SinkErrorClass, Ticket,
 };
 pub use registry::{ViewId, ViewRef, ViewRegistry};
 pub use store::{ItemId, LabelStore};

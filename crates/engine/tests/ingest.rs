@@ -52,7 +52,8 @@ fn racing_producers_converge_and_the_oplog_replays_byte_identically() {
         ..PublishPolicy::default()
     };
     let sink = SharedSink::new();
-    let options = PipelineOptions { sink: Some(Box::new(sink.clone())), on_publish: None };
+    let options =
+        PipelineOptions { sink: Some(Box::new(sink.clone())), ..PipelineOptions::default() };
     let pipeline = IngestPipeline::spawn_with(writer, live.clone(), policy, options);
 
     // Four producers, each owning a disjoint slice of the remaining pool;
@@ -138,7 +139,7 @@ fn racing_producers_converge_and_the_oplog_replays_byte_identically() {
         writer2,
         live2.clone(),
         PublishPolicy::default(),
-        PipelineOptions { sink: Some(Box::new(sink2.clone())), on_publish: None },
+        PipelineOptions { sink: Some(Box::new(sink2.clone())), ..PipelineOptions::default() },
     );
     let t = pipeline2.queue().push(IngestOp::InsertLabels(labels[..3].to_vec())).unwrap();
     let resumed_seq = t.wait().unwrap();

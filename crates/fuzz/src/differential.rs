@@ -675,7 +675,11 @@ pub fn check_multi_producer(
         writer,
         live.clone(),
         policy,
-        PipelineOptions { sink: Some(Box::new(sink.clone())), on_publish: Some(Box::new(hook)) },
+        PipelineOptions {
+            sink: Some(Box::new(sink.clone())),
+            on_publish: Some(Box::new(hook)),
+            ..PipelineOptions::default()
+        },
     );
 
     // Race the fleet.

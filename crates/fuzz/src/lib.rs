@@ -31,17 +31,26 @@
 //!   [`wf_snapshot::SnapshotError`] — never a panic, a hang, or a silently
 //!   wrong answer (mutants that still decode are checked against the
 //!   pristine state).
+//! * [`crash`] — a **crash-injection campaign for the durable write
+//!   path**: a metered in-memory storage kills a deterministic
+//!   publish/compact schedule at every log byte, fsync, truncation and
+//!   atomic-rename point; reopening the surviving bytes must rebuild a
+//!   published generation byte-identically, at least as new as the last
+//!   acknowledged append — no panics, no unrecoverable storage, no
+//!   silent corruption.
 //!
 //! Reproducibility contract: every public entry point takes a `u64` seed
 //! and derives per-case seeds with [`case_seed`]; any reported failure
 //! prints the case seed, and re-running the same entry point with that
 //! seed replays the exact case (see `examples/fuzz_sweep.rs --case`).
 
+pub mod crash;
 pub mod differential;
 pub mod mutate;
 pub mod report;
 pub mod specgen;
 
+pub use crash::{crash_campaign, CrashStats};
 pub use differential::{
     check_live_churn, check_multi_producer, check_spec, DiffOutcome, Divergence,
 };

@@ -2,6 +2,7 @@
 //! emission the CI fuzz-smoke job checks (same hand-rolled JSON
 //! convention as the `wf-bench` suites — the container has no serde).
 
+use crate::crash::CrashStats;
 use crate::differential::DiffOutcome;
 use crate::mutate::MutationStats;
 use std::fmt::Write as _;
@@ -24,6 +25,15 @@ pub struct FuzzReport {
     /// the sweep aborts loudly on the first one, so nonzero means the
     /// report was written by a failing run).
     pub divergences: u64,
+    /// Crash-injection campaigns executed against the durable write path.
+    pub crash_cases: u64,
+    /// Crash points injected across all campaigns (each one a process
+    /// kill mid-mutation followed by a verified recovery).
+    pub crash_points: u64,
+    /// Recoveries that healed a torn log tail.
+    pub crash_torn_tails: u64,
+    /// Compaction-stale frames skipped during crash recoveries.
+    pub crash_stale_frames: u64,
     /// Decoder mutation results.
     pub mutation: MutationStats,
 }
@@ -50,6 +60,13 @@ impl FuzzReport {
         self.items += out.items;
     }
 
+    pub fn absorb_crash(&mut self, stats: &CrashStats) {
+        self.crash_cases += 1;
+        self.crash_points += stats.crashes;
+        self.crash_torn_tails += stats.torn_tails;
+        self.crash_stale_frames += stats.stale_frames;
+    }
+
     /// Serializes the report (stable key order, valid JSON).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
@@ -63,6 +80,10 @@ impl FuzzReport {
         let _ = writeln!(s, "  \"queries_checked\": {},", self.queries);
         let _ = writeln!(s, "  \"items_labeled\": {},", self.items);
         let _ = writeln!(s, "  \"divergences\": {},", self.divergences);
+        let _ = writeln!(s, "  \"crash_cases\": {},", self.crash_cases);
+        let _ = writeln!(s, "  \"crash_points\": {},", self.crash_points);
+        let _ = writeln!(s, "  \"crash_torn_tails\": {},", self.crash_torn_tails);
+        let _ = writeln!(s, "  \"crash_stale_frames\": {},", self.crash_stale_frames);
         let _ = writeln!(s, "  \"mutants\": {},", self.mutation.mutants);
         let _ = writeln!(s, "  \"mutant_panics\": {},", self.mutation.panics);
         let _ = writeln!(s, "  \"mutant_silent_corruption\": {},", self.mutation.wrong);

@@ -5,8 +5,8 @@
 //! seed, and `--example fuzz_sweep -- --case <seed>` replays it.
 
 use wf_fuzz::{
-    case_seed, check_live_churn, check_multi_producer, check_spec, mutation_corpus, mutation_round,
-    FuzzReport,
+    case_seed, check_live_churn, check_multi_producer, check_spec, crash_campaign, mutation_corpus,
+    mutation_round, FuzzReport,
 };
 
 /// The differential campaign, bounded: adversarial specs at three size
@@ -61,6 +61,25 @@ fn bounded_multi_producer_sweep() {
     }
     assert!(report.items > 0, "multi-producer sweep published nothing: {report:?}");
     assert!(report.queries > 0, "multi-producer sweep compared nothing: {report:?}");
+}
+
+/// The crash-injection campaign, bounded: a handful of seeds, strided
+/// crash points over each publish/compact schedule. Every injected kill
+/// must recover a published generation byte-identically, at least as new
+/// as the last acknowledged append — the CI fuzz-smoke job runs the same
+/// campaign exhaustively at stride 1.
+#[test]
+fn bounded_crash_sweep() {
+    let mut report = FuzzReport::default();
+    for i in 0..4u64 {
+        let seed = case_seed(0xC8A5, i);
+        match crash_campaign(seed, 6, 5, 53) {
+            Ok(stats) => report.absorb_crash(&stats),
+            Err(d) => panic!("crash-recovery violation: {d}"),
+        }
+    }
+    assert!(report.crash_points > 20, "sweep injected too few crashes: {report:?}");
+    assert!(report.crash_torn_tails > 0, "no crash ever tore the log tail: {report:?}");
 }
 
 /// The decoder campaign, bounded: every mutant is rejected with a typed

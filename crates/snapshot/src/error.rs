@@ -21,6 +21,15 @@ pub enum SnapshotError {
     /// The payload passed the checksum but decodes into an inconsistent
     /// structure (forged or buggy input).
     Malformed(&'static str),
+    /// A durable op-log frame *before the tail* is damaged: bad frame
+    /// magic, bad header checksum, or a complete frame whose payload
+    /// checksum fails. A crashed append can only produce a *prefix* of
+    /// the intended bytes, so damage that is not a torn tail is real
+    /// corruption and is never silently dropped.
+    LogCorrupted {
+        /// Byte offset of the damaged frame within the log stream.
+        offset: u64,
+    },
 }
 
 impl SnapshotError {
@@ -38,6 +47,7 @@ impl SnapshotError {
             SnapshotError::ChecksumMismatch => "checksum_mismatch",
             SnapshotError::SpecMismatch { .. } => "spec_mismatch",
             SnapshotError::Malformed(_) => "malformed",
+            SnapshotError::LogCorrupted { .. } => "log_corrupted",
         }
     }
 }
@@ -61,6 +71,9 @@ impl std::fmt::Display for SnapshotError {
                  (fingerprint {found:#018x}, engine expects {expected:#018x})"
             ),
             SnapshotError::Malformed(what) => write!(f, "malformed snapshot payload: {what}"),
+            SnapshotError::LogCorrupted { offset } => {
+                write!(f, "op-log frame at byte {offset} is corrupted (not a torn tail)")
+            }
         }
     }
 }

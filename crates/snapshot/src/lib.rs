@@ -25,6 +25,14 @@
 //! * [`oplog`] — the op-framed layout of a delta payload: the increment as
 //!   the typed ingest ops that produced it, in application order, so one
 //!   persisted stream doubles as the ingest pipeline's op-log.
+//! * [`durable`] — crash-safe file-backed storage for that stream:
+//!   checksummed log frames with fsync acknowledgement points, a recovery
+//!   reader that truncates a torn tail (mid-stream damage stays a hard
+//!   [`SnapshotError::LogCorrupted`]), and the atomic
+//!   write-temp → fsync → rename base swap compaction relies on.
+//! * [`fault`] — deterministic fault injection ([`FaultSink`],
+//!   [`FaultFile`], crash-point-metered [`MemStorage`]) so every torn
+//!   write and kill point above is exercisable in tests and fuzzing.
 //!
 //! The payload *sections* live with the data they serialize:
 //! [`wf_core::snapshot`] provides matrix / dependency-assignment
@@ -34,7 +42,9 @@
 
 pub mod container;
 pub mod delta;
+pub mod durable;
 pub mod error;
+pub mod fault;
 pub mod fingerprint;
 pub mod oplog;
 pub mod view;
@@ -44,6 +54,11 @@ pub use container::{
     FORMAT_VERSION, MAGIC,
 };
 pub use delta::{edge_target_module, read_label, write_label};
+pub use durable::{
+    encode_frame, scan_log, DiskStorage, DurableLog, LogOpen, LogScan, ScannedFrame, Storage,
+    BASE_FILE, FRAME_HEADER_BYTES, FRAME_MAGIC, LOG_FILE,
+};
 pub use error::SnapshotError;
+pub use fault::{FaultAt, FaultFile, FaultKind, FaultPlan, FaultSink, MemStorage};
 pub use fingerprint::spec_fingerprint;
 pub use view::{read_view, write_view};

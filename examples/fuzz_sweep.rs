@@ -17,6 +17,11 @@
 //!    (fleet width cycling 1/2/4) and demands every published generation
 //!    match a sequential replay in global ticket order *and* a
 //!    byte-identical op-log prefix replay.
+//!    Campaign 2¾, **crash injection**, follows: each campaign drives a
+//!    deterministic publish/compact schedule over a metered in-memory
+//!    storage and kills it at every mutation point (every log byte,
+//!    fsync, truncation and atomic rename), demanding recovery to a
+//!    byte-identical published generation with no acked loss.
 //! 3. **Decoder mutants** — snapshot/delta streams are mutated (bit
 //!    flips, truncations, splices, reorderings, checksum-resealed forgeries)
 //!    and every mutant must be rejected with a typed error or decode to a
@@ -30,8 +35,8 @@
 
 use std::process::ExitCode;
 use wfprov::fuzz::{
-    case_seed, check_live_churn, check_multi_producer, check_spec, mutation_corpus, mutation_round,
-    FuzzReport,
+    case_seed, check_live_churn, check_multi_producer, check_spec, crash_campaign, mutation_corpus,
+    mutation_round, FuzzReport,
 };
 
 struct Args {
@@ -40,6 +45,7 @@ struct Args {
     live: u64,
     multi: u64,
     mutants: usize,
+    crash: u64,
     budget: usize,
     case: Option<u64>,
 }
@@ -51,6 +57,7 @@ fn parse_args() -> Args {
         live: 50,
         multi: 30,
         mutants: 2000,
+        crash: 6,
         budget: 12,
         case: None,
     };
@@ -65,6 +72,7 @@ fn parse_args() -> Args {
             "--live" => a.live = val("--live"),
             "--multi" => a.multi = val("--multi"),
             "--mutants" => a.mutants = val("--mutants") as usize,
+            "--crash" => a.crash = val("--crash"),
             "--budget" => a.budget = val("--budget") as usize,
             "--case" => a.case = Some(val("--case")),
             other => panic!("unknown flag {other} (see examples/fuzz_sweep.rs)"),
@@ -109,6 +117,16 @@ fn main() -> ExitCode {
                     println!("  multi case ({producers} producers): DIVERGENCE\n  {d}");
                     return ExitCode::FAILURE;
                 }
+            }
+        }
+        match crash_campaign(seed, args.budget, 6, 1) {
+            Ok(stats) => println!(
+                "  crash case: ok ({} crash points, {} torn tails)",
+                stats.crashes, stats.torn_tails
+            ),
+            Err(d) => {
+                println!("  crash case: VIOLATION\n  {d}");
+                return ExitCode::FAILURE;
             }
         }
         return ExitCode::SUCCESS;
@@ -158,6 +176,19 @@ fn main() -> ExitCode {
         }
     }
 
+    // --- Campaign 2¾: crash injection on the durable write path. --------
+    println!("crash-injection sweep: {} campaigns (stride 1, every mutation point)…", args.crash);
+    for i in 0..args.crash {
+        let seed = case_seed(args.seed ^ 0xC8A5, i);
+        match crash_campaign(seed, args.budget, 6, 1) {
+            Ok(stats) => report.absorb_crash(&stats),
+            Err(d) => {
+                report.divergences += 1;
+                eprintln!("CRASH VIOLATION (campaign {i}, reproduce with --case {seed}):\n  {d}");
+            }
+        }
+    }
+
     // --- Campaign 3: decoder mutation fuzzing. --------------------------
     println!("mutation sweep: {} mutants…", args.mutants);
     let corpus = mutation_corpus(args.seed);
@@ -178,11 +209,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "all clear: {} spec cases, {} live cases, {} multi-producer cases, {} mutants \
-         ({} rejection classes)",
+        "all clear: {} spec cases, {} live cases, {} multi-producer cases, {} crash points \
+         ({} torn tails), {} mutants ({} rejection classes)",
         report.spec_cases,
         report.live_cases,
         report.multi_cases,
+        report.crash_points,
+        report.crash_torn_tails,
         m.mutants,
         m.classes()
     );

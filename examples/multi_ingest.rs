@@ -66,7 +66,7 @@ fn main() {
         writer,
         live.clone(),
         policy,
-        PipelineOptions { sink: Some(Box::new(sink.clone())), on_publish: None },
+        PipelineOptions { sink: Some(Box::new(sink.clone())), ..PipelineOptions::default() },
     );
 
     let stop = AtomicBool::new(false);

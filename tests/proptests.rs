@@ -193,7 +193,7 @@ proptest! {
             live.clone(),
             // A tiny op budget forces publishes to split producer batches.
             PublishPolicy { max_batch_ops: 8, ..PublishPolicy::default() },
-            PipelineOptions { sink: Some(Box::new(sink.clone())), on_publish: None },
+            PipelineOptions { sink: Some(Box::new(sink.clone())), ..PipelineOptions::default() },
         );
         let race = |pipeline: &IngestPipeline, pool: &[DataLabel], base: usize| {
             let mut tickets: Vec<(Ticket, Vec<DataLabel>)> = Vec::new();
