@@ -67,11 +67,16 @@ fn bench_parallel_throughput(c: &mut Criterion) {
         pairs.iter().map(|&(a, b)| (items[a.0 as usize], items[b.0 as usize])).collect();
 
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Whether aggregate_qps figures below are CPU-normalized (true) or a
+    // wall-rate fallback (false, no process CPU clock): bench_check only
+    // trusts the aggregate gate on a small host when this is true.
+    let cpu_clock = process_cpu_ns().is_some();
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"parallel_throughput\",");
     let _ = writeln!(json, "  \"pairs\": {PAIRS},");
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"cpu_clock\": {cpu_clock},");
     let _ = writeln!(json, "  \"unit\": \"queries_per_sec\",");
     let _ = writeln!(
         json,

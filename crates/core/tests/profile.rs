@@ -1,0 +1,110 @@
+//! Smoke test for the `profile` feature: the decode-path stage counters
+//! must *nest* (a stage scoped inside another contributes no more time
+//! than its parent) and *sum* (invocation counts add up exactly across
+//! scopes, queries and `take_report` resets).
+//!
+//! Compiled only with `--features profile`; the default build ships the
+//! same call sites as no-ops, which `wf-profile`'s own tests pin.
+#![cfg(feature = "profile")]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wf_analysis::ProdGraph;
+use wf_core::{Fvl, VariantKind};
+use wf_profile::{take_report, Stage};
+use wf_workloads::{bioaid, sample, views};
+
+/// The counters are process-global; serialize the tests in this file so
+/// one test's traffic never leaks into another's report.
+static EXCLUSIVE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Synthetic nesting: one Batch scope wrapping three Matmul scopes. The
+/// parent's inclusive nanoseconds must cover the children's sum, and every
+/// invocation must be counted exactly once.
+#[test]
+fn counters_nest_and_sum_synthetically() {
+    let _guard = EXCLUSIVE.lock().unwrap();
+    let _ = take_report(); // drain whatever sibling tests left behind
+    {
+        let _outer = wf_profile::scope(Stage::Batch);
+        for _ in 0..3 {
+            let _inner = wf_profile::scope(Stage::Matmul);
+            std::hint::black_box((0..512).sum::<u64>());
+        }
+    }
+    let r = take_report();
+    assert_eq!(r.calls_of(Stage::Batch), 1);
+    assert_eq!(r.calls_of(Stage::Matmul), 3);
+    assert!(
+        r.ns_of(Stage::Batch) >= r.ns_of(Stage::Matmul),
+        "inclusive parent time ({}) must cover nested children ({})",
+        r.ns_of(Stage::Batch),
+        r.ns_of(Stage::Matmul),
+    );
+    // take_report drains: a second read must see zeros, not carryover.
+    assert!(take_report().is_empty());
+}
+
+/// Real decode traffic: run a batch of π queries and check the per-stage
+/// invariants — every query ticks exactly one Pi scope, kernel stages nest
+/// inside Pi, and power requests split exactly into hits + misses with the
+/// memo warm on a second pass.
+#[test]
+fn decode_path_stages_nest_and_sum() {
+    let _guard = EXCLUSIVE.lock().unwrap();
+    let w = bioaid(1);
+    let fvl = Fvl::new(&w.spec).expect("bioaid spec is valid");
+    let pg = ProdGraph::new(&w.spec.grammar);
+    let mut rng = StdRng::seed_from_u64(7);
+    let (_, run) = sample::sample_run(&w, &pg, &mut rng, 80);
+    let labels = fvl.labeler(&run).labels().to_vec();
+    let view = views::random_safe_view(&w, &mut rng, 3);
+    let vl = fvl.label_view(&view, VariantKind::Default).expect("view labels");
+    let mut session = fvl.session(&vl);
+
+    let probe: Vec<_> = labels.iter().take(24).collect();
+    let _ = take_report(); // exclude construction-time matmuls
+
+    let mut queries = 0u64;
+    for d1 in &probe {
+        for d2 in &probe {
+            let _ = session.query_unchecked(d1, d2);
+            queries += 1;
+        }
+    }
+    let r = take_report();
+
+    // Sum: π ran once per query, no more, no less.
+    assert_eq!(r.calls_of(Stage::Pi), queries);
+    // The workload is recursive and the probe is dense enough that the
+    // matrix kernels must have fired.
+    assert!(r.calls_of(Stage::Matmul) > 0, "expected matmuls on the π hot path");
+    // Nesting: kernel and chain stages run strictly inside π scopes on
+    // this single thread, so their inclusive time cannot exceed π's.
+    for inner in [Stage::Matmul, Stage::Transpose, Stage::ChainEval] {
+        assert!(
+            r.ns_of(inner) <= r.ns_of(Stage::Pi),
+            "{:?} ns ({}) exceeds enclosing Pi ns ({})",
+            inner,
+            r.ns_of(inner),
+            r.ns_of(Stage::Pi),
+        );
+    }
+
+    // Second identical pass: the session memo is warm, so chain-power
+    // requests may no longer miss — and hit/miss totals stay consistent.
+    let first_requests = r.calls_of(Stage::PowMemoHit) + r.calls_of(Stage::PowMemoMiss);
+    for d1 in &probe {
+        for d2 in &probe {
+            let _ = session.query_unchecked(d1, d2);
+        }
+    }
+    let r2 = take_report();
+    assert_eq!(r2.calls_of(Stage::Pi), queries);
+    assert_eq!(r2.calls_of(Stage::PowMemoMiss), 0, "warm memo must not miss");
+    assert_eq!(
+        r2.calls_of(Stage::PowMemoHit),
+        first_requests,
+        "every first-pass power request must repeat as a hit"
+    );
+}

@@ -26,6 +26,7 @@ use crate::error::EngineError;
 use crate::registry::{ViewRef, ViewRegistry};
 use crate::store::{ItemId, LabelStore};
 use wf_core::{is_visible_ref, pi_with, DecodeCtx, Fvl, QueryScratch};
+use wf_profile::Stage;
 use wf_run::EdgeLabel;
 
 /// One worker's mutable query state: scratch (pool + memo) and the label
@@ -38,6 +39,8 @@ pub struct WorkerScratch {
     pub(crate) buf_i1: Vec<EdgeLabel>,
     pub(crate) buf_o2: Vec<EdgeLabel>,
     pub(crate) buf_i2: Vec<EdgeLabel>,
+    /// Evaluation-order indices for grouped batches (reused across calls).
+    pub(crate) order: Vec<u32>,
 }
 
 impl WorkerScratch {
@@ -66,8 +69,13 @@ pub(crate) fn query_pair(
     a: ItemId,
     b: ItemId,
 ) -> Option<bool> {
-    let r1 = store.label_ref(a, &mut ws.buf_o1, &mut ws.buf_i1);
-    let r2 = store.label_ref(b, &mut ws.buf_o2, &mut ws.buf_i2);
+    let (r1, r2) = {
+        let _f = wf_profile::scope(Stage::LabelFetch);
+        (
+            store.label_ref(a, &mut ws.buf_o1, &mut ws.buf_i1),
+            store.label_ref(b, &mut ws.buf_o2, &mut ws.buf_i2),
+        )
+    };
     if !is_visible_ref(r1, ctx.vl, ctx.pg) || !is_visible_ref(r2, ctx.vl, ctx.pg) {
         return None;
     }
@@ -87,12 +95,18 @@ fn sweep_rows(
     out: &mut Vec<(ItemId, ItemId)>,
 ) {
     for &a in rows {
-        let r1 = store.label_ref(a, &mut ws.buf_o1, &mut ws.buf_i1);
+        let r1 = {
+            let _f = wf_profile::scope(Stage::LabelFetch);
+            store.label_ref(a, &mut ws.buf_o1, &mut ws.buf_i1)
+        };
         if !is_visible_ref(r1, ctx.vl, ctx.pg) {
             continue;
         }
         for &b in items {
-            let r2 = store.label_ref(b, &mut ws.buf_o2, &mut ws.buf_i2);
+            let r2 = {
+                let _f = wf_profile::scope(Stage::LabelFetch);
+                store.label_ref(b, &mut ws.buf_o2, &mut ws.buf_i2)
+            };
             if !is_visible_ref(r2, ctx.vl, ctx.pg) {
                 continue;
             }
@@ -190,6 +204,16 @@ impl<'e> EngineCore<'e> {
     /// worker's scratch across the whole batch; steady state performs no
     /// allocation. Validates the view and every item before answering
     /// anything, so a failed call leaves `out` empty rather than partial.
+    ///
+    /// Evaluation is *grouped*, not in input order: the batch is sorted
+    /// (through a reused index buffer) by `(a, b)` item id, so every run of
+    /// pairs sharing a first item fetches and visibility-checks `a`'s label
+    /// once, and neighboring ids — interned in insertion order, so sharing
+    /// production-path prefixes and store shards — keep the scratch's
+    /// chain-power memo and the store's trie nodes hot. Results are written
+    /// back through the index, so `out` is element-for-element identical to
+    /// input-order evaluation (π is pure per pair; see
+    /// `grouped_batch_matches_per_call_queries` in `tests/serving.rs`).
     pub fn try_query_batch_into(
         &self,
         ws: &mut WorkerScratch,
@@ -203,8 +227,44 @@ impl<'e> EngineCore<'e> {
             self.check_item(a)?;
             self.check_item(b)?;
         }
-        for &(a, b) in pairs {
-            out.push(query_pair(self.store, &ctx, ws, a, b));
+        let _batch = wf_profile::scope(Stage::Batch);
+        out.resize(pairs.len(), None);
+        let WorkerScratch { scratch, buf_o1, buf_i1, buf_o2, buf_i2, order } = ws;
+        order.clear();
+        order.extend(0..pairs.len() as u32);
+        order.sort_unstable_by_key(|&i| {
+            let (a, b) = pairs[i as usize];
+            (a.0, b.0)
+        });
+        let mut at = 0;
+        while at < order.len() {
+            let a = pairs[order[at] as usize].0;
+            let r1 = {
+                let _f = wf_profile::scope(Stage::LabelFetch);
+                self.store.label_ref(a, buf_o1, buf_i1)
+            };
+            let visible1 = is_visible_ref(r1, ctx.vl, ctx.pg);
+            while at < order.len() {
+                let slot = order[at] as usize;
+                let (a2, b) = pairs[slot];
+                if a2 != a {
+                    break;
+                }
+                out[slot] = if !visible1 {
+                    None
+                } else {
+                    let r2 = {
+                        let _f = wf_profile::scope(Stage::LabelFetch);
+                        self.store.label_ref(b, buf_o2, buf_i2)
+                    };
+                    if is_visible_ref(r2, ctx.vl, ctx.pg) {
+                        pi_with(&ctx, scratch, r1, r2)
+                    } else {
+                        None
+                    }
+                };
+                at += 1;
+            }
         }
         Ok(())
     }
@@ -223,6 +283,7 @@ impl<'e> EngineCore<'e> {
         for &a in items {
             self.check_item(a)?;
         }
+        let _batch = wf_profile::scope(Stage::Batch);
         sweep_rows(self.store, &ctx, ws, items, items, out);
         Ok(())
     }
@@ -281,6 +342,7 @@ impl<'e> EngineCore<'e> {
                 pairs.chunks(chunk).zip(out.chunks_mut(chunk)).zip(scratches.iter_mut())
             {
                 s.spawn(move || {
+                    let _batch = wf_profile::scope(Stage::Batch);
                     for (slot, &(a, b)) in out_chunk.iter_mut().zip(in_chunk) {
                         *slot = query_pair(store, ctx, ws, a, b);
                     }
@@ -327,6 +389,7 @@ impl<'e> EngineCore<'e> {
                 .chunks(chunk)
                 .map(|rows| {
                     s.spawn(move || {
+                        let _batch = wf_profile::scope(Stage::Batch);
                         let mut ws = WorkerScratch::new();
                         let mut local = Vec::new();
                         sweep_rows(store, ctx, &mut ws, rows, items, &mut local);

@@ -100,6 +100,44 @@ fn all_pairs_matches_pairwise_queries() {
     assert!(!dependent.is_empty(), "a run always has some dependent pairs");
 }
 
+/// The batched path evaluates in grouped (sorted-by-item) order to reuse
+/// label fetches and keep memo locality — but its *output* must stay
+/// element-for-element identical to per-call queries in input order, for
+/// any input arrangement: duplicated pairs, shared first items, reversed
+/// and shuffled orders.
+#[test]
+fn grouped_batch_matches_per_call_queries() {
+    let w = bioaid(13);
+    let fvl = Fvl::new(&w.spec).unwrap();
+    let pg = ProdGraph::new(&w.spec.grammar);
+    let mut rng = StdRng::seed_from_u64(13);
+    let (_, run) = sample::sample_run(&w, &pg, &mut rng, 300);
+    let labeler = fvl.labeler(&run);
+    let view = views::random_safe_view(&w, &mut rng, 6);
+
+    let mut engine = QueryEngine::new(&fvl);
+    let items = engine.insert_labels(labeler.labels());
+    let vref = engine.register_view(view, VariantKind::Default).unwrap();
+
+    let base = sample::sample_query_pairs(&run, &mut rng, 200);
+    let mut id_pairs: Vec<_> =
+        base.iter().map(|&(a, b)| (items[a.0 as usize], items[b.0 as usize])).collect();
+    // Stress the grouping: duplicate a prefix (equal (a, b) keys), give one
+    // hot item a long run of partners, then reverse the whole thing so the
+    // evaluation order differs maximally from the input order.
+    let dupes: Vec<_> = id_pairs[..40].to_vec();
+    id_pairs.extend(dupes);
+    let hot = items[0];
+    id_pairs.extend(items.iter().rev().take(64).map(|&b| (hot, b)));
+    id_pairs.reverse();
+
+    let batch = engine.query_batch(vref, &id_pairs);
+    assert_eq!(batch.len(), id_pairs.len());
+    for (i, &(a, b)) in id_pairs.iter().enumerate() {
+        assert_eq!(batch[i], engine.query(vref, a, b), "pair {i}: {a:?} -> {b:?}");
+    }
+}
+
 /// After warm-up, repeated batches must not grow the scratch: the batched
 /// path is allocation-free in steady state.
 #[test]
